@@ -1,0 +1,48 @@
+"""Benchmarks for the strategy ablations (A1 / A2 in DESIGN.md).
+
+A1 compares the optimal cost achievable within restricted strategy spaces;
+A2 compares the baseline ``O(n^3)`` strategy computation with Algorithm 2.
+"""
+
+import pytest
+
+from repro.algorithms import PathChoice, SIDE_F, SIDE_G, optimal_strategy
+from repro.counting import optimal_cost_restricted
+from repro.datasets import make_shape
+from repro.trees import HEAVY, LEFT, RIGHT
+
+SIZE = 80
+SPACES = {
+    "lr-only": (PathChoice(SIDE_F, LEFT), PathChoice(SIDE_F, RIGHT)),
+    "heavy-only": (PathChoice(SIDE_F, HEAVY), PathChoice(SIDE_G, HEAVY)),
+    "full-lrh": (
+        PathChoice(SIDE_F, HEAVY),
+        PathChoice(SIDE_G, HEAVY),
+        PathChoice(SIDE_F, LEFT),
+        PathChoice(SIDE_G, LEFT),
+        PathChoice(SIDE_F, RIGHT),
+        PathChoice(SIDE_G, RIGHT),
+    ),
+}
+
+
+@pytest.mark.parametrize("space", sorted(SPACES))
+def test_ablation_strategy_space(benchmark, space):
+    tree = make_shape("mixed", SIZE)
+    cost = benchmark(optimal_cost_restricted, tree, tree, SPACES[space])
+    benchmark.extra_info["space"] = space
+    benchmark.extra_info["optimal_cost"] = cost
+
+
+def test_ablation_baseline_strategy_computation(benchmark):
+    """The O(n^3) baseline of Section 6.1 (direct cost-formula evaluation)."""
+    tree = make_shape("mixed", SIZE)
+    cost = benchmark(optimal_cost_restricted, tree, tree, SPACES["full-lrh"])
+    benchmark.extra_info["optimal_cost"] = cost
+
+
+def test_ablation_algorithm2_strategy_computation(benchmark):
+    """Algorithm 2 (O(n^2)); must return the same cost as the baseline, faster."""
+    tree = make_shape("mixed", SIZE)
+    result = benchmark(optimal_strategy, tree, tree)
+    benchmark.extra_info["optimal_cost"] = result.cost

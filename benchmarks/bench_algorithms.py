@@ -1,0 +1,75 @@
+"""Micro-benchmarks of the core building blocks.
+
+Not tied to a specific figure: these track the performance of the individual
+components (tree indexing, Algorithm 2, the distance kernels, the bounds and
+the serializers) so that regressions are visible independently of the
+experiment harnesses.
+"""
+
+import pytest
+
+from repro.algorithms import (
+    RTED,
+    ZhangShashaTED,
+    compute_edit_mapping,
+    optimal_strategy,
+)
+from repro.bounds import (
+    binary_branch_lower_bound,
+    pq_gram_distance,
+    top_down_upper_bound,
+    traversal_string_lower_bound,
+)
+from repro.datasets import random_tree
+from repro.io import parse_bracket, to_bracket
+from repro.trees import Tree
+
+_TREE_A = random_tree(120, rng=1)
+_TREE_B = random_tree(120, rng=2)
+_SMALL_A = random_tree(40, rng=3)
+_SMALL_B = random_tree(40, rng=4)
+
+
+def test_bench_tree_indexing(benchmark):
+    node = _TREE_A.to_node()
+    tree = benchmark(Tree, node)
+    assert tree.n == _TREE_A.n
+
+
+def test_bench_optimal_strategy(benchmark):
+    result = benchmark(optimal_strategy, _TREE_A, _TREE_B)
+    benchmark.extra_info["optimal_cost"] = result.cost
+
+
+def test_bench_zhang_shasha_distance(benchmark):
+    distance = benchmark(ZhangShashaTED().distance, _TREE_A, _TREE_B)
+    benchmark.extra_info["distance"] = distance
+
+
+def test_bench_rted_distance(benchmark):
+    distance = benchmark(RTED().distance, _SMALL_A, _SMALL_B)
+    benchmark.extra_info["distance"] = distance
+
+
+def test_bench_edit_mapping(benchmark):
+    mapping = benchmark(compute_edit_mapping, _SMALL_A, _SMALL_B)
+    benchmark.extra_info["cost"] = mapping.cost
+
+
+@pytest.mark.parametrize(
+    "bound",
+    [traversal_string_lower_bound, binary_branch_lower_bound, pq_gram_distance, top_down_upper_bound],
+    ids=lambda fn: fn.__name__,
+)
+def test_bench_bounds(benchmark, bound):
+    value = benchmark(bound, _TREE_A, _TREE_B)
+    benchmark.extra_info["value"] = float(value)
+
+
+def test_bench_bracket_round_trip(benchmark):
+    text = to_bracket(_TREE_A)
+
+    def round_trip():
+        return to_bracket(parse_bracket(text))
+
+    assert benchmark(round_trip) == text

@@ -1,0 +1,43 @@
+"""Benchmark harness for Figure 10 — overhead of the strategy computation.
+
+Two groups of benchmarks: the strategy computation alone (Algorithm 2) and the
+full RTED run, on TreeBank-like, SwissProt-like, and random trees.  The ratio
+of the two medians is the "strategy share" the figure reports; it must shrink
+as trees grow.
+"""
+
+import pytest
+
+from repro.algorithms import RTED, optimal_strategy
+from repro.datasets import random_tree, swissprot_like_tree, treebank_like_tree
+
+DATASET_BUILDERS = {
+    "treebank": lambda size: treebank_like_tree(rng=1, target_size=size),
+    "swissprot": lambda size: swissprot_like_tree(rng=2, target_size=size),
+    "random": lambda size: random_tree(size, rng=3),
+}
+
+SIZES = [40, 80]
+
+
+@pytest.mark.parametrize("dataset", sorted(DATASET_BUILDERS))
+@pytest.mark.parametrize("size", SIZES)
+def test_fig10_strategy_computation_only(benchmark, dataset, size):
+    tree = DATASET_BUILDERS[dataset](size)
+    result = benchmark(optimal_strategy, tree, tree)
+    benchmark.extra_info["dataset"] = dataset
+    benchmark.extra_info["tree_size"] = tree.n
+    benchmark.extra_info["optimal_cost"] = result.cost
+
+
+@pytest.mark.parametrize("dataset", sorted(DATASET_BUILDERS))
+@pytest.mark.parametrize("size", SIZES)
+def test_fig10_full_rted(benchmark, dataset, size):
+    tree = DATASET_BUILDERS[dataset](size)
+    algorithm = RTED()
+    result = benchmark(algorithm.compute, tree, tree)
+    benchmark.extra_info["dataset"] = dataset
+    benchmark.extra_info["tree_size"] = tree.n
+    benchmark.extra_info["strategy_share"] = (
+        result.strategy_time / result.total_time if result.total_time else 0.0
+    )

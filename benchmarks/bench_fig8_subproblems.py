@@ -1,0 +1,47 @@
+"""Benchmark harness for Figure 8 — relevant-subproblem counts per shape.
+
+Each benchmark counts the relevant subproblems of one algorithm on an
+identical-tree pair of one shape (the quantity plotted in Figure 8).  The
+benchmark *value* is the time to evaluate the cost formula; the subproblem
+counts themselves are attached to ``benchmark.extra_info`` so that the
+figure's series can be read directly from the benchmark output
+(``pytest benchmarks/ --benchmark-only -q``).
+
+Sizes default to 200 nodes per tree; the full paper sweep (20–2000) can be
+reproduced with ``repro.experiments.run_fig8(sizes=range(400, 2001, 400))``.
+"""
+
+import pytest
+
+from repro.counting import count_subproblems_fast
+from repro.datasets import make_shape, random_tree
+from repro.experiments import run_fig8
+
+SIZE = 200
+SHAPES = ["left-branch", "right-branch", "full-binary", "zigzag", "mixed", "random"]
+ALGORITHMS = ["zhang-l", "zhang-r", "klein-h", "demaine-h", "rted"]
+
+
+def _tree(shape: str):
+    if shape == "random":
+        return random_tree(SIZE, rng=42)
+    return make_shape(shape, SIZE)
+
+
+@pytest.mark.parametrize("shape", SHAPES)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_fig8_subproblem_count(benchmark, shape, algorithm):
+    tree = _tree(shape)
+    count = benchmark(count_subproblems_fast, algorithm, tree, tree)
+    benchmark.extra_info["shape"] = shape
+    benchmark.extra_info["algorithm"] = algorithm
+    benchmark.extra_info["tree_size"] = tree.n
+    benchmark.extra_info["subproblems"] = count
+
+
+def test_fig8_full_sweep_small(benchmark):
+    """One-shot mini sweep across all shapes (sizes 20-120) — the full figure."""
+    result = benchmark.pedantic(
+        run_fig8, kwargs={"sizes": [20, 70, 120]}, iterations=1, rounds=1
+    )
+    benchmark.extra_info["points"] = sum(len(points) for points in result.points.values())

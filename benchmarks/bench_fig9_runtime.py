@@ -1,0 +1,44 @@
+"""Benchmark harness for Figure 9 — runtime per algorithm and tree shape.
+
+These benchmarks time the actual distance computations of Zhang-L, Demaine-H
+and RTED on identical-tree pairs of the FB, ZZ and MX shapes, which is exactly
+what Figure 9 plots (at reduced tree sizes; the pure-Python kernels are a
+constant factor slower than the paper's Java implementation).
+"""
+
+import pytest
+
+from repro.algorithms import make_algorithm
+from repro.datasets import make_shape
+
+SIZE = 49
+SHAPES = ["full-binary", "zigzag", "mixed"]
+ALGORITHMS = ["zhang-l", "demaine-h", "rted"]
+
+
+@pytest.mark.parametrize("shape", SHAPES)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_fig9_runtime(benchmark, shape, algorithm):
+    tree = make_shape(shape, SIZE)
+    algo = make_algorithm(algorithm)
+
+    def run():
+        return algo.compute(tree, tree)
+
+    result = benchmark(run)
+    assert result.distance == 0.0
+    benchmark.extra_info["shape"] = shape
+    benchmark.extra_info["algorithm"] = algorithm
+    benchmark.extra_info["tree_size"] = tree.n
+    benchmark.extra_info["subproblems"] = result.subproblems
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_fig9_runtime_cross_shape_pair(benchmark, algorithm):
+    """A harder pair of *different* shapes (LB vs RB), where fixed strategies degrade."""
+    tree_f = make_shape("left-branch", SIZE)
+    tree_g = make_shape("right-branch", SIZE, label="b")
+    algo = make_algorithm(algorithm)
+    result = benchmark(algo.compute, tree_f, tree_g)
+    benchmark.extra_info["algorithm"] = algorithm
+    benchmark.extra_info["subproblems"] = result.subproblems

@@ -1,0 +1,33 @@
+"""Benchmark harness for Table 2 — RTED vs. competitors on TreeFam-like trees.
+
+Benchmarks the subproblem counting over size-partitioned phylogenies and
+attaches the resulting best/worst-competitor ratio matrices to
+``extra_info`` (the two sub-tables of Table 2).
+"""
+
+from repro.experiments import run_table2
+
+
+def test_table2_ratio_matrices(benchmark):
+    result = benchmark.pedantic(
+        run_table2,
+        kwargs={
+            "num_trees": 24,
+            "boundaries": (80, 160),
+            "size_range": (30, 260),
+            "sample_size": 3,
+            "seed": 42,
+        },
+        iterations=1,
+        rounds=1,
+    )
+    benchmark.extra_info["partitions"] = result.partition_labels
+    benchmark.extra_info["ratio_to_best"] = [
+        [round(value, 3) for value in row] for row in result.matrix("best")
+    ]
+    benchmark.extra_info["ratio_to_worst"] = [
+        [round(value, 3) for value in row] for row in result.matrix("worst")
+    ]
+    # RTED never computes more subproblems than the best competitor.
+    for cell in result.cells.values():
+        assert cell.ratio_to_best <= 1.0 + 1e-9

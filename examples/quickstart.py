@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Quickstart: compute tree edit distances, mappings, and compare algorithms.
+
+Run with ``python examples/quickstart.py``.
+"""
+
+from repro import (
+    compare_algorithms,
+    compute,
+    edit_script,
+    parse_tree,
+    tree_edit_distance,
+)
+from repro.visualize import render_tree
+
+
+def main() -> None:
+    # Trees can be written in bracket notation ({label{child}...}), Newick, or XML.
+    original = parse_tree("{article{title}{authors{author}{author}}{year}}")
+    revised = parse_tree("{article{title}{authors{author}}{venue}{year}}")
+
+    print("Original document tree:")
+    print(render_tree(original))
+    print()
+    print("Revised document tree:")
+    print(render_tree(revised))
+    print()
+
+    # 1. The distance itself (RTED is the default algorithm).
+    distance = tree_edit_distance(original, revised)
+    print(f"Tree edit distance: {distance}")
+    print()
+
+    # 2. Full result with measurements (subproblems, strategy/overall time).
+    result = compute(original, revised, algorithm="rted")
+    print(
+        f"RTED evaluated {result.subproblems} relevant subproblems "
+        f"(strategy {result.strategy_time * 1000:.2f} ms, "
+        f"total {result.total_time * 1000:.2f} ms)"
+    )
+    print()
+
+    # 3. The optimal edit script explaining the distance.
+    print("Optimal edit script:")
+    for operation in edit_script(original, revised):
+        if operation.op != "match":
+            print(f"  - {operation}")
+    print()
+
+    # 4. Every algorithm of the paper computes the same distance, with a
+    #    different amount of work.
+    print("Algorithm comparison on this pair:")
+    for name, algo_result in compare_algorithms(original, revised).items():
+        print(
+            f"  {name:10s}  distance={algo_result.distance:<4g}  "
+            f"subproblems={algo_result.subproblems}"
+        )
+
+
+if __name__ == "__main__":
+    main()

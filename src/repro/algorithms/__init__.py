@@ -1,0 +1,77 @@
+"""Tree edit distance algorithms: RTED, its competitors, and the GTED framework."""
+
+from .base import Stopwatch, TEDAlgorithm, TEDResult
+from .simple import SimpleTED, simple_ted
+from .zhang_shasha import ZhangShashaRightTED, ZhangShashaTED, zhang_shasha, zhang_shasha_distance
+from .strategies import (
+    ALL_FIXED_CHOICES,
+    SIDE_F,
+    SIDE_G,
+    HeavyFStrategy,
+    HeavyGStrategy,
+    HeavyLargerStrategy,
+    LeftFStrategy,
+    LeftGStrategy,
+    PathChoice,
+    PrecomputedStrategy,
+    RightFStrategy,
+    RightGStrategy,
+    Strategy,
+    fixed_strategy_for,
+)
+from .optimal_strategy import OptimalStrategyResult, optimal_strategy, optimal_strategy_cost
+from .forest_engine import DecompositionEngine
+from .gted import GTED
+from .rted import RTED, rted
+from .klein import KleinTED
+from .demaine import DemaineTED
+from .edit_mapping import EditMapping, EditOperation, compute_edit_mapping, mapping_cost
+from .registry import (
+    PAPER_ALGORITHMS,
+    available_algorithms,
+    make_algorithm,
+    register_algorithm,
+)
+
+__all__ = [
+    "TEDAlgorithm",
+    "TEDResult",
+    "Stopwatch",
+    "SimpleTED",
+    "simple_ted",
+    "ZhangShashaTED",
+    "ZhangShashaRightTED",
+    "zhang_shasha",
+    "zhang_shasha_distance",
+    "Strategy",
+    "PathChoice",
+    "PrecomputedStrategy",
+    "LeftFStrategy",
+    "RightFStrategy",
+    "HeavyFStrategy",
+    "LeftGStrategy",
+    "RightGStrategy",
+    "HeavyGStrategy",
+    "HeavyLargerStrategy",
+    "fixed_strategy_for",
+    "ALL_FIXED_CHOICES",
+    "SIDE_F",
+    "SIDE_G",
+    "OptimalStrategyResult",
+    "optimal_strategy",
+    "optimal_strategy_cost",
+    "DecompositionEngine",
+    "GTED",
+    "RTED",
+    "rted",
+    "KleinTED",
+    "DemaineTED",
+    "EditMapping",
+    "EditOperation",
+    "compute_edit_mapping",
+    "mapping_cost",
+    "PAPER_ALGORITHMS",
+    "available_algorithms",
+    "make_algorithm",
+    "register_algorithm",
+]

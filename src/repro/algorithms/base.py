@@ -1,0 +1,97 @@
+"""Common result type and interface for tree edit distance algorithms.
+
+Every algorithm in :mod:`repro.algorithms` implements :class:`TEDAlgorithm`:
+``compute`` returns a :class:`TEDResult` carrying the distance together with
+the measurements the paper's experiments need (number of relevant
+subproblems, strategy-computation time, distance-computation time), and
+``distance`` is a convenience wrapper returning only the number.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..costs import UNIT_COST, CostModel
+from ..trees.tree import Tree
+
+
+@dataclass
+class TEDResult:
+    """Outcome of a tree edit distance computation.
+
+    Attributes
+    ----------
+    distance:
+        The tree edit distance under the supplied cost model.
+    algorithm:
+        Name of the algorithm that produced the result.
+    subproblems:
+        Number of relevant subproblems (distinct forest-pair distances) the
+        algorithm evaluated; the unit in which the paper measures work.
+    strategy_time:
+        Seconds spent computing the decomposition strategy (0 for algorithms
+        with a hard-coded strategy).
+    distance_time:
+        Seconds spent in the distance computation proper.
+    n_f, n_g:
+        Sizes of the two input trees.
+    """
+
+    distance: float
+    algorithm: str
+    subproblems: int = 0
+    strategy_time: float = 0.0
+    distance_time: float = 0.0
+    n_f: int = 0
+    n_g: int = 0
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def total_time(self) -> float:
+        """Strategy time plus distance time."""
+        return self.strategy_time + self.distance_time
+
+
+class TEDAlgorithm:
+    """Base class for tree edit distance algorithms.
+
+    Subclasses set :attr:`name` and implement :meth:`compute`.
+    """
+
+    #: Human-readable algorithm identifier (e.g. ``"RTED"`` or ``"Zhang-L"``).
+    name: str = "abstract"
+
+    def compute(
+        self, tree_f: Tree, tree_g: Tree, cost_model: Optional[CostModel] = None
+    ) -> TEDResult:
+        """Compute the tree edit distance between ``tree_f`` and ``tree_g``."""
+        raise NotImplementedError
+
+    def distance(
+        self, tree_f: Tree, tree_g: Tree, cost_model: Optional[CostModel] = None
+    ) -> float:
+        """Convenience wrapper returning only the distance value."""
+        return self.compute(tree_f, tree_g, cost_model=cost_model).distance
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+def resolve_cost_model(cost_model: Optional[CostModel]) -> CostModel:
+    """Return ``cost_model`` or the shared unit cost model when ``None``."""
+    return cost_model if cost_model is not None else UNIT_COST
+
+
+class Stopwatch:
+    """Tiny helper measuring wall-clock durations of labelled phases."""
+
+    def __init__(self) -> None:
+        self._start: float = 0.0
+
+    def start(self) -> None:
+        self._start = time.perf_counter()
+
+    def elapsed(self) -> float:
+        return time.perf_counter() - self._start

@@ -1,0 +1,33 @@
+"""Demaine et al.'s algorithm (``Demaine-H``): heavy paths in the larger tree.
+
+Demaine, Mozes, Rossman and Weimann [ACM TALG 2009] decompose, at every
+recursive step, the *larger* of the two subtrees along its heavy path.  In the
+paper's framework this is the fixed LRH strategy mapping ``(F_v, G_w)`` to
+``γ_H(F_v)`` when ``|F_v| ≥ |G_w|`` and to ``γ_H(G_w)`` otherwise.  The
+resulting subproblem count is worst-case optimal, ``O(n^3)``, but the worst
+case occurs frequently in practice — the behaviour RTED is designed to avoid.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..costs import CostModel
+from ..trees.tree import Tree
+from .base import TEDAlgorithm, TEDResult
+from .gted import GTED
+from .strategies import HeavyLargerStrategy
+
+
+class DemaineTED(TEDAlgorithm):
+    """Demaine et al.'s algorithm expressed as GTED with a fixed strategy."""
+
+    name = "Demaine-H"
+
+    def __init__(self) -> None:
+        self._gted = GTED(HeavyLargerStrategy(), name=self.name)
+
+    def compute(
+        self, tree_f: Tree, tree_g: Tree, cost_model: Optional[CostModel] = None
+    ) -> TEDResult:
+        return self._gted.compute(tree_f, tree_g, cost_model=cost_model)

@@ -1,0 +1,199 @@
+"""Generic strategy-driven decomposition engine.
+
+This engine executes *any* path strategy (Definition 4) by following the
+path-coloring rule of Section 4.2 of the paper:
+
+* whenever both current forests are single trees whose roots are not on the
+  active root-leaf path, the strategy is consulted and a new path is chosen
+  in one of the two subtrees;
+* at every recursive step the leftmost root nodes are removed if the leftmost
+  root of the path-owning forest is *not* on the path, and the rightmost root
+  nodes are removed otherwise (this reproduces Definition 3's relevant
+  subforests);
+* the recursive formula of Figure 2 is evaluated with memoization on pairs of
+  relevant subforests.
+
+The engine stands in for the paper's single-path functions ``Δ_L``, ``Δ_R``
+and ``Δ_I``: it computes exactly the distances those functions would compute,
+while keeping the decomposition order dictated by the strategy.  Its memory is
+``O(#subproblems)`` hash-map entries rather than the paper's ``O(n^2)``
+matrices — a documented substitution (see ``DESIGN.md``) that preserves the
+quantity the paper studies (which subproblems a strategy induces) at the cost
+of constant-factor overhead.
+
+Because the recursive formula is correct for *either* direction choice at
+every step, the distance returned by the engine is exact for every strategy;
+only the amount of work depends on the strategy.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Dict, Optional, Tuple
+
+from ..costs import CostModel
+from ..trees.tree import Tree
+from .base import resolve_cost_model
+from .strategies import SIDE_F, Strategy
+
+ForestKey = Tuple[int, ...]
+
+
+class DecompositionEngine:
+    """Evaluates the TED recursion under a given path strategy.
+
+    Parameters
+    ----------
+    tree_f, tree_g:
+        The two input trees.
+    strategy:
+        The path strategy steering the decomposition.
+    cost_model:
+        Edit-operation costs; defaults to the unit cost model.
+    """
+
+    def __init__(
+        self,
+        tree_f: Tree,
+        tree_g: Tree,
+        strategy: Strategy,
+        cost_model: Optional[CostModel] = None,
+    ) -> None:
+        self.tree_f = tree_f
+        self.tree_g = tree_g
+        self.strategy = strategy
+        self.cost_model = resolve_cost_model(cost_model)
+
+        self._memo: Dict[Tuple[ForestKey, ForestKey], float] = {}
+        #: Number of distinct (non-trivial) forest-pair subproblems evaluated.
+        self.subproblems = 0
+
+        cm = self.cost_model
+        labels_f, labels_g = tree_f.labels, tree_g.labels
+        children_f, children_g = tree_f.children, tree_g.children
+
+        # Cumulative delete / insert costs of complete subtrees, used for the
+        # forest-vs-empty base cases.
+        self._delete_subtree = [0.0] * tree_f.n
+        for v in range(tree_f.n):
+            self._delete_subtree[v] = cm.delete(labels_f[v]) + sum(
+                self._delete_subtree[c] for c in children_f[v]
+            )
+        self._insert_subtree = [0.0] * tree_g.n
+        for w in range(tree_g.n):
+            self._insert_subtree[w] = cm.insert(labels_g[w]) + sum(
+                self._insert_subtree[c] for c in children_g[w]
+            )
+
+        self._delete_node = [cm.delete(labels_f[v]) for v in range(tree_f.n)]
+        self._insert_node = [cm.insert(labels_g[w]) for w in range(tree_g.n)]
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def distance(self) -> float:
+        """Tree edit distance between the two whole trees."""
+        return self.subtree_distance(self.tree_f.root, self.tree_g.root)
+
+    def subtree_distance(self, v: int, w: int) -> float:
+        """Edit distance between the subtree of F rooted at ``v`` and of G at ``w``."""
+        old_limit = sys.getrecursionlimit()
+        needed = 20000 + 30 * (self.tree_f.sizes[v] + self.tree_g.sizes[w])
+        sys.setrecursionlimit(max(old_limit, needed))
+        try:
+            return self._dist((v,), (w,), None, frozenset())
+        finally:
+            sys.setrecursionlimit(old_limit)
+
+    # ------------------------------------------------------------------ #
+    # Recursion
+    # ------------------------------------------------------------------ #
+    def _dist(
+        self,
+        roots_f: ForestKey,
+        roots_g: ForestKey,
+        path_side: Optional[str],
+        path_nodes: frozenset,
+    ) -> float:
+        if not roots_f and not roots_g:
+            return 0.0
+        if not roots_g:
+            return sum(self._delete_subtree[r] for r in roots_f)
+        if not roots_f:
+            return sum(self._insert_subtree[r] for r in roots_g)
+
+        key = (roots_f, roots_g)
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+        self.subproblems += 1
+
+        f_is_tree = len(roots_f) == 1
+        g_is_tree = len(roots_g) == 1
+
+        # Consult the strategy only for pairs of trees whose roots are "white"
+        # (not on the active path), per the coloring rule of Section 4.2.
+        if f_is_tree and g_is_tree:
+            active_root = roots_f[0] if path_side == SIDE_F else roots_g[0]
+            if path_side is None or active_root not in path_nodes:
+                choice = self.strategy.choose(self.tree_f, self.tree_g, roots_f[0], roots_g[0])
+                path_side = choice.side
+                if path_side == SIDE_F:
+                    path_nodes = self.tree_f.path_set(roots_f[0], choice.kind)
+                else:
+                    path_nodes = self.tree_g.path_set(roots_g[0], choice.kind)
+
+        # Direction: remove rightmost roots while the leftmost root of the
+        # path-owning forest lies on the path, otherwise remove leftmost roots
+        # (Definition 3).  When the owning forest is a single tree rooted on
+        # the path, the root is removed either way; the direction is chosen to
+        # be consistent with the *next* step of the phase (look at whether the
+        # path continues into the leftmost child), so that the other tree is
+        # decomposed from a single side per phase, exactly as the single-path
+        # functions Δ_L / Δ_R / Δ_I do.
+        owning_roots = roots_f if path_side == SIDE_F else roots_g
+        owning_tree = self.tree_f if path_side == SIDE_F else self.tree_g
+        if len(owning_roots) == 1 and owning_roots[0] in path_nodes:
+            children_of_root = owning_tree.children[owning_roots[0]]
+            remove_right = not children_of_root or children_of_root[0] in path_nodes
+        else:
+            remove_right = bool(owning_roots) and owning_roots[0] in path_nodes
+
+        children_f = self.tree_f.children
+        children_g = self.tree_g.children
+
+        if remove_right:
+            v = roots_f[-1]
+            w = roots_g[-1]
+            roots_f_minus_node = roots_f[:-1] + tuple(children_f[v])
+            roots_g_minus_node = roots_g[:-1] + tuple(children_g[w])
+            roots_f_minus_subtree = roots_f[:-1]
+            roots_g_minus_subtree = roots_g[:-1]
+        else:
+            v = roots_f[0]
+            w = roots_g[0]
+            roots_f_minus_node = tuple(children_f[v]) + roots_f[1:]
+            roots_g_minus_node = tuple(children_g[w]) + roots_g[1:]
+            roots_f_minus_subtree = roots_f[1:]
+            roots_g_minus_subtree = roots_g[1:]
+
+        best = self._dist(roots_f_minus_node, roots_g, path_side, path_nodes) + self._delete_node[v]
+        candidate = (
+            self._dist(roots_f, roots_g_minus_node, path_side, path_nodes) + self._insert_node[w]
+        )
+        if candidate < best:
+            best = candidate
+
+        if f_is_tree and g_is_tree:
+            candidate = self._dist(
+                roots_f_minus_node, roots_g_minus_node, path_side, path_nodes
+            ) + self.cost_model.rename(self.tree_f.labels[v], self.tree_g.labels[w])
+        else:
+            candidate = self._dist((v,), (w,), path_side, path_nodes) + self._dist(
+                roots_f_minus_subtree, roots_g_minus_subtree, path_side, path_nodes
+            )
+        if candidate < best:
+            best = candidate
+
+        self._memo[key] = best
+        return best

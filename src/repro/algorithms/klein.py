@@ -1,0 +1,31 @@
+"""Klein's algorithm (``Klein-H``): heavy-path decomposition of the left tree.
+
+Klein [ESA 1998] decomposes the left-hand tree along heavy paths, which in the
+paper's framework is the fixed LRH strategy mapping every subtree pair
+``(F_v, G_w)`` to ``γ_H(F_v)``.  Its worst-case subproblem count is
+``O(n^3 log n)``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..costs import CostModel
+from ..trees.tree import Tree
+from .base import TEDAlgorithm, TEDResult
+from .gted import GTED
+from .strategies import HeavyFStrategy
+
+
+class KleinTED(TEDAlgorithm):
+    """Klein's heavy-path algorithm expressed as GTED with a fixed strategy."""
+
+    name = "Klein-H"
+
+    def __init__(self) -> None:
+        self._gted = GTED(HeavyFStrategy(), name=self.name)
+
+    def compute(
+        self, tree_f: Tree, tree_g: Tree, cost_model: Optional[CostModel] = None
+    ) -> TEDResult:
+        return self._gted.compute(tree_f, tree_g, cost_model=cost_model)

@@ -1,0 +1,167 @@
+"""OptStrategy — the optimal LRH strategy in ``O(n^2)`` time (Algorithm 2).
+
+Given two trees ``F`` and ``G``, Algorithm 2 of the paper computes, for every
+pair of subtrees ``(F_v, G_w)``, the root-leaf path (left, right or heavy, in
+either tree) that minimizes the number of relevant subproblems GTED must
+evaluate, together with that minimum count.  The key idea is to maintain the
+*cost sums over relevant subtrees* incrementally instead of recomputing them,
+which brings the strategy computation down from ``O(n^3)`` (the baseline
+algorithm of Section 6.1, implemented in
+:mod:`repro.counting.cost_formula`) to ``O(n^2)``.
+
+The module exposes:
+
+* :func:`optimal_strategy` — the full Algorithm 2, returning an
+  :class:`OptimalStrategyResult` with the strategy matrix and the optimal
+  subproblem count;
+* :class:`OptimalStrategyResult.strategy` — a
+  :class:`~repro.algorithms.strategies.PrecomputedStrategy` ready to be passed
+  to GTED / the decomposition engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..trees.tree import HEAVY, LEFT, RIGHT, Tree
+from .strategies import SIDE_F, SIDE_G, PathChoice, PrecomputedStrategy
+
+#: Candidate order used for tie-breaking; matches the listing order of the
+#: cost formula in Figure 5 (heavy-F, heavy-G, left-F, left-G, right-F,
+#: right-G).  The first candidate attaining the minimum wins.
+_CANDIDATE_CHOICES = (
+    PathChoice(SIDE_F, HEAVY),
+    PathChoice(SIDE_G, HEAVY),
+    PathChoice(SIDE_F, LEFT),
+    PathChoice(SIDE_G, LEFT),
+    PathChoice(SIDE_F, RIGHT),
+    PathChoice(SIDE_G, RIGHT),
+)
+
+
+@dataclass
+class OptimalStrategyResult:
+    """Result of Algorithm 2.
+
+    Attributes
+    ----------
+    choices:
+        ``|F| × |G|`` matrix of :class:`PathChoice`; entry ``(v, w)`` is the
+        optimal path for the subtree pair rooted at ``(v, w)``.
+    cost:
+        Number of relevant subproblems of the optimal strategy for the whole
+        tree pair (the value of the cost formula at the roots).
+    costs:
+        ``|F| × |G|`` matrix with the optimal cost of every subtree pair.
+    """
+
+    choices: List[List[PathChoice]]
+    cost: int
+    costs: List[List[int]]
+
+    @property
+    def strategy(self) -> PrecomputedStrategy:
+        """The strategy matrix wrapped for consumption by GTED."""
+        return PrecomputedStrategy(self.choices, name="optimal")
+
+
+def optimal_strategy(tree_f: Tree, tree_g: Tree) -> OptimalStrategyResult:
+    """Compute the optimal LRH strategy for ``(tree_f, tree_g)`` (Algorithm 2).
+
+    Runs in ``O(|F| · |G|)`` time and space.
+    """
+    n_f, n_g = tree_f.n, tree_g.n
+
+    sizes_f, sizes_g = tree_f.sizes, tree_g.sizes
+    parents_f, parents_g = tree_f.parents, tree_g.parents
+
+    # Precomputed factors of the six products in the cost formula (Lemmas 1-3).
+    full_f = tree_f.full_decomposition_sizes()
+    full_g = tree_g.full_decomposition_sizes()
+    left_f = tree_f.left_decomposition_sizes()
+    left_g = tree_g.left_decomposition_sizes()
+    right_f = tree_f.right_decomposition_sizes()
+    right_g = tree_g.right_decomposition_sizes()
+
+    # Membership of a node in its parent's left / right / heavy path.
+    on_left_f = [tree_f.on_parent_path(v, LEFT) for v in range(n_f)]
+    on_right_f = [tree_f.on_parent_path(v, RIGHT) for v in range(n_f)]
+    on_heavy_f = [tree_f.on_parent_path(v, HEAVY) for v in range(n_f)]
+    on_left_g = [tree_g.on_parent_path(w, LEFT) for w in range(n_g)]
+    on_right_g = [tree_g.on_parent_path(w, RIGHT) for w in range(n_g)]
+    on_heavy_g = [tree_g.on_parent_path(w, HEAVY) for w in range(n_g)]
+
+    # Cost sums over the relevant subtrees of F_v w.r.t. each path kind,
+    # indexed [v][w]; and the symmetric per-v sums for G_w, indexed [w].
+    left_sums_f = [[0] * n_g for _ in range(n_f)]
+    right_sums_f = [[0] * n_g for _ in range(n_f)]
+    heavy_sums_f = [[0] * n_g for _ in range(n_f)]
+
+    choices: List[List[PathChoice]] = [[None] * n_g for _ in range(n_f)]  # type: ignore[list-item]
+    costs: List[List[int]] = [[0] * n_g for _ in range(n_f)]
+
+    for v in range(n_f):
+        size_v = sizes_f[v]
+        full_v = full_f[v]
+        left_v = left_f[v]
+        right_v = right_f[v]
+        parent_v = parents_f[v]
+        row_left_v = left_sums_f[v]
+        row_right_v = right_sums_f[v]
+        row_heavy_v = heavy_sums_f[v]
+        row_choices = choices[v]
+        row_costs = costs[v]
+
+        # Per-v cost sums for the relevant subtrees of G's subtrees; children
+        # of w are processed before w because the inner loop is in postorder.
+        left_sums_g = [0] * n_g
+        right_sums_g = [0] * n_g
+        heavy_sums_g = [0] * n_g
+
+        for w in range(n_g):
+            size_w = sizes_g[w]
+
+            candidates = (
+                size_v * full_g[w] + row_heavy_v[w],      # γ_H(F_v)
+                size_w * full_v + heavy_sums_g[w],        # γ_H(G_w)
+                size_v * left_g[w] + row_left_v[w],       # γ_L(F_v)
+                size_w * left_v + left_sums_g[w],         # γ_L(G_w)
+                size_v * right_g[w] + row_right_v[w],     # γ_R(F_v)
+                size_w * right_v + right_sums_g[w],       # γ_R(G_w)
+            )
+            best_index = 0
+            best_cost = candidates[0]
+            for index in range(1, 6):
+                if candidates[index] < best_cost:
+                    best_cost = candidates[index]
+                    best_index = index
+
+            row_choices[w] = _CANDIDATE_CHOICES[best_index]
+            row_costs[w] = best_cost
+
+            if parent_v != -1:
+                left_sums_f[parent_v][w] += row_left_v[w] if on_left_f[v] else best_cost
+                right_sums_f[parent_v][w] += row_right_v[w] if on_right_f[v] else best_cost
+                heavy_sums_f[parent_v][w] += row_heavy_v[w] if on_heavy_f[v] else best_cost
+
+            parent_w = parents_g[w]
+            if parent_w != -1:
+                left_sums_g[parent_w] += left_sums_g[w] if on_left_g[w] else best_cost
+                right_sums_g[parent_w] += right_sums_g[w] if on_right_g[w] else best_cost
+                heavy_sums_g[parent_w] += heavy_sums_g[w] if on_heavy_g[w] else best_cost
+
+    return OptimalStrategyResult(
+        choices=choices,
+        cost=costs[n_f - 1][n_g - 1],
+        costs=costs,
+    )
+
+
+def optimal_strategy_cost(tree_f: Tree, tree_g: Tree) -> int:
+    """Number of relevant subproblems of the optimal LRH strategy.
+
+    Convenience wrapper around :func:`optimal_strategy` for callers (counters,
+    experiments) that only need the cost value.
+    """
+    return optimal_strategy(tree_f, tree_g).cost

@@ -1,0 +1,77 @@
+"""Name-based registry of tree edit distance algorithms.
+
+The experiments, the CLI, and the public API refer to algorithms by name
+(``"rted"``, ``"zhang-l"``, ...).  The registry maps those names to factory
+functions so that new algorithms (or configured GTED variants) can be plugged
+in without touching the call sites.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..exceptions import UnknownAlgorithmError
+from .base import TEDAlgorithm
+from .demaine import DemaineTED
+from .gted import GTED
+from .klein import KleinTED
+from .rted import RTED
+from .simple import SimpleTED
+from .strategies import (
+    HeavyGStrategy,
+    LeftGStrategy,
+    RightGStrategy,
+)
+from .zhang_shasha import ZhangShashaRightTED, ZhangShashaTED
+
+_FACTORIES: Dict[str, Callable[[], TEDAlgorithm]] = {
+    "rted": RTED,
+    "zhang-l": ZhangShashaTED,
+    "zhang-r": ZhangShashaRightTED,
+    "klein-h": KleinTED,
+    "demaine-h": DemaineTED,
+    "simple": SimpleTED,
+    # GTED variants that decompose the right-hand tree; mostly of interest for
+    # experimentation with the strategy space.
+    "gted-left-g": lambda: GTED(LeftGStrategy(), name="GTED(left-G)"),
+    "gted-right-g": lambda: GTED(RightGStrategy(), name="GTED(right-G)"),
+    "gted-heavy-g": lambda: GTED(HeavyGStrategy(), name="GTED(heavy-G)"),
+}
+
+_ALIASES: Dict[str, str] = {
+    "zhang": "zhang-l",
+    "zhang-shasha": "zhang-l",
+    "zs": "zhang-l",
+    "klein": "klein-h",
+    "demaine": "demaine-h",
+    "robust": "rted",
+    "apted": "rted",
+    "reference": "simple",
+    "oracle": "simple",
+}
+
+#: The five algorithms compared throughout the paper's experiments, in the
+#: order used by the figures and tables.
+PAPER_ALGORITHMS: List[str] = ["zhang-l", "zhang-r", "klein-h", "demaine-h", "rted"]
+
+
+def available_algorithms() -> List[str]:
+    """Sorted list of canonical algorithm names."""
+    return sorted(_FACTORIES)
+
+
+def make_algorithm(name: str) -> TEDAlgorithm:
+    """Instantiate an algorithm by (case-insensitive) name or alias."""
+    key = name.strip().lower()
+    key = _ALIASES.get(key, key)
+    factory = _FACTORIES.get(key)
+    if factory is None:
+        raise UnknownAlgorithmError(
+            f"unknown algorithm {name!r}; available: {', '.join(available_algorithms())}"
+        )
+    return factory()
+
+
+def register_algorithm(name: str, factory: Callable[[], TEDAlgorithm]) -> None:
+    """Register a custom algorithm factory under ``name`` (lower-cased)."""
+    _FACTORIES[name.strip().lower()] = factory

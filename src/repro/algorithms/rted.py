@@ -1,0 +1,63 @@
+"""RTED — the robust tree edit distance algorithm (Section 6 of the paper).
+
+RTED first computes the optimal LRH strategy for the two input trees with
+Algorithm 2 (:mod:`repro.algorithms.optimal_strategy`, ``O(n^2)`` time and
+space) and then runs GTED with that strategy.  Its number of relevant
+subproblems is, by construction of the optimal strategy, at most the number
+computed by any of the fixed-strategy competitors (Zhang-L/R, Klein-H,
+Demaine-H).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..costs import CostModel
+from ..trees.tree import Tree
+from .base import Stopwatch, TEDAlgorithm, TEDResult
+from .forest_engine import DecompositionEngine
+from .optimal_strategy import OptimalStrategyResult, optimal_strategy
+
+
+class RTED(TEDAlgorithm):
+    """Robust tree edit distance: optimal LRH strategy + GTED."""
+
+    name = "RTED"
+
+    def compute(
+        self, tree_f: Tree, tree_g: Tree, cost_model: Optional[CostModel] = None
+    ) -> TEDResult:
+        strategy_watch = Stopwatch()
+        strategy_watch.start()
+        strategy_result: OptimalStrategyResult = optimal_strategy(tree_f, tree_g)
+        strategy_time = strategy_watch.elapsed()
+
+        distance_watch = Stopwatch()
+        distance_watch.start()
+        engine = DecompositionEngine(
+            tree_f, tree_g, strategy_result.strategy, cost_model=cost_model
+        )
+        distance = engine.distance()
+        distance_time = distance_watch.elapsed()
+
+        return TEDResult(
+            distance=distance,
+            algorithm=self.name,
+            subproblems=engine.subproblems,
+            strategy_time=strategy_time,
+            distance_time=distance_time,
+            n_f=tree_f.n,
+            n_g=tree_g.n,
+            extra={
+                "optimal_strategy_cost": strategy_result.cost,
+            },
+        )
+
+    def compute_strategy(self, tree_f: Tree, tree_g: Tree) -> OptimalStrategyResult:
+        """Expose the strategy computation alone (used by Figure 10)."""
+        return optimal_strategy(tree_f, tree_g)
+
+
+def rted(tree_f: Tree, tree_g: Tree, cost_model: Optional[CostModel] = None) -> float:
+    """Functional shortcut returning only the RTED distance."""
+    return RTED().distance(tree_f, tree_g, cost_model=cost_model)

@@ -1,0 +1,146 @@
+"""High-level public API.
+
+Most applications only need the functions in this module:
+
+>>> from repro import tree_edit_distance, parse_tree
+>>> t1 = parse_tree("{a{b}{c}}")
+>>> t2 = parse_tree("{a{b}{d}}")
+>>> tree_edit_distance(t1, t2)
+1.0
+
+The heavy lifting lives in the sub-packages (``repro.algorithms``,
+``repro.counting``, ``repro.join``, ...) whose entry points are re-exported
+from the package root.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+from .algorithms.base import TEDResult
+from .algorithms.edit_mapping import EditMapping, EditOperation, compute_edit_mapping
+from .algorithms.registry import PAPER_ALGORITHMS, make_algorithm
+from .costs import CostModel
+from .exceptions import ParseError
+from .io.bracket import parse_bracket, to_bracket
+from .io.newick import parse_newick
+from .io.xml import xml_to_tree
+from .trees.node import Node
+from .trees.tree import Tree
+
+TreeLike = Union[Tree, Node, str]
+
+
+def parse_tree(source: TreeLike, fmt: Optional[str] = None) -> Tree:
+    """Convert ``source`` into an indexed :class:`Tree`.
+
+    ``source`` may already be a :class:`Tree` (returned as-is), a
+    :class:`Node` (indexed), or a string.  For strings the format is either
+    given explicitly (``"bracket"``, ``"newick"``, ``"xml"``) or guessed from
+    the first non-blank character: ``{`` → bracket, ``<`` → XML, ``(`` →
+    Newick.
+    """
+    if isinstance(source, Tree):
+        return source
+    if isinstance(source, Node):
+        return Tree(source)
+    if not isinstance(source, str):
+        raise ParseError(f"cannot build a tree from {type(source).__name__}")
+
+    text = source.strip()
+    if fmt is None:
+        if text.startswith("{"):
+            fmt = "bracket"
+        elif text.startswith("<"):
+            fmt = "xml"
+        elif text.startswith("("):
+            fmt = "newick"
+        else:
+            fmt = "bracket"
+
+    fmt = fmt.lower()
+    if fmt == "bracket":
+        return parse_bracket(text)
+    if fmt == "newick":
+        return parse_newick(text)
+    if fmt == "xml":
+        return xml_to_tree(text)
+    raise ParseError(f"unknown tree format {fmt!r}; expected 'bracket', 'newick' or 'xml'")
+
+
+def tree_edit_distance(
+    tree_f: TreeLike,
+    tree_g: TreeLike,
+    algorithm: str = "rted",
+    cost_model: Optional[CostModel] = None,
+) -> float:
+    """The tree edit distance between two trees.
+
+    Parameters
+    ----------
+    tree_f, tree_g:
+        Trees (or parseable tree descriptions, see :func:`parse_tree`).
+    algorithm:
+        ``"rted"`` (default), ``"zhang-l"``, ``"zhang-r"``, ``"klein-h"``,
+        ``"demaine-h"``, or any other registered name.
+    cost_model:
+        Optional :class:`~repro.costs.CostModel`; defaults to unit costs.
+    """
+    return compute(tree_f, tree_g, algorithm=algorithm, cost_model=cost_model).distance
+
+
+def compute(
+    tree_f: TreeLike,
+    tree_g: TreeLike,
+    algorithm: str = "rted",
+    cost_model: Optional[CostModel] = None,
+) -> TEDResult:
+    """Full computation result (distance, subproblem count, timings)."""
+    algo = make_algorithm(algorithm)
+    return algo.compute(parse_tree(tree_f), parse_tree(tree_g), cost_model=cost_model)
+
+
+def edit_mapping(
+    tree_f: TreeLike, tree_g: TreeLike, cost_model: Optional[CostModel] = None
+) -> EditMapping:
+    """An optimal node alignment between the two trees."""
+    return compute_edit_mapping(parse_tree(tree_f), parse_tree(tree_g), cost_model=cost_model)
+
+
+def edit_script(
+    tree_f: TreeLike, tree_g: TreeLike, cost_model: Optional[CostModel] = None
+) -> List[EditOperation]:
+    """An optimal edit script (delete / insert / rename operations)."""
+    from .algorithms.base import resolve_cost_model
+
+    f = parse_tree(tree_f)
+    g = parse_tree(tree_g)
+    cm = resolve_cost_model(cost_model)
+    mapping = compute_edit_mapping(f, g, cost_model=cm)
+    return mapping.to_edit_script(f, g, cm)
+
+
+def compare_algorithms(
+    tree_f: TreeLike,
+    tree_g: TreeLike,
+    algorithms: Optional[Sequence[str]] = None,
+    cost_model: Optional[CostModel] = None,
+) -> Dict[str, TEDResult]:
+    """Run several algorithms on the same pair and collect their results.
+
+    Useful for reproducing the robustness comparison of the paper on a single
+    pair of trees: the distances must all agree while the subproblem counts
+    and runtimes differ.
+    """
+    names = list(algorithms) if algorithms is not None else list(PAPER_ALGORITHMS)
+    f = parse_tree(tree_f)
+    g = parse_tree(tree_g)
+    results: Dict[str, TEDResult] = {}
+    for name in names:
+        results[name] = make_algorithm(name).compute(f, g, cost_model=cost_model)
+    return results
+
+
+def tree_to_bracket(tree: TreeLike) -> str:
+    """Serialize a tree to bracket notation."""
+    return to_bracket(parse_tree(tree))

@@ -1,0 +1,45 @@
+"""Lower and upper bounds of the tree edit distance, plus join filters."""
+
+from .size_bound import cheap_lower_bound, label_multiset_lower_bound, size_lower_bound
+from .string_edit import (
+    levenshtein,
+    postorder_string_lower_bound,
+    preorder_string_lower_bound,
+    traversal_string_lower_bound,
+)
+from .binary_branch import (
+    binary_branch_distance,
+    binary_branch_lower_bound,
+    binary_branch_profile,
+)
+from .pq_gram import pq_gram_distance, pq_gram_profile, pq_gram_symmetric_difference
+from .upper_bound import top_down_upper_bound, trivial_upper_bound
+
+
+def combined_lower_bound(tree_f, tree_g) -> float:
+    """The tightest of all implemented unit-cost lower bounds."""
+    return max(
+        float(cheap_lower_bound(tree_f, tree_g)),
+        float(traversal_string_lower_bound(tree_f, tree_g)),
+        binary_branch_lower_bound(tree_f, tree_g),
+    )
+
+
+__all__ = [
+    "size_lower_bound",
+    "label_multiset_lower_bound",
+    "cheap_lower_bound",
+    "levenshtein",
+    "preorder_string_lower_bound",
+    "postorder_string_lower_bound",
+    "traversal_string_lower_bound",
+    "binary_branch_profile",
+    "binary_branch_distance",
+    "binary_branch_lower_bound",
+    "pq_gram_profile",
+    "pq_gram_distance",
+    "pq_gram_symmetric_difference",
+    "trivial_upper_bound",
+    "top_down_upper_bound",
+    "combined_lower_bound",
+]

@@ -1,0 +1,82 @@
+"""pq-gram distance (Augsten, Böhlen & Gamper, ACM TODS 2010).
+
+The pq-gram profile of a tree is the multiset of all subtrees consisting of a
+*stem* of ``p`` ancestors and a *base* of ``q`` consecutive children, computed
+on the tree extended with null nodes so that every node participates in the
+same number of pq-grams.  The pq-gram distance is the normalized symmetric
+difference of two profiles.
+
+The pq-gram distance is *not* a lower bound of the tree edit distance (it is a
+pseudo-metric that approximates a fanout-weighted edit distance), but it is an
+effective and extremely cheap filter for similarity joins: trees with a small
+edit distance have similar profiles.  It is exposed here alongside the proper
+bounds because the join module can use either kind of filter.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Counter as CounterType, List, Tuple
+
+from ..trees.tree import Tree
+
+#: Null symbol used to pad stems and bases.
+NULL_LABEL = "*"
+
+
+def pq_gram_profile(tree: Tree, p: int = 2, q: int = 3) -> CounterType[Tuple[object, ...]]:
+    """Multiset of pq-grams of ``tree`` (each pq-gram is a label tuple of length p+q)."""
+    if p < 1 or q < 1:
+        raise ValueError("p and q must be >= 1")
+
+    profile: CounterType[Tuple[object, ...]] = Counter()
+
+    def visit(v: int, stem: List[object]) -> None:
+        # ``stem`` holds the labels of the p-1 nearest ancestors (padded).
+        current_stem = (stem + [tree.labels[v]])[-p:]
+        padded_stem = [NULL_LABEL] * (p - len(current_stem)) + current_stem
+
+        children = tree.children[v]
+        if not children:
+            base = [NULL_LABEL] * q
+            profile[tuple(padded_stem + base)] += 1
+            return
+
+        extended = [NULL_LABEL] * (q - 1) + [tree.labels[c] for c in children] + [NULL_LABEL] * (q - 1)
+        for start in range(len(extended) - q + 1):
+            profile[tuple(padded_stem + extended[start : start + q])] += 1
+        for child in children:
+            visit(child, current_stem)
+
+    import sys
+
+    old_limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(old_limit, 10000 + 10 * tree.n))
+    try:
+        visit(tree.root, [])
+    finally:
+        sys.setrecursionlimit(old_limit)
+    return profile
+
+
+def pq_gram_distance(tree_f: Tree, tree_g: Tree, p: int = 2, q: int = 3) -> float:
+    """Normalized pq-gram distance in ``[0, 1]``.
+
+    ``1 − 2·|P_F ∩ P_G| / (|P_F| + |P_G|)`` where the intersection is the
+    multiset intersection of the two profiles.
+    """
+    profile_f = pq_gram_profile(tree_f, p=p, q=q)
+    profile_g = pq_gram_profile(tree_g, p=p, q=q)
+    intersection = sum((profile_f & profile_g).values())
+    total = sum(profile_f.values()) + sum(profile_g.values())
+    if total == 0:
+        return 0.0
+    return 1.0 - 2.0 * intersection / total
+
+
+def pq_gram_symmetric_difference(tree_f: Tree, tree_g: Tree, p: int = 2, q: int = 3) -> int:
+    """Size of the symmetric difference of the two pq-gram profiles."""
+    profile_f = pq_gram_profile(tree_f, p=p, q=q)
+    profile_g = pq_gram_profile(tree_g, p=p, q=q)
+    keys = set(profile_f) | set(profile_g)
+    return sum(abs(profile_f.get(key, 0) - profile_g.get(key, 0)) for key in keys)

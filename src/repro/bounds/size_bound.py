@@ -1,0 +1,34 @@
+"""Constant-time lower bounds from tree sizes and label multisets.
+
+These are the cheapest filters in the bound hierarchy (``O(n)`` after the
+trees are built) and hold for the unit cost model:
+
+* ``|‖F| − |G‖``: every surplus node must be deleted or inserted;
+* ``max(|F|, |G|) − |labels(F) ∩ labels(G)|``: a node pair mapped without
+  rename consumes one occurrence of a common label, so at most the multiset
+  intersection many nodes can be preserved for free.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from ..trees.tree import Tree
+
+
+def size_lower_bound(tree_f: Tree, tree_g: Tree) -> int:
+    """``| |F| − |G| |`` — the size difference lower bound."""
+    return abs(tree_f.n - tree_g.n)
+
+
+def label_multiset_lower_bound(tree_f: Tree, tree_g: Tree) -> int:
+    """``max(|F|, |G|) − |multiset intersection of labels|``."""
+    histogram_f = Counter(tree_f.labels)
+    histogram_g = Counter(tree_g.labels)
+    intersection = sum((histogram_f & histogram_g).values())
+    return max(tree_f.n, tree_g.n) - intersection
+
+
+def cheap_lower_bound(tree_f: Tree, tree_g: Tree) -> int:
+    """The tighter of the two constant-time bounds."""
+    return max(size_lower_bound(tree_f, tree_g), label_multiset_lower_bound(tree_f, tree_g))

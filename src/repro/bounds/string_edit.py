@@ -1,0 +1,59 @@
+"""String-edit-distance based lower bounds for the tree edit distance.
+
+Every unit-cost node edit operation changes the preorder (and the postorder)
+label sequence of a tree by at most one symbol operation: a rename becomes a
+substitution, a delete removes one symbol, and an insert adds one symbol,
+while the relative order of all other nodes is preserved in both traversals.
+Consequently the Levenshtein distance between the traversal label sequences is
+a lower bound of the unit-cost tree edit distance (this is the serialization
+bound of Guha et al., SIGMOD 2002, in its simplest form).
+
+The bound is cheap (``O(n^2)`` with tiny constants, or ``O(n)`` for the even
+weaker size/label bounds in :mod:`repro.bounds.size_bound`) and is used to
+prune expensive exact computations in the similarity join.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..trees.tree import Tree
+
+
+def levenshtein(seq_a: Sequence[object], seq_b: Sequence[object]) -> int:
+    """Unit-cost string edit distance between two sequences of hashable items."""
+    if len(seq_a) < len(seq_b):
+        seq_a, seq_b = seq_b, seq_a
+    if not seq_b:
+        return len(seq_a)
+    previous: List[int] = list(range(len(seq_b) + 1))
+    for i, item_a in enumerate(seq_a, start=1):
+        current = [i]
+        for j, item_b in enumerate(seq_b, start=1):
+            current.append(
+                min(
+                    previous[j] + 1,
+                    current[j - 1] + 1,
+                    previous[j - 1] + (0 if item_a == item_b else 1),
+                )
+            )
+        previous = current
+    return previous[-1]
+
+
+def preorder_string_lower_bound(tree_f: Tree, tree_g: Tree) -> int:
+    """Levenshtein distance of the preorder label sequences (≤ unit-cost TED)."""
+    return levenshtein(tree_f.labels_preorder(), tree_g.labels_preorder())
+
+
+def postorder_string_lower_bound(tree_f: Tree, tree_g: Tree) -> int:
+    """Levenshtein distance of the postorder label sequences (≤ unit-cost TED)."""
+    return levenshtein(tree_f.labels_postorder(), tree_g.labels_postorder())
+
+
+def traversal_string_lower_bound(tree_f: Tree, tree_g: Tree) -> int:
+    """The tighter of the preorder and postorder serialization bounds."""
+    return max(
+        preorder_string_lower_bound(tree_f, tree_g),
+        postorder_string_lower_bound(tree_f, tree_g),
+    )

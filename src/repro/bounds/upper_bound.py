@@ -1,0 +1,95 @@
+"""Constructive upper bounds for the tree edit distance.
+
+Two upper bounds are provided, both valid for arbitrary cost models because
+they are the costs of explicit, valid edit mappings:
+
+* :func:`trivial_upper_bound` — delete every node of ``F`` and insert every
+  node of ``G``;
+* :func:`top_down_upper_bound` — the *constrained* (top-down) edit distance:
+  roots are aligned, and the children sequences are aligned recursively with a
+  sequence alignment DP whose gap costs are whole-subtree deletions and
+  insertions.  Every alignment produced this way is a valid tree edit mapping,
+  so its cost can never fall below the unrestricted tree edit distance, and it
+  is usually a much tighter upper bound than the trivial one.
+
+Together with the lower bounds, these give the sandwich
+``lower ≤ TED ≤ upper`` that the property tests assert and that the
+similarity join uses for pruning.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Dict, Optional, Tuple
+
+from ..costs import CostModel
+from ..algorithms.base import resolve_cost_model
+from ..trees.tree import Tree
+
+
+def trivial_upper_bound(
+    tree_f: Tree, tree_g: Tree, cost_model: Optional[CostModel] = None
+) -> float:
+    """Cost of deleting all of ``F`` and inserting all of ``G``."""
+    cm = resolve_cost_model(cost_model)
+    return sum(cm.delete(label) for label in tree_f.labels) + sum(
+        cm.insert(label) for label in tree_g.labels
+    )
+
+
+def top_down_upper_bound(
+    tree_f: Tree, tree_g: Tree, cost_model: Optional[CostModel] = None
+) -> float:
+    """Constrained (top-down) edit distance — an upper bound of the TED."""
+    cm = resolve_cost_model(cost_model)
+
+    delete_subtree = [0.0] * tree_f.n
+    for v in range(tree_f.n):
+        delete_subtree[v] = cm.delete(tree_f.labels[v]) + sum(
+            delete_subtree[c] for c in tree_f.children[v]
+        )
+    insert_subtree = [0.0] * tree_g.n
+    for w in range(tree_g.n):
+        insert_subtree[w] = cm.insert(tree_g.labels[w]) + sum(
+            insert_subtree[c] for c in tree_g.children[w]
+        )
+
+    memo: Dict[Tuple[int, int], float] = {}
+
+    def aligned(v: int, w: int) -> float:
+        """Cost of the best top-down mapping that maps ``v`` to ``w``."""
+        key = (v, w)
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
+
+        children_f = tree_f.children[v]
+        children_g = tree_g.children[w]
+        rows = len(children_f) + 1
+        cols = len(children_g) + 1
+
+        # Sequence alignment of the children: gaps cost whole-subtree
+        # deletion/insertion, matches cost the recursive aligned distance.
+        table = [[0.0] * cols for _ in range(rows)]
+        for i in range(1, rows):
+            table[i][0] = table[i - 1][0] + delete_subtree[children_f[i - 1]]
+        for j in range(1, cols):
+            table[0][j] = table[0][j - 1] + insert_subtree[children_g[j - 1]]
+        for i in range(1, rows):
+            for j in range(1, cols):
+                table[i][j] = min(
+                    table[i - 1][j] + delete_subtree[children_f[i - 1]],
+                    table[i][j - 1] + insert_subtree[children_g[j - 1]],
+                    table[i - 1][j - 1] + aligned(children_f[i - 1], children_g[j - 1]),
+                )
+
+        value = cm.rename(tree_f.labels[v], tree_g.labels[w]) + table[rows - 1][cols - 1]
+        memo[key] = value
+        return value
+
+    old_limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(old_limit, 10000 + 10 * (tree_f.n + tree_g.n)))
+    try:
+        return aligned(tree_f.root, tree_g.root)
+    finally:
+        sys.setrecursionlimit(old_limit)

@@ -1,0 +1,153 @@
+"""Command-line interface.
+
+Installed as the ``rted`` console script.  Sub-commands:
+
+* ``rted distance  '{a{b}{c}}' '{a{b}{d}}'`` — distance between two trees
+  (bracket notation by default, files with ``@path``);
+* ``rted mapping   TREE1 TREE2`` — optimal edit script;
+* ``rted compare   TREE1 TREE2`` — all paper algorithms on one pair;
+* ``rted generate  --shape zigzag --size 31`` — emit a synthetic tree;
+* ``rted experiment fig8|fig9|fig10|table1|table2|ablation`` — run one of the
+  paper's experiments and print its table(s).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .api import compare_algorithms, compute, edit_script, parse_tree
+from .algorithms.registry import available_algorithms
+from .datasets.random_trees import random_tree
+from .datasets.shapes import SHAPE_GENERATORS, make_shape
+from .experiments import (
+    ablation_strategy,
+    fig8_subproblems,
+    fig9_runtime,
+    fig10_strategy_overhead,
+    table1_join,
+    table2_treefam,
+)
+from .io.bracket import to_bracket
+from .visualize import render_tree
+
+
+def _load_tree_argument(argument: str, fmt: Optional[str]):
+    """A tree argument is inline text, or ``@path`` to read it from a file."""
+    if argument.startswith("@"):
+        with open(argument[1:], "r", encoding="utf-8") as handle:
+            argument = handle.read()
+    return parse_tree(argument, fmt=fmt)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="rted",
+        description="RTED: robust tree edit distance (reproduction of Pawlik & Augsten, VLDB 2011)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    distance = subparsers.add_parser("distance", help="compute the tree edit distance")
+    distance.add_argument("tree_f", help="first tree (inline or @file)")
+    distance.add_argument("tree_g", help="second tree (inline or @file)")
+    distance.add_argument(
+        "--algorithm", default="rted", choices=available_algorithms(), help="algorithm to use"
+    )
+    distance.add_argument("--format", dest="fmt", default=None, help="bracket | newick | xml")
+    distance.add_argument("--verbose", action="store_true", help="print timings and subproblems")
+
+    mapping = subparsers.add_parser("mapping", help="compute an optimal edit script")
+    mapping.add_argument("tree_f")
+    mapping.add_argument("tree_g")
+    mapping.add_argument("--format", dest="fmt", default=None)
+
+    compare = subparsers.add_parser("compare", help="run all paper algorithms on one pair")
+    compare.add_argument("tree_f")
+    compare.add_argument("tree_g")
+    compare.add_argument("--format", dest="fmt", default=None)
+
+    generate = subparsers.add_parser("generate", help="emit a synthetic tree in bracket notation")
+    generate.add_argument(
+        "--shape", default="random", choices=sorted(SHAPE_GENERATORS) + ["random"]
+    )
+    generate.add_argument("--size", type=int, default=31)
+    generate.add_argument("--seed", type=int, default=42)
+    generate.add_argument("--render", action="store_true", help="also print an ASCII rendering")
+
+    experiment = subparsers.add_parser("experiment", help="run one of the paper's experiments")
+    experiment.add_argument(
+        "name", choices=["fig8", "fig9", "fig10", "table1", "table2", "ablation"]
+    )
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point (returns a process exit code)."""
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "distance":
+        tree_f = _load_tree_argument(args.tree_f, args.fmt)
+        tree_g = _load_tree_argument(args.tree_g, args.fmt)
+        result = compute(tree_f, tree_g, algorithm=args.algorithm)
+        if args.verbose:
+            print(f"algorithm:   {result.algorithm}")
+            print(f"distance:    {result.distance}")
+            print(f"subproblems: {result.subproblems}")
+            print(f"strategy:    {result.strategy_time:.4f}s")
+            print(f"total time:  {result.total_time:.4f}s")
+        else:
+            print(result.distance)
+        return 0
+
+    if args.command == "mapping":
+        tree_f = _load_tree_argument(args.tree_f, args.fmt)
+        tree_g = _load_tree_argument(args.tree_g, args.fmt)
+        for operation in edit_script(tree_f, tree_g):
+            print(operation)
+        return 0
+
+    if args.command == "compare":
+        tree_f = _load_tree_argument(args.tree_f, args.fmt)
+        tree_g = _load_tree_argument(args.tree_g, args.fmt)
+        results = compare_algorithms(tree_f, tree_g)
+        for name, result in results.items():
+            print(
+                f"{name:12s} distance={result.distance:<8g} "
+                f"subproblems={result.subproblems:<10d} time={result.total_time:.4f}s"
+            )
+        return 0
+
+    if args.command == "generate":
+        if args.shape == "random":
+            tree = random_tree(args.size, rng=args.seed)
+        else:
+            tree = make_shape(args.shape, args.size)
+        print(to_bracket(tree))
+        if args.render:
+            print(render_tree(tree, max_nodes=200))
+        return 0
+
+    if args.command == "experiment":
+        runners = {
+            "fig8": lambda: fig8_subproblems.format_fig8(fig8_subproblems.run_fig8()),
+            "fig9": lambda: fig9_runtime.format_fig9(fig9_runtime.run_fig9()),
+            "fig10": lambda: fig10_strategy_overhead.format_fig10(
+                fig10_strategy_overhead.run_fig10()
+            ),
+            "table1": lambda: table1_join.format_table1(table1_join.run_table1()),
+            "table2": lambda: table2_treefam.format_table2(table2_treefam.run_table2()),
+            "ablation": lambda: ablation_strategy.format_ablations(
+                ablation_strategy.run_strategy_space_ablation(),
+                ablation_strategy.run_strategy_computation_ablation(),
+            ),
+        }
+        print(runners[args.name]())
+        return 0
+
+    return 1  # pragma: no cover - argparse enforces valid commands
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

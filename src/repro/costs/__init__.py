@@ -1,0 +1,21 @@
+"""Cost models for node edit operations."""
+
+from .model import (
+    UNIT_COST,
+    CallableCostModel,
+    CostModel,
+    PerLabelCostModel,
+    StringRenameCostModel,
+    UnitCostModel,
+    WeightedCostModel,
+)
+
+__all__ = [
+    "CostModel",
+    "UnitCostModel",
+    "WeightedCostModel",
+    "PerLabelCostModel",
+    "StringRenameCostModel",
+    "CallableCostModel",
+    "UNIT_COST",
+]

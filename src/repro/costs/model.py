@@ -1,0 +1,205 @@
+"""Cost models for node edit operations.
+
+The tree edit distance is parameterized by three cost functions: ``delete(v)``,
+``insert(w)`` and ``rename(v, w)``.  The paper (and the canonical benchmarks)
+use the *unit cost model* — every operation costs 1 and renaming a node to an
+identical label costs 0 — but the algorithms in this library accept any model
+implementing the :class:`CostModel` interface, so applications can e.g. weight
+renames by string similarity or make structural nodes cheaper to delete than
+content nodes.
+
+Cost functions receive node *labels*, not node ids, because the distance is a
+function of labels and structure only.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping, Optional, Tuple
+
+from ..exceptions import CostModelError
+
+
+class CostModel:
+    """Interface for edit-operation cost models.
+
+    Subclasses must guarantee non-negative costs and
+    ``rename(a, a) == 0`` for the distance to be a metric; :meth:`validate`
+    spot-checks these properties on a sample of labels.
+    """
+
+    def delete(self, label: object) -> float:
+        """Cost of deleting a node with the given label."""
+        raise NotImplementedError
+
+    def insert(self, label: object) -> float:
+        """Cost of inserting a node with the given label."""
+        raise NotImplementedError
+
+    def rename(self, label_from: object, label_to: object) -> float:
+        """Cost of renaming ``label_from`` into ``label_to``."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    def validate(self, sample_labels: Tuple[object, ...] = ("a", "b", "")) -> None:
+        """Raise :class:`CostModelError` if the model breaks basic invariants."""
+        for label in sample_labels:
+            if self.delete(label) < 0 or self.insert(label) < 0:
+                raise CostModelError("delete/insert costs must be non-negative")
+            if self.rename(label, label) != 0:
+                raise CostModelError("rename(x, x) must be 0")
+            for other in sample_labels:
+                if self.rename(label, other) < 0:
+                    raise CostModelError("rename costs must be non-negative")
+
+
+class UnitCostModel(CostModel):
+    """The standard unit cost model: every edit costs 1, identity rename 0."""
+
+    def delete(self, label: object) -> float:
+        return 1.0
+
+    def insert(self, label: object) -> float:
+        return 1.0
+
+    def rename(self, label_from: object, label_to: object) -> float:
+        return 0.0 if label_from == label_to else 1.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "UnitCostModel()"
+
+
+class WeightedCostModel(CostModel):
+    """Constant but independently weighted delete / insert / rename costs."""
+
+    def __init__(
+        self, delete_cost: float = 1.0, insert_cost: float = 1.0, rename_cost: float = 1.0
+    ) -> None:
+        if min(delete_cost, insert_cost, rename_cost) < 0:
+            raise CostModelError("costs must be non-negative")
+        self._delete = float(delete_cost)
+        self._insert = float(insert_cost)
+        self._rename = float(rename_cost)
+
+    def delete(self, label: object) -> float:
+        return self._delete
+
+    def insert(self, label: object) -> float:
+        return self._insert
+
+    def rename(self, label_from: object, label_to: object) -> float:
+        return 0.0 if label_from == label_to else self._rename
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"WeightedCostModel(delete={self._delete}, insert={self._insert}, "
+            f"rename={self._rename})"
+        )
+
+
+class PerLabelCostModel(CostModel):
+    """Costs looked up per label, with configurable defaults.
+
+    Useful for XML workloads where, for example, structural wrapper elements
+    should be cheap to add or remove while content-bearing elements are
+    expensive to touch.
+    """
+
+    def __init__(
+        self,
+        delete_costs: Optional[Mapping[object, float]] = None,
+        insert_costs: Optional[Mapping[object, float]] = None,
+        default_delete: float = 1.0,
+        default_insert: float = 1.0,
+        rename_cost: float = 1.0,
+    ) -> None:
+        self._delete_costs: Dict[object, float] = dict(delete_costs or {})
+        self._insert_costs: Dict[object, float] = dict(insert_costs or {})
+        self._default_delete = float(default_delete)
+        self._default_insert = float(default_insert)
+        self._rename = float(rename_cost)
+        if (
+            min([self._default_delete, self._default_insert, self._rename], default=0) < 0
+            or any(c < 0 for c in self._delete_costs.values())
+            or any(c < 0 for c in self._insert_costs.values())
+        ):
+            raise CostModelError("costs must be non-negative")
+
+    def delete(self, label: object) -> float:
+        return self._delete_costs.get(label, self._default_delete)
+
+    def insert(self, label: object) -> float:
+        return self._insert_costs.get(label, self._default_insert)
+
+    def rename(self, label_from: object, label_to: object) -> float:
+        return 0.0 if label_from == label_to else self._rename
+
+
+class StringRenameCostModel(CostModel):
+    """Rename cost proportional to the normalized edit distance of the labels.
+
+    Delete and insert cost 1; renaming costs
+    ``levenshtein(a, b) / max(len(a), len(b))`` so that renaming ``"author"``
+    to ``"authors"`` is much cheaper than renaming it to ``"price"``.  Labels
+    are converted with ``str`` before comparison.
+    """
+
+    def delete(self, label: object) -> float:
+        return 1.0
+
+    def insert(self, label: object) -> float:
+        return 1.0
+
+    def rename(self, label_from: object, label_to: object) -> float:
+        a, b = str(label_from), str(label_to)
+        if a == b:
+            return 0.0
+        longest = max(len(a), len(b))
+        if longest == 0:
+            return 0.0
+        return _levenshtein(a, b) / longest
+
+
+class CallableCostModel(CostModel):
+    """Adapter turning three plain functions into a :class:`CostModel`."""
+
+    def __init__(
+        self,
+        delete: Callable[[object], float],
+        insert: Callable[[object], float],
+        rename: Callable[[object, object], float],
+    ) -> None:
+        self._delete_fn = delete
+        self._insert_fn = insert
+        self._rename_fn = rename
+
+    def delete(self, label: object) -> float:
+        return self._delete_fn(label)
+
+    def insert(self, label: object) -> float:
+        return self._insert_fn(label)
+
+    def rename(self, label_from: object, label_to: object) -> float:
+        return self._rename_fn(label_from, label_to)
+
+
+def _levenshtein(a: str, b: str) -> int:
+    """Plain O(|a|·|b|) Levenshtein distance (module-private helper)."""
+    if len(a) < len(b):
+        a, b = b, a
+    previous = list(range(len(b) + 1))
+    for i, ch_a in enumerate(a, start=1):
+        current = [i]
+        for j, ch_b in enumerate(b, start=1):
+            current.append(
+                min(
+                    previous[j] + 1,
+                    current[j - 1] + 1,
+                    previous[j - 1] + (0 if ch_a == ch_b else 1),
+                )
+            )
+        previous = current
+    return previous[-1]
+
+
+#: Shared default instance of the unit cost model.
+UNIT_COST = UnitCostModel()

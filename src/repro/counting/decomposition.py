@@ -1,0 +1,100 @@
+"""Decomposition cardinalities (Lemmas 1–3) and enumeration utilities.
+
+The cost formula of the paper is built from three per-subtree quantities:
+
+* ``|A(F_v)|`` — the size of the full decomposition (Lemma 1);
+* ``|F(F_v, γ)| = |F_v|`` — the number of relevant subforests for a single
+  root-leaf path (Lemma 2);
+* ``|F(F_v, Γ_L)|`` / ``|F(F_v, Γ_R)|`` — the number of relevant subforests of
+  the recursive left / right path decomposition (Lemma 3).
+
+The closed forms are implemented on :class:`~repro.trees.tree.Tree`; this
+module re-exports them under experiment-friendly names and provides the
+*enumerating* counterparts (explicitly materializing the decompositions) that
+the test-suite uses to validate the closed forms.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..trees.forest import (
+    enumerate_full_decomposition,
+    enumerate_path_decomposition,
+    enumerate_recursive_path_decomposition,
+)
+from ..trees.tree import HEAVY, LEFT, RIGHT, Tree
+
+
+def full_decomposition_size(tree: Tree, v: int | None = None) -> int:
+    """``|A(F_v)|`` by the closed form of Lemma 1 (default: whole tree)."""
+    if v is None:
+        v = tree.root
+    return tree.full_decomposition_sizes()[v]
+
+
+def full_decomposition_size_enumerated(tree: Tree, v: int | None = None) -> int:
+    """``|A(F_v)|`` by explicit enumeration of Definition 1 (tests only)."""
+    return len(enumerate_full_decomposition(tree, v))
+
+
+def single_path_subforest_count(tree: Tree, v: int, kind: str) -> int:
+    """``|F(F_v, γ_kind(F_v))|``; equals ``|F_v|`` by Lemma 2."""
+    return tree.sizes[v]
+
+
+def single_path_subforest_count_enumerated(tree: Tree, v: int, kind: str) -> int:
+    """``|F(F_v, γ_kind(F_v))|`` by explicit enumeration of Definition 3."""
+    return len(enumerate_path_decomposition(tree, v, kind))
+
+
+def recursive_decomposition_size(tree: Tree, kind: str, v: int | None = None) -> int:
+    """``|F(F_v, Γ_kind)|`` by the closed form of Lemma 3 (left / right only)."""
+    if v is None:
+        v = tree.root
+    if kind == LEFT:
+        return tree.left_decomposition_sizes()[v]
+    if kind == RIGHT:
+        return tree.right_decomposition_sizes()[v]
+    if kind == HEAVY:
+        # The heavy decomposition size is well defined but is not needed by
+        # the cost formula (heavy paths use the full decomposition); compute
+        # it with the generic recurrence for completeness.
+        return _heavy_decomposition_sizes(tree)[v]
+    raise ValueError(f"unknown path kind {kind!r}")
+
+
+def recursive_decomposition_size_enumerated(tree: Tree, kind: str, v: int | None = None) -> int:
+    """``|F(F_v, Γ_kind)|`` by explicit enumeration (tests only)."""
+    if v is None:
+        v = tree.root
+    return len(enumerate_recursive_path_decomposition(tree, v, kind))
+
+
+def _heavy_decomposition_sizes(tree: Tree) -> List[int]:
+    off = [0] * tree.n
+    result = [0] * tree.n
+    for v in range(tree.n):
+        total = 0
+        path_child = tree.path_child(v, HEAVY)
+        for c in tree.children[v]:
+            total += off[c]
+            if c != path_child:
+                total += tree.sizes[c]
+        off[v] = total
+        result[v] = tree.sizes[v] + total
+    return result
+
+
+def relevant_subtree_counts(tree: Tree) -> Dict[str, List[int]]:
+    """``|F_v − γ_kind(F_v)|`` for every node and every path kind.
+
+    The number of relevant subtrees per subtree and path, used by the
+    baseline strategy-cost analysis (Theorem 2) and by the ablation
+    experiments.
+    """
+    counts = {LEFT: [0] * tree.n, RIGHT: [0] * tree.n, HEAVY: [0] * tree.n}
+    for kind in (LEFT, RIGHT, HEAVY):
+        for v in range(tree.n):
+            counts[kind][v] = len(tree.relevant_subtrees(v, kind))
+    return counts

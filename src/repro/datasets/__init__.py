@@ -1,0 +1,63 @@
+"""Synthetic tree shapes, random trees, and simulated real-world collections."""
+
+from .shapes import (
+    SHAPE_GENERATORS,
+    SHAPE_NAMES,
+    SHAPE_SHORT_NAMES,
+    full_binary_tree,
+    left_branch_tree,
+    make_shape,
+    mixed_tree,
+    right_branch_tree,
+    zigzag_tree,
+)
+from .random_trees import (
+    DEFAULT_ALPHABET,
+    perturb_tree,
+    random_binary_tree,
+    random_forest_of_trees,
+    random_tree,
+)
+from .realworld import (
+    generate_collection,
+    swissprot_like_tree,
+    treebank_like_tree,
+    treefam_like_tree,
+)
+from .workloads import (
+    identical_pair,
+    join_workload,
+    pairs_at_size_intervals,
+    partition_by_size,
+    sample_partition,
+    shape_size_sweep,
+    treefam_partitions,
+)
+
+__all__ = [
+    "SHAPE_NAMES",
+    "SHAPE_GENERATORS",
+    "SHAPE_SHORT_NAMES",
+    "left_branch_tree",
+    "right_branch_tree",
+    "full_binary_tree",
+    "zigzag_tree",
+    "mixed_tree",
+    "make_shape",
+    "random_tree",
+    "random_binary_tree",
+    "random_forest_of_trees",
+    "perturb_tree",
+    "DEFAULT_ALPHABET",
+    "swissprot_like_tree",
+    "treebank_like_tree",
+    "treefam_like_tree",
+    "generate_collection",
+    "identical_pair",
+    "shape_size_sweep",
+    "pairs_at_size_intervals",
+    "join_workload",
+    "partition_by_size",
+    "sample_partition",
+    "treefam_partitions",
+]

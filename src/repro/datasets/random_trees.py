@@ -1,0 +1,169 @@
+"""Random tree generation with bounded depth and fanout.
+
+The paper's "random" synthetic dataset varies depth and fanout with a maximum
+depth of 15 and a maximum fanout of 6; :func:`random_tree` reproduces that
+model.  Generation is fully deterministic given a seed (or an explicit
+``random.Random`` instance), which keeps the experiments and property tests
+reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Union
+
+from ..exceptions import TreeConstructionError
+from ..trees.node import Node
+from ..trees.tree import Tree
+
+#: Default label alphabet (mirrors the small label domains of XML corpora).
+DEFAULT_ALPHABET: Sequence[str] = tuple("abcdefghijklmnop")
+
+RngLike = Union[int, random.Random, None]
+
+
+def _resolve_rng(rng: RngLike) -> random.Random:
+    if isinstance(rng, random.Random):
+        return rng
+    return random.Random(rng)
+
+
+def random_tree(
+    n: int,
+    max_depth: int = 15,
+    max_fanout: int = 6,
+    alphabet: Sequence[str] = DEFAULT_ALPHABET,
+    rng: RngLike = None,
+) -> Tree:
+    """Generate a random tree with exactly ``n`` nodes.
+
+    Nodes are attached one by one to a uniformly chosen *eligible* node —
+    a node whose depth is below ``max_depth`` and whose fanout is below
+    ``max_fanout`` — so the resulting shapes vary between bushy and deep
+    within the configured limits.  Labels are drawn uniformly from
+    ``alphabet``.
+
+    Raises
+    ------
+    TreeConstructionError
+        If ``n`` nodes cannot be placed under the depth/fanout limits.
+    """
+    if n < 1:
+        raise TreeConstructionError(f"tree size must be >= 1, got {n}")
+    if max_depth < 0 or max_fanout < 1:
+        raise TreeConstructionError("max_depth must be >= 0 and max_fanout >= 1")
+
+    generator = _resolve_rng(rng)
+    root = Node(generator.choice(alphabet))
+    depths = {id(root): 0}
+    eligible: List[Node] = [root] if max_depth > 0 else []
+    size = 1
+
+    while size < n:
+        if not eligible:
+            raise TreeConstructionError(
+                f"cannot place {n} nodes with max_depth={max_depth}, max_fanout={max_fanout}"
+            )
+        index = generator.randrange(len(eligible))
+        parent = eligible[index]
+        child = Node(generator.choice(alphabet))
+        parent.add_child(child)
+        depths[id(child)] = depths[id(parent)] + 1
+        size += 1
+
+        if len(parent.children) >= max_fanout:
+            # Swap-remove keeps the eligible list operations O(1).
+            eligible[index] = eligible[-1]
+            eligible.pop()
+        if depths[id(child)] < max_depth:
+            eligible.append(child)
+
+    return Tree(root)
+
+
+def random_binary_tree(n: int, alphabet: Sequence[str] = DEFAULT_ALPHABET, rng: RngLike = None) -> Tree:
+    """Generate a random binary tree (every internal node has exactly 2 children).
+
+    ``n`` must be odd (a binary tree with ``k`` internal nodes has ``2k + 1``
+    nodes); an even ``n`` is rounded up.
+    """
+    generator = _resolve_rng(rng)
+    if n % 2 == 0:
+        n += 1
+    root = Node(generator.choice(alphabet))
+    leaves = [root]
+    size = 1
+    while size + 2 <= n:
+        index = generator.randrange(len(leaves))
+        leaf = leaves.pop(index)
+        left = Node(generator.choice(alphabet))
+        right = Node(generator.choice(alphabet))
+        leaf.add_child(left)
+        leaf.add_child(right)
+        leaves.extend([left, right])
+        size += 2
+    return Tree(root)
+
+
+def random_forest_of_trees(
+    num_trees: int,
+    size_range: tuple = (20, 200),
+    max_depth: int = 15,
+    max_fanout: int = 6,
+    alphabet: Sequence[str] = DEFAULT_ALPHABET,
+    rng: RngLike = None,
+) -> List[Tree]:
+    """Generate a collection of random trees with sizes drawn from ``size_range``."""
+    generator = _resolve_rng(rng)
+    low, high = size_range
+    collection = []
+    for _ in range(num_trees):
+        size = generator.randint(low, high)
+        collection.append(
+            random_tree(
+                size,
+                max_depth=max_depth,
+                max_fanout=max_fanout,
+                alphabet=alphabet,
+                rng=generator,
+            )
+        )
+    return collection
+
+
+def perturb_tree(
+    tree: Tree,
+    num_edits: int,
+    alphabet: Sequence[str] = DEFAULT_ALPHABET,
+    rng: RngLike = None,
+) -> Tree:
+    """Apply ``num_edits`` random node edits (rename / delete leaf / insert leaf).
+
+    Useful for building workloads of tree pairs with a controlled amount of
+    difference, e.g. for the similarity-join experiments: the edit distance of
+    the perturbed tree to the original is at most ``num_edits``.
+    """
+    generator = _resolve_rng(rng)
+    root = tree.to_node()
+
+    for _ in range(num_edits):
+        nodes = list(root.iter_preorder())
+        operation = generator.choice(("rename", "insert", "delete"))
+        if operation == "rename":
+            target = generator.choice(nodes)
+            target.label = generator.choice(alphabet)
+        elif operation == "insert":
+            parent = generator.choice(nodes)
+            position = generator.randint(0, len(parent.children))
+            parent.children.insert(position, Node(generator.choice(alphabet)))
+        else:
+            leaves = [node for node in nodes if node.is_leaf and node is not root]
+            if not leaves:
+                continue
+            target = generator.choice(leaves)
+            for node in nodes:
+                if target in node.children:
+                    node.children.remove(target)
+                    break
+
+    return Tree(root)

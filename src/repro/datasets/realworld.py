@@ -1,0 +1,182 @@
+"""Simulated real-world tree collections.
+
+The paper evaluates on three real-world datasets that are not redistributable
+inside this repository (and would require network access to fetch):
+
+* **SwissProt** — an XML protein-sequence database: 50 000 medium-sized, flat
+  trees (maximum depth 4, maximum fanout 346, average size 187);
+* **TreeBank** — XML natural-language syntax trees: 56 385 small, deep trees
+  (average depth 10.4, maximum depth 35, average size 68);
+* **TreeFam** — 16 138 phylogenetic trees of animal genes (average depth 14,
+  maximum depth 158, average fanout 2, average size 95).
+
+The generators below synthesize collections that match those published shape
+statistics (size, depth, fanout distributions and label domains).  The
+experiments that used the real collections (Figure 10, Table 2) run on these
+simulated ones; the behaviour under study — how tree *shape* drives the choice
+of decomposition strategy and the resulting subproblem counts — depends only
+on the shape statistics, which are preserved.  See ``DESIGN.md`` for the full
+substitution rationale.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from ..trees.node import Node
+from ..trees.tree import Tree
+from .random_trees import RngLike, _resolve_rng
+
+#: Element names modelled on the SwissProt XML schema.
+_SWISSPROT_FIELDS: Sequence[str] = (
+    "accession", "name", "protein", "gene", "organism", "reference", "comment",
+    "dbReference", "keyword", "feature", "evidence", "sequence",
+)
+
+#: Part-of-speech / constituent tags modelled on the Penn TreeBank tag set.
+_TREEBANK_TAGS: Sequence[str] = (
+    "S", "NP", "VP", "PP", "SBAR", "ADJP", "ADVP", "DT", "NN", "NNS", "VB",
+    "VBD", "VBZ", "IN", "JJ", "RB", "PRP", "CC", "CD", "TO",
+)
+
+#: Species codes used for leaf labels of the phylogenies.
+_TREEFAM_SPECIES: Sequence[str] = (
+    "HUMAN", "MOUSE", "RAT", "CHICK", "XENTR", "DANRE", "DROME", "CAEEL",
+    "PANTR", "MACMU", "BOVIN", "CANFA", "FELCA", "TAKRU", "CIOIN", "YEAST",
+)
+
+
+def swissprot_like_tree(rng: RngLike = None, target_size: Optional[int] = None) -> Tree:
+    """A flat, wide tree with SwissProt-like statistics (depth ≤ 4, avg size ≈ 187)."""
+    generator = _resolve_rng(rng)
+    if target_size is None:
+        target_size = max(20, int(generator.gauss(187, 60)))
+
+    root = Node("entry")
+    size = 1
+    # Level 1: a handful of section elements with large, uneven fanout below.
+    num_sections = generator.randint(5, 12)
+    sections = []
+    for _ in range(num_sections):
+        section = Node(generator.choice(_SWISSPROT_FIELDS))
+        root.add_child(section)
+        sections.append(section)
+        size += 1
+    # Levels 2-3: distribute the remaining budget over the sections, skewed so
+    # that a few sections are very wide (mirroring the large maximum fanout).
+    while size < target_size:
+        section = generator.choice(sections)
+        field = Node(generator.choice(_SWISSPROT_FIELDS))
+        section.add_child(field)
+        size += 1
+        # Occasionally add one more level (value nodes), staying within depth 4.
+        if size < target_size and generator.random() < 0.35:
+            field.add_child(Node(generator.choice(_SWISSPROT_FIELDS)))
+            size += 1
+    return Tree(root)
+
+
+def treebank_like_tree(rng: RngLike = None, target_size: Optional[int] = None) -> Tree:
+    """A small, deep tree with TreeBank-like statistics (avg depth ≈ 10, avg size ≈ 68)."""
+    generator = _resolve_rng(rng)
+    if target_size is None:
+        target_size = max(10, int(generator.gauss(68, 25)))
+
+    root = Node("S")
+    size = 1
+    # Grow mostly downwards: each step extends a random deep frontier node
+    # with 1-3 children, biased towards extending the deepest chain.
+    frontier = [(root, 0)]
+    max_depth_limit = 35
+    while size < target_size:
+        # Bias the choice towards deeper nodes to obtain deep, narrow shapes.
+        frontier.sort(key=lambda item: item[1])
+        pick_from = frontier[len(frontier) // 2 :] or frontier
+        parent, depth = pick_from[generator.randrange(len(pick_from))]
+        if depth >= max_depth_limit:
+            frontier = [item for item in frontier if item[0] is not parent]
+            if not frontier:
+                break
+            continue
+        num_children = generator.choices((1, 2, 3), weights=(0.55, 0.35, 0.10))[0]
+        for _ in range(num_children):
+            if size >= target_size:
+                break
+            child = Node(generator.choice(_TREEBANK_TAGS))
+            parent.add_child(child)
+            frontier.append((child, depth + 1))
+            size += 1
+        frontier = [item for item in frontier if item[0] is not parent]
+        if not frontier:
+            frontier = [(root, 0)]
+    return Tree(root)
+
+
+def treefam_like_tree(
+    rng: RngLike = None, target_size: Optional[int] = None, imbalance: float = 0.7
+) -> Tree:
+    """A deep, binary phylogeny with TreeFam-like statistics (avg fanout ≈ 2).
+
+    ``imbalance`` in ``[0, 1]`` controls how caterpillar-like the phylogeny is:
+    0 gives balanced random binary trees (depth ≈ log n), larger values bias
+    splits towards recently created leaves, producing the long chains (high
+    average depth, maximum depth in the hundreds for large trees) reported for
+    the real TreeFam data.
+    """
+    generator = _resolve_rng(rng)
+    if target_size is None:
+        target_size = max(11, int(generator.gauss(95, 40)))
+    if target_size % 2 == 0:
+        target_size += 1
+
+    root = Node("family")
+    leaves = [root]
+    size = 1
+    while size + 2 <= target_size:
+        if generator.random() < imbalance:
+            index = len(leaves) - 1  # split the most recent leaf -> long chain
+        else:
+            index = generator.randrange(len(leaves))
+        leaf = leaves.pop(index)
+        leaf.label = "clade"
+        left = Node(generator.choice(_TREEFAM_SPECIES))
+        right = Node(generator.choice(_TREEFAM_SPECIES))
+        leaf.add_child(left)
+        leaf.add_child(right)
+        leaves.extend([left, right])
+        size += 2
+    return Tree(root)
+
+
+def generate_collection(
+    kind: str,
+    num_trees: int,
+    rng: RngLike = None,
+    size_range: Optional[tuple] = None,
+) -> List[Tree]:
+    """Generate a simulated collection of ``num_trees`` trees of the given kind.
+
+    ``kind`` is one of ``"swissprot"``, ``"treebank"``, ``"treefam"``.  When
+    ``size_range = (low, high)`` is given, target sizes are drawn uniformly
+    from that range instead of the dataset's natural size distribution.
+    """
+    generator = _resolve_rng(rng)
+    builders = {
+        "swissprot": swissprot_like_tree,
+        "treebank": treebank_like_tree,
+        "treefam": treefam_like_tree,
+    }
+    key = kind.strip().lower()
+    if key not in builders:
+        raise ValueError(f"unknown collection kind {kind!r}; expected one of {sorted(builders)}")
+    builder = builders[key]
+
+    collection: List[Tree] = []
+    for _ in range(num_trees):
+        if size_range is not None:
+            target = generator.randint(size_range[0], size_range[1])
+            collection.append(builder(rng=generator, target_size=target))
+        else:
+            collection.append(builder(rng=generator))
+    return collection

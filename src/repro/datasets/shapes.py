@@ -1,0 +1,166 @@
+"""Synthetic tree shapes used in the paper's experiments (Figure 7).
+
+The evaluation of the paper uses six synthetic shapes chosen so that each of
+the competing strategies is optimal for at least one of them:
+
+* **left branch (LB)** — a spine that descends through leftmost children,
+  with a leaf hanging to the right of every spine node (Zhang-L optimal);
+* **right branch (RB)** — the mirror image (Zhang-R optimal);
+* **full binary (FB)** — a balanced binary tree (Zhang-L and Zhang-R optimal);
+* **zig-zag (ZZ)** — a spine that alternates direction at every level
+  (Demaine-H optimal);
+* **mixed (MX)** — a heterogeneous combination of the above that favours no
+  fixed strategy;
+* **random** — random trees with bounded depth and fanout (see
+  :mod:`repro.datasets.random_trees`).
+
+All generators produce a tree with *exactly* the requested number of nodes and
+accept a ``label`` argument (default ``"a"``); with identical labels a pair of
+identical trees has distance 0, which is the configuration used for the
+subproblem-count experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..exceptions import TreeConstructionError
+from ..trees.node import Node
+from ..trees.tree import Tree
+
+#: Canonical shape names, in the order used by Figure 8.
+SHAPE_NAMES: List[str] = ["left-branch", "right-branch", "full-binary", "zigzag", "mixed"]
+
+
+def _require_positive(n: int) -> None:
+    if n < 1:
+        raise TreeConstructionError(f"tree size must be >= 1, got {n}")
+
+
+def left_branch_tree(n: int, label: object = "a") -> Tree:
+    """Left branch tree (LB): spine of leftmost children, leaves to the right."""
+    _require_positive(n)
+    current = Node(label)
+    size = 1
+    while size + 2 <= n:
+        current = Node(label, [current, Node(label)])
+        size += 2
+    if size < n:
+        current = Node(label, [current])
+    return Tree(current)
+
+
+def right_branch_tree(n: int, label: object = "a") -> Tree:
+    """Right branch tree (RB): spine of rightmost children, leaves to the left."""
+    _require_positive(n)
+    current = Node(label)
+    size = 1
+    while size + 2 <= n:
+        current = Node(label, [Node(label), current])
+        size += 2
+    if size < n:
+        current = Node(label, [current])
+    return Tree(current)
+
+
+def zigzag_tree(n: int, label: object = "a") -> Tree:
+    """Zig-zag tree (ZZ): the spine alternates between left and right at each level."""
+    _require_positive(n)
+    current = Node(label)
+    size = 1
+    spine_on_left = True
+    while size + 2 <= n:
+        if spine_on_left:
+            current = Node(label, [current, Node(label)])
+        else:
+            current = Node(label, [Node(label), current])
+        spine_on_left = not spine_on_left
+        size += 2
+    if size < n:
+        current = Node(label, [current])
+    return Tree(current)
+
+
+def full_binary_tree(n: int, label: object = "a") -> Tree:
+    """Full binary tree (FB) with exactly ``n`` nodes, as balanced as possible."""
+    _require_positive(n)
+
+    def build(count: int) -> Node:
+        node = Node(label)
+        if count == 1:
+            return node
+        remaining = count - 1
+        left_size = (remaining + 1) // 2
+        right_size = remaining - left_size
+        if left_size > 0:
+            node.add_child(build(left_size))
+        if right_size > 0:
+            node.add_child(build(right_size))
+        return node
+
+    return Tree(build(n))
+
+
+def mixed_tree(n: int, label: object = "a") -> Tree:
+    """Mixed tree (MX): a deterministic blend of the other shapes.
+
+    The root carries four subtrees — a left branch, a zig-zag, a full binary
+    tree and a right branch — whose sizes split the remaining node budget.
+    The shape deliberately favours no single fixed strategy: an algorithm that
+    is efficient on one constituent degenerates on another.
+    """
+    _require_positive(n)
+    if n == 1:
+        return Tree(Node(label))
+    remaining = n - 1
+    quarter = remaining // 4
+    section_sizes = [quarter, quarter, quarter, remaining - 3 * quarter]
+    builders: List[Callable[[int, object], Tree]] = [
+        left_branch_tree,
+        zigzag_tree,
+        full_binary_tree,
+        right_branch_tree,
+    ]
+    root = Node(label)
+    for size, builder in zip(section_sizes, builders):
+        if size > 0:
+            root.add_child(builder(size, label).to_node())
+    return Tree(root)
+
+
+#: Map of shape name -> generator, used by the experiments and the CLI.
+SHAPE_GENERATORS: Dict[str, Callable[..., Tree]] = {
+    "left-branch": left_branch_tree,
+    "right-branch": right_branch_tree,
+    "full-binary": full_binary_tree,
+    "zigzag": zigzag_tree,
+    "mixed": mixed_tree,
+}
+
+#: Short identifiers used in the paper's figures.
+SHAPE_SHORT_NAMES: Dict[str, str] = {
+    "left-branch": "LB",
+    "right-branch": "RB",
+    "full-binary": "FB",
+    "zigzag": "ZZ",
+    "mixed": "MX",
+}
+
+
+def make_shape(name: str, n: int, label: object = "a") -> Tree:
+    """Build the named shape with ``n`` nodes.
+
+    Accepts either the long name (``"left-branch"``) or the figure shorthand
+    (``"LB"``), case-insensitively.
+    """
+    key = name.strip().lower()
+    for long_name, short_name in SHAPE_SHORT_NAMES.items():
+        if key == short_name.lower():
+            key = long_name
+            break
+    generator = SHAPE_GENERATORS.get(key)
+    if generator is None:
+        raise TreeConstructionError(
+            f"unknown shape {name!r}; available: {', '.join(SHAPE_GENERATORS)}"
+        )
+    return generator(n, label)

@@ -1,0 +1,138 @@
+"""Workload builders shared by the experiment harnesses.
+
+These helpers turn the raw generators (shapes, random trees, simulated
+real-world collections) into the exact workloads the paper's experiments use:
+identical-tree pairs per shape and size (Figure 8/9), pairs picked at regular
+size intervals from a collection (Figure 10), heterogeneous join inputs
+(Table 1) and size-partitioned collections (Table 2).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..trees.tree import Tree
+from .random_trees import RngLike, _resolve_rng, random_tree
+from .realworld import generate_collection
+from .shapes import make_shape
+
+
+def identical_pair(shape: str, n: int, rng: RngLike = None) -> Tuple[Tree, Tree]:
+    """A pair of identical trees of the given shape and size.
+
+    ``shape`` may be any name accepted by
+    :func:`repro.datasets.shapes.make_shape` or ``"random"``.
+    """
+    if shape.strip().lower() == "random":
+        generator = _resolve_rng(rng)
+        seed = generator.randrange(2**31)
+        return (
+            random_tree(n, rng=random.Random(seed)),
+            random_tree(n, rng=random.Random(seed)),
+        )
+    return make_shape(shape, n), make_shape(shape, n)
+
+
+def shape_size_sweep(
+    shapes: Sequence[str], sizes: Sequence[int], rng: RngLike = None
+) -> Dict[str, List[Tuple[int, Tree, Tree]]]:
+    """For every shape, a list of ``(size, tree, tree)`` identical pairs."""
+    generator = _resolve_rng(rng)
+    sweep: Dict[str, List[Tuple[int, Tree, Tree]]] = {}
+    for shape in shapes:
+        entries = []
+        for size in sizes:
+            tree_a, tree_b = identical_pair(shape, size, rng=generator)
+            entries.append((size, tree_a, tree_b))
+        sweep[shape] = entries
+    return sweep
+
+
+def pairs_at_size_intervals(
+    collection: Sequence[Tree], targets: Sequence[int]
+) -> List[Tuple[int, Tree, Tree]]:
+    """Pick, for every target size, the two collection trees closest to it.
+
+    This reproduces the sampling procedure of the Figure 10 experiment: "for a
+    given tree size n we pick the two trees in the dataset that are closest to
+    n; the size value used in the graphs is the average size of the two
+    trees."  Returns ``(average_size, tree_a, tree_b)`` triples.
+    """
+    results = []
+    for target in targets:
+        ranked = sorted(collection, key=lambda tree: abs(tree.n - target))
+        if len(ranked) < 2:
+            continue
+        tree_a, tree_b = ranked[0], ranked[1]
+        results.append(((tree_a.n + tree_b.n) // 2, tree_a, tree_b))
+    return results
+
+
+def join_workload(
+    node_count: int = 120, rng: RngLike = None, shapes: Optional[Sequence[str]] = None
+) -> List[Tree]:
+    """The Table 1 workload: one tree per shape, all of (roughly) equal size.
+
+    The paper uses {LB, RB, FB, ZZ, Random} with about 1000 nodes each;
+    the default size here is smaller so the join completes quickly in pure
+    Python, and can be raised via ``node_count``.
+    """
+    generator = _resolve_rng(rng)
+    if shapes is None:
+        shapes = ["left-branch", "right-branch", "full-binary", "zigzag", "random"]
+    trees = []
+    for shape in shapes:
+        if shape == "random":
+            trees.append(random_tree(node_count, rng=generator))
+        else:
+            trees.append(make_shape(shape, node_count))
+    return trees
+
+
+def partition_by_size(
+    collection: Sequence[Tree], boundaries: Sequence[int]
+) -> List[List[Tree]]:
+    """Partition a collection into size classes.
+
+    ``boundaries = [b1, b2, ..., bk]`` produces ``k + 1`` partitions:
+    ``size < b1``, ``b1 <= size < b2``, ..., ``size >= bk`` — the scheme used
+    by the Table 2 experiment (boundaries 500 and 1000 in the paper).
+    """
+    partitions: List[List[Tree]] = [[] for _ in range(len(boundaries) + 1)]
+    for tree in collection:
+        placed = False
+        for index, boundary in enumerate(boundaries):
+            if tree.n < boundary:
+                partitions[index].append(tree)
+                placed = True
+                break
+        if not placed:
+            partitions[-1].append(tree)
+    return partitions
+
+
+def sample_partition(
+    partition: Sequence[Tree], sample_size: int, rng: RngLike = None
+) -> List[Tree]:
+    """Random sample (without replacement) from a partition, as in Table 2."""
+    generator = _resolve_rng(rng)
+    if len(partition) <= sample_size:
+        return list(partition)
+    return generator.sample(list(partition), sample_size)
+
+
+def treefam_partitions(
+    num_trees: int = 60,
+    boundaries: Sequence[int] = (120, 240),
+    size_range: Tuple[int, int] = (40, 400),
+    rng: RngLike = None,
+) -> List[List[Tree]]:
+    """TreeFam-like collection partitioned by size (the Table 2 workload).
+
+    The paper partitions at 500 and 1000 nodes; the default boundaries here
+    are scaled down (together with the tree sizes) so the experiment runs in
+    seconds, and can be overridden to match the paper exactly.
+    """
+    collection = generate_collection("treefam", num_trees, rng=rng, size_range=size_range)
+    return partition_by_size(collection, boundaries)

@@ -1,0 +1,41 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by the library derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still letting programming errors (``TypeError`` and friends) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class TreeConstructionError(ReproError):
+    """Raised when a tree cannot be built from the given input."""
+
+
+class ParseError(ReproError):
+    """Raised when a serialized tree (bracket, Newick, XML, JSON) is malformed."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        super().__init__(message)
+        #: Character offset at which parsing failed, when known.
+        self.position = position
+
+
+class InvalidNodeError(ReproError):
+    """Raised when a node identifier is outside a tree's valid range."""
+
+
+class UnknownAlgorithmError(ReproError):
+    """Raised when an algorithm name is not present in the registry."""
+
+
+class StrategyError(ReproError):
+    """Raised when a decomposition strategy returns an invalid path choice."""
+
+
+class CostModelError(ReproError):
+    """Raised when a cost model produces invalid (e.g. negative) costs."""

@@ -1,0 +1,47 @@
+"""Experiment harnesses reproducing every figure and table of the paper."""
+
+from . import (
+    ablation_strategy,
+    fig8_subproblems,
+    fig9_runtime,
+    fig10_strategy_overhead,
+    runner,
+    table1_join,
+    table2_treefam,
+)
+from .fig8_subproblems import Fig8Result, format_fig8, run_fig8
+from .fig9_runtime import Fig9Result, format_fig9, run_fig9
+from .fig10_strategy_overhead import Fig10Result, format_fig10, run_fig10
+from .table1_join import Table1Result, format_table1, run_table1
+from .table2_treefam import Table2Result, format_table2, run_table2
+from .ablation_strategy import (
+    run_strategy_computation_ablation,
+    run_strategy_space_ablation,
+)
+
+__all__ = [
+    "runner",
+    "fig8_subproblems",
+    "fig9_runtime",
+    "fig10_strategy_overhead",
+    "table1_join",
+    "table2_treefam",
+    "ablation_strategy",
+    "run_fig8",
+    "format_fig8",
+    "Fig8Result",
+    "run_fig9",
+    "format_fig9",
+    "Fig9Result",
+    "run_fig10",
+    "format_fig10",
+    "Fig10Result",
+    "run_table1",
+    "format_table1",
+    "Table1Result",
+    "run_table2",
+    "format_table2",
+    "Table2Result",
+    "run_strategy_space_ablation",
+    "run_strategy_computation_ablation",
+]

@@ -1,0 +1,170 @@
+"""Ablations on the strategy machinery.
+
+Two studies that the paper motivates but does not tabulate explicitly:
+
+* **A1 — strategy-space ablation.**  The optimal strategy is recomputed under
+  restricted choice sets: left/right paths only (the space of the Zhang-style
+  algorithms), heavy paths only (the space of Klein / Demaine), single-tree
+  paths only (the space considered by Dulucq & Touzet), and the full LRH
+  space used by RTED.  The resulting subproblem counts quantify how much each
+  ingredient (heavy paths, decomposing either tree) contributes to RTED's
+  robustness — the discussion of Sections 3 and 5.3.
+
+* **A2 — strategy-computation ablation.**  The baseline ``O(n^3)`` strategy
+  algorithm of Section 6.1 is compared against Algorithm 2 (``O(n^2)``): both
+  must return the same optimal cost, and the runtime gap demonstrates why the
+  efficient algorithm is needed (Section 6.2).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..algorithms.optimal_strategy import optimal_strategy
+from ..algorithms.strategies import SIDE_F, SIDE_G, PathChoice
+from ..counting import optimal_cost_restricted
+from ..datasets.random_trees import random_tree
+from ..datasets.shapes import make_shape
+from ..trees.tree import HEAVY, LEFT, RIGHT, Tree
+from .runner import format_count, format_seconds, format_table
+
+#: Restricted strategy spaces of the A1 ablation.
+STRATEGY_SPACES: Dict[str, Tuple[PathChoice, ...]] = {
+    "left-right (F only)": (PathChoice(SIDE_F, LEFT), PathChoice(SIDE_F, RIGHT)),
+    "heavy only": (PathChoice(SIDE_F, HEAVY), PathChoice(SIDE_G, HEAVY)),
+    "single tree (F only)": (
+        PathChoice(SIDE_F, LEFT),
+        PathChoice(SIDE_F, RIGHT),
+        PathChoice(SIDE_F, HEAVY),
+    ),
+    "full LRH (RTED)": (
+        PathChoice(SIDE_F, HEAVY),
+        PathChoice(SIDE_G, HEAVY),
+        PathChoice(SIDE_F, LEFT),
+        PathChoice(SIDE_G, LEFT),
+        PathChoice(SIDE_F, RIGHT),
+        PathChoice(SIDE_G, RIGHT),
+    ),
+}
+
+
+@dataclass
+class StrategySpaceRow:
+    """Optimal subproblem count for one shape under one restricted space."""
+
+    shape: str
+    size: int
+    counts: Dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class StrategyComputationRow:
+    """Baseline vs. Algorithm 2 strategy computation for one tree size."""
+
+    size: int
+    baseline_seconds: float
+    algorithm2_seconds: float
+    baseline_cost: int
+    algorithm2_cost: int
+
+    @property
+    def speedup(self) -> float:
+        if self.algorithm2_seconds == 0:
+            return float("inf")
+        return self.baseline_seconds / self.algorithm2_seconds
+
+
+def _tree_for_shape(shape: str, size: int, seed: int) -> Tree:
+    if shape == "random":
+        return random_tree(size, rng=random.Random(seed))
+    return make_shape(shape, size)
+
+
+def run_strategy_space_ablation(
+    shapes: Sequence[str] = ("left-branch", "zigzag", "mixed", "random"),
+    size: int = 120,
+    seed: int = 42,
+) -> List[StrategySpaceRow]:
+    """A1: optimal subproblem counts under restricted strategy spaces."""
+    rows: List[StrategySpaceRow] = []
+    for shape in shapes:
+        tree = _tree_for_shape(shape, size, seed)
+        row = StrategySpaceRow(shape=shape, size=tree.n)
+        for space_name, choices in STRATEGY_SPACES.items():
+            row.counts[space_name] = optimal_cost_restricted(tree, tree, choices)
+        rows.append(row)
+    return rows
+
+
+def run_strategy_computation_ablation(
+    sizes: Sequence[int] = (40, 80, 160),
+    shape: str = "mixed",
+    seed: int = 42,
+) -> List[StrategyComputationRow]:
+    """A2: baseline O(n^3) strategy computation vs. Algorithm 2 (O(n^2))."""
+    rows: List[StrategyComputationRow] = []
+    full_space = STRATEGY_SPACES["full LRH (RTED)"]
+    for size in sizes:
+        tree = _tree_for_shape(shape, size, seed)
+
+        start = time.perf_counter()
+        baseline_cost = optimal_cost_restricted(tree, tree, full_space)
+        baseline_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        algorithm2_cost = optimal_strategy(tree, tree).cost
+        algorithm2_seconds = time.perf_counter() - start
+
+        rows.append(
+            StrategyComputationRow(
+                size=tree.n,
+                baseline_seconds=baseline_seconds,
+                algorithm2_seconds=algorithm2_seconds,
+                baseline_cost=baseline_cost,
+                algorithm2_cost=algorithm2_cost,
+            )
+        )
+    return rows
+
+
+def format_ablations(
+    space_rows: List[StrategySpaceRow], computation_rows: List[StrategyComputationRow]
+) -> str:
+    sections = []
+
+    space_names = list(STRATEGY_SPACES)
+    headers = ["shape", "size"] + space_names
+    rows = []
+    for row in space_rows:
+        rows.append(
+            [row.shape, row.size] + [format_count(row.counts[name]) for name in space_names]
+        )
+    sections.append("Ablation A1 — optimal cost per strategy space\n" + format_table(headers, rows))
+
+    headers = ["size", "baseline (O(n^3))", "Algorithm 2 (O(n^2))", "speedup", "costs equal"]
+    rows = [
+        [
+            row.size,
+            format_seconds(row.baseline_seconds),
+            format_seconds(row.algorithm2_seconds),
+            f"{row.speedup:.1f}x",
+            "yes" if row.baseline_cost == row.algorithm2_cost else "NO",
+        ]
+        for row in computation_rows
+    ]
+    sections.append(
+        "Ablation A2 — strategy computation: baseline vs. Algorithm 2\n"
+        + format_table(headers, rows)
+    )
+    return "\n\n".join(sections)
+
+
+def main() -> None:  # pragma: no cover - CLI entry point
+    print(format_ablations(run_strategy_space_ablation(), run_strategy_computation_ablation()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

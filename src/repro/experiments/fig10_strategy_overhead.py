@@ -1,0 +1,113 @@
+"""Figure 10 — overhead of the strategy computation in the overall RTED runtime.
+
+RTED computes the optimal strategy (Algorithm 2) before the distance.  The
+paper measures, on TreeBank, SwissProt and synthetic random trees, how much
+time the strategy computation adds: it scales smoothly with the tree size, is
+independent of the tree shape, and its share of the total runtime *decreases*
+as trees grow (the distance computation grows at least cubically in the worst
+case while the strategy is always quadratic).
+
+The reproduction uses the simulated TreeBank-like / SwissProt-like collections
+(see :mod:`repro.datasets.realworld`) and the same pair-sampling procedure:
+for every target size the two collection trees closest to that size are
+picked and their average size is reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..algorithms.rted import RTED
+from ..datasets.random_trees import random_forest_of_trees
+from ..datasets.realworld import generate_collection
+from ..datasets.workloads import pairs_at_size_intervals
+from .runner import format_seconds, format_table, linear_sizes
+
+#: Dataset keys of Figure 10, in sub-figure order (a)-(c).
+FIG10_DATASETS: Sequence[str] = ("treebank", "swissprot", "random")
+
+
+@dataclass
+class Fig10Point:
+    """Strategy time vs. overall time for one tree pair."""
+
+    dataset: str
+    size: int
+    strategy_seconds: float
+    total_seconds: float
+    subproblems: int
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Share of the total runtime spent computing the strategy."""
+        if self.total_seconds == 0:
+            return 0.0
+        return self.strategy_seconds / self.total_seconds
+
+
+@dataclass
+class Fig10Result:
+    points: Dict[str, List[Fig10Point]] = field(default_factory=dict)
+
+
+def _collection_for(dataset: str, num_trees: int, size_range: tuple, seed: int):
+    if dataset == "random":
+        return random_forest_of_trees(num_trees, size_range=size_range, rng=seed)
+    return generate_collection(dataset, num_trees, rng=seed, size_range=size_range)
+
+
+def run_fig10(
+    datasets: Sequence[str] = FIG10_DATASETS,
+    targets: Optional[Sequence[int]] = None,
+    num_trees: int = 40,
+    size_range: tuple = (20, 180),
+    seed: int = 42,
+) -> Fig10Result:
+    """Run the Figure 10 experiment on the simulated collections."""
+    if targets is None:
+        targets = linear_sizes(size_range[0] + 10, size_range[1] - 10, 5)
+
+    algorithm = RTED()
+    result = Fig10Result()
+    for dataset in datasets:
+        collection = _collection_for(dataset, num_trees, size_range, seed)
+        points: List[Fig10Point] = []
+        for average_size, tree_a, tree_b in pairs_at_size_intervals(collection, targets):
+            ted = algorithm.compute(tree_a, tree_b)
+            points.append(
+                Fig10Point(
+                    dataset=dataset,
+                    size=average_size,
+                    strategy_seconds=ted.strategy_time,
+                    total_seconds=ted.total_time,
+                    subproblems=ted.subproblems,
+                )
+            )
+        result.points[dataset] = points
+    return result
+
+
+def format_fig10(result: Fig10Result) -> str:
+    sections = []
+    for dataset, points in result.points.items():
+        headers = ["size", "strategy", "overall", "strategy share"]
+        rows = [
+            [
+                point.size,
+                format_seconds(point.strategy_seconds),
+                format_seconds(point.total_seconds),
+                f"{100 * point.overhead_fraction:.1f}%",
+            ]
+            for point in points
+        ]
+        sections.append(f"Figure 10 — dataset: {dataset}\n" + format_table(headers, rows))
+    return "\n\n".join(sections)
+
+
+def main() -> None:  # pragma: no cover - CLI entry point
+    print(format_fig10(run_fig10()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

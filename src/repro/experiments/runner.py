@@ -1,0 +1,95 @@
+"""Shared infrastructure for the experiment harnesses.
+
+Each experiment module (one per figure / table of the paper) produces plain
+data structures; this module provides the small amount of shared machinery:
+timing helpers, human-readable number formatting (the paper's axes use
+"M"/"G" suffixes), and fixed-width table rendering for the harness output.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Sequence, Tuple
+
+
+@dataclass
+class TimedValue:
+    """A value together with the wall-clock seconds spent producing it."""
+
+    value: object
+    seconds: float
+
+
+def timed(function: Callable[[], object]) -> TimedValue:
+    """Run ``function`` and return its result together with the elapsed time."""
+    start = time.perf_counter()
+    value = function()
+    return TimedValue(value=value, seconds=time.perf_counter() - start)
+
+
+def format_count(value: float) -> str:
+    """Format a subproblem count the way the paper's axes do (K/M/G suffixes)."""
+    if value >= 1e9:
+        return f"{value / 1e9:.2f}G"
+    if value >= 1e6:
+        return f"{value / 1e6:.2f}M"
+    if value >= 1e3:
+        return f"{value / 1e3:.1f}K"
+    return f"{value:.0f}"
+
+
+def format_seconds(value: float) -> str:
+    """Format a duration with a sensible unit."""
+    if value < 1e-3:
+        return f"{value * 1e6:.0f}µs"
+    if value < 1.0:
+        return f"{value * 1e3:.1f}ms"
+    return f"{value:.2f}s"
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render a fixed-width text table."""
+    materialized: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[index]) for index, cell in enumerate(cells))
+
+    lines = [render_row(list(headers)), render_row(["-" * width for width in widths])]
+    lines.extend(render_row(row) for row in materialized)
+    return "\n".join(lines)
+
+
+def geometric_sizes(start: int, stop: int, points: int) -> List[int]:
+    """``points`` sizes spaced geometrically between ``start`` and ``stop``."""
+    if points < 2:
+        return [stop]
+    ratio = (stop / start) ** (1.0 / (points - 1))
+    sizes = []
+    current = float(start)
+    for _ in range(points):
+        sizes.append(int(round(current)))
+        current *= ratio
+    # De-duplicate while preserving order (small ranges can collapse).
+    unique: List[int] = []
+    for size in sizes:
+        if not unique or size > unique[-1]:
+            unique.append(size)
+    return unique
+
+
+def linear_sizes(start: int, stop: int, points: int) -> List[int]:
+    """``points`` sizes spaced linearly between ``start`` and ``stop``."""
+    if points < 2:
+        return [stop]
+    step = (stop - start) / (points - 1)
+    sizes = [int(round(start + index * step)) for index in range(points)]
+    unique: List[int] = []
+    for size in sizes:
+        if not unique or size > unique[-1]:
+            unique.append(size)
+    return unique

@@ -1,0 +1,40 @@
+"""Serialization: bracket notation, Newick, XML, and JSON adapters."""
+
+from .bracket import (
+    dump_bracket_collection,
+    parse_bracket,
+    parse_bracket_collection,
+    parse_bracket_node,
+    to_bracket,
+)
+from .newick import parse_newick, parse_newick_node, to_newick
+from .xml import parse_xml_collection, tree_to_xml, xml_to_node, xml_to_tree
+from .json_io import (
+    arrays_dict_to_tree,
+    dumps,
+    loads,
+    nested_dict_to_tree,
+    tree_to_arrays_dict,
+    tree_to_nested_dict,
+)
+
+__all__ = [
+    "parse_bracket",
+    "parse_bracket_node",
+    "parse_bracket_collection",
+    "to_bracket",
+    "dump_bracket_collection",
+    "parse_newick",
+    "parse_newick_node",
+    "to_newick",
+    "xml_to_tree",
+    "xml_to_node",
+    "tree_to_xml",
+    "parse_xml_collection",
+    "dumps",
+    "loads",
+    "tree_to_nested_dict",
+    "nested_dict_to_tree",
+    "tree_to_arrays_dict",
+    "arrays_dict_to_tree",
+]

@@ -1,0 +1,89 @@
+"""JSON import/export for trees.
+
+Two encodings are supported:
+
+* **nested** — ``{"label": ..., "children": [...]}`` objects, readable and
+  convenient for configuration files and small examples;
+* **arrays** — ``{"labels": [...], "parents": [...]}`` postorder-parallel
+  arrays, compact and loss-free for large trees.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from ..exceptions import ParseError
+from ..trees.builders import tree_from_parent_array
+from ..trees.node import Node
+from ..trees.tree import Tree
+
+
+def tree_to_nested_dict(tree: Tree | Node) -> Dict[str, Any]:
+    """Convert a tree into the nested ``{"label", "children"}`` encoding."""
+    root = tree.to_node() if isinstance(tree, Tree) else tree
+
+    def convert(node: Node) -> Dict[str, Any]:
+        return {
+            "label": node.label,
+            "children": [convert(child) for child in node.children],
+        }
+
+    return convert(root)
+
+
+def nested_dict_to_tree(data: Dict[str, Any]) -> Tree:
+    """Inverse of :func:`tree_to_nested_dict`."""
+
+    def convert(entry: Dict[str, Any]) -> Node:
+        if not isinstance(entry, dict) or "label" not in entry:
+            raise ParseError("nested JSON tree entries must be objects with a 'label' key")
+        children = entry.get("children", [])
+        if not isinstance(children, list):
+            raise ParseError("'children' must be a list")
+        return Node(entry["label"], [convert(child) for child in children])
+
+    return Tree(convert(data))
+
+
+def tree_to_arrays_dict(tree: Tree) -> Dict[str, List[Any]]:
+    """Convert a tree into the parallel-arrays encoding (postorder)."""
+    return {
+        "labels": list(tree.labels),
+        "parents": list(tree.parents),
+    }
+
+
+def arrays_dict_to_tree(data: Dict[str, Any]) -> Tree:
+    """Inverse of :func:`tree_to_arrays_dict`."""
+    if "labels" not in data or "parents" not in data:
+        raise ParseError("arrays JSON tree must contain 'labels' and 'parents'")
+    return tree_from_parent_array(data["labels"], data["parents"])
+
+
+def dumps(tree: Tree, encoding: str = "nested", **json_kwargs: Any) -> str:
+    """Serialize a tree to a JSON string using the requested encoding."""
+    if encoding == "nested":
+        payload: Dict[str, Any] = tree_to_nested_dict(tree)
+    elif encoding == "arrays":
+        payload = tree_to_arrays_dict(tree)
+    else:
+        raise ValueError(f"unknown encoding {encoding!r}; expected 'nested' or 'arrays'")
+    payload = {"encoding": encoding, "tree": payload}
+    return json.dumps(payload, **json_kwargs)
+
+
+def loads(text: str) -> Tree:
+    """Parse a JSON string produced by :func:`dumps` (either encoding)."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ParseError(f"invalid JSON: {exc}") from exc
+    if not isinstance(payload, dict) or "tree" not in payload:
+        raise ParseError("expected a JSON object with a 'tree' key")
+    encoding = payload.get("encoding", "nested")
+    if encoding == "nested":
+        return nested_dict_to_tree(payload["tree"])
+    if encoding == "arrays":
+        return arrays_dict_to_tree(payload["tree"])
+    raise ParseError(f"unknown encoding {encoding!r}")

@@ -1,0 +1,124 @@
+"""Newick parser and serializer for phylogenetic trees.
+
+The TreeFam dataset used in the paper's experiments stores phylogenies in the
+Newick format, e.g. ``((A,B)internal,C)root;``.  This module implements the
+subset of Newick needed to work with such trees: labels, nested groups, and
+optional ``:length`` branch annotations (lengths are parsed and preserved as
+part of the label only when ``keep_lengths=True``; by default they are
+discarded because the tree edit distance operates on labels).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..exceptions import ParseError
+from ..trees.node import Node
+from ..trees.tree import Tree
+
+_STRUCTURAL = "(),;:"
+
+
+def parse_newick_node(text: str, keep_lengths: bool = False) -> Node:
+    """Parse a Newick string into a :class:`~repro.trees.node.Node`."""
+    text = text.strip()
+    if not text:
+        raise ParseError("empty Newick input", position=0)
+    if text.endswith(";"):
+        text = text[:-1]
+    node, pos = _parse_clade(text, 0, keep_lengths)
+    if text[pos:].strip():
+        raise ParseError(f"trailing characters after tree: {text[pos:]!r}", position=pos)
+    return node
+
+
+def parse_newick(text: str, keep_lengths: bool = False) -> Tree:
+    """Parse a Newick string into an indexed :class:`~repro.trees.tree.Tree`."""
+    return Tree(parse_newick_node(text, keep_lengths=keep_lengths))
+
+
+def _parse_clade(text: str, pos: int, keep_lengths: bool) -> Tuple[Node, int]:
+    children: List[Node] = []
+    if pos < len(text) and text[pos] == "(":
+        pos += 1
+        while True:
+            child, pos = _parse_clade(text, pos, keep_lengths)
+            children.append(child)
+            if pos >= len(text):
+                raise ParseError("unterminated group: expected ')' or ','", position=pos)
+            if text[pos] == ",":
+                pos += 1
+                continue
+            if text[pos] == ")":
+                pos += 1
+                break
+            raise ParseError(f"unexpected character {text[pos]!r}", position=pos)
+    label, pos = _parse_label(text, pos)
+    length, pos = _parse_length(text, pos)
+    if keep_lengths and length is not None:
+        label = f"{label}:{length}" if label else f":{length}"
+    node = Node(label if label else "", children)
+    return node, pos
+
+
+def _parse_label(text: str, pos: int) -> Tuple[str, int]:
+    if pos < len(text) and text[pos] in ("'", '"'):
+        quote = text[pos]
+        pos += 1
+        chars: List[str] = []
+        while pos < len(text) and text[pos] != quote:
+            chars.append(text[pos])
+            pos += 1
+        if pos >= len(text):
+            raise ParseError("unterminated quoted label", position=pos)
+        return "".join(chars), pos + 1
+    chars = []
+    while pos < len(text) and text[pos] not in _STRUCTURAL:
+        chars.append(text[pos])
+        pos += 1
+    return "".join(chars).strip(), pos
+
+
+def _parse_length(text: str, pos: int) -> Tuple[str | None, int]:
+    if pos < len(text) and text[pos] == ":":
+        pos += 1
+        chars: List[str] = []
+        while pos < len(text) and text[pos] not in "(),;":
+            chars.append(text[pos])
+            pos += 1
+        return "".join(chars).strip(), pos
+    return None, pos
+
+
+def to_newick(tree: Tree | Node, with_semicolon: bool = True) -> str:
+    """Serialize a tree to Newick notation (labels only, no branch lengths)."""
+    root = tree.to_node() if isinstance(tree, Tree) else tree
+
+    pieces: List[str] = []
+
+    def emit(node: Node) -> None:
+        stack: List[Tuple[Node, int]] = [(node, 0)]
+        while stack:
+            current, child_pos = stack.pop()
+            if child_pos == 0 and current.children:
+                pieces.append("(")
+            if child_pos < len(current.children):
+                if child_pos > 0:
+                    pieces.append(",")
+                stack.append((current, child_pos + 1))
+                stack.append((current.children[child_pos], 0))
+            else:
+                if current.children:
+                    pieces.append(")")
+                pieces.append(_quote_if_needed(str(current.label)))
+
+    emit(root)
+    if with_semicolon:
+        pieces.append(";")
+    return "".join(pieces)
+
+
+def _quote_if_needed(label: str) -> str:
+    if any(ch in _STRUCTURAL or ch.isspace() for ch in label):
+        return "'" + label.replace("'", "''") + "'"
+    return label

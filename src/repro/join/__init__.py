@@ -1,0 +1,15 @@
+"""Similarity joins over tree collections."""
+
+from .similarity_join import (
+    JoinResult,
+    similarity_join,
+    similarity_self_join,
+    top_k_closest_pairs,
+)
+
+__all__ = [
+    "JoinResult",
+    "similarity_self_join",
+    "similarity_join",
+    "top_k_closest_pairs",
+]

@@ -1,0 +1,54 @@
+"""Tree substrate: nodes, indexed trees, forests, builders, and shape metrics."""
+
+from .node import Node, node_from_nested
+from .tree import HEAVY, LEFT, PATH_KINDS, RIGHT, Tree
+from .forest import (
+    ForestView,
+    enumerate_full_decomposition,
+    enumerate_path_decomposition,
+    enumerate_recursive_path_decomposition,
+)
+from .builders import (
+    path_tree,
+    single_node_tree,
+    star_tree,
+    tree_from_edges,
+    tree_from_nested,
+    tree_from_parent_array,
+)
+from .metrics import (
+    CollectionStats,
+    TreeShapeStats,
+    collection_stats,
+    label_histogram,
+    shape_signature,
+    tree_stats,
+)
+from . import traversal
+
+__all__ = [
+    "Node",
+    "node_from_nested",
+    "Tree",
+    "ForestView",
+    "LEFT",
+    "RIGHT",
+    "HEAVY",
+    "PATH_KINDS",
+    "enumerate_full_decomposition",
+    "enumerate_path_decomposition",
+    "enumerate_recursive_path_decomposition",
+    "tree_from_nested",
+    "tree_from_parent_array",
+    "tree_from_edges",
+    "single_node_tree",
+    "path_tree",
+    "star_tree",
+    "TreeShapeStats",
+    "CollectionStats",
+    "tree_stats",
+    "collection_stats",
+    "label_histogram",
+    "shape_signature",
+    "traversal",
+]

@@ -1,0 +1,157 @@
+"""Convenience constructors for trees.
+
+These helpers build :class:`~repro.trees.tree.Tree` objects from common
+Python-native descriptions: nested tuples, parent arrays, and edge lists.
+Parsers for textual formats (bracket notation, Newick, XML) live in
+:mod:`repro.io`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..exceptions import TreeConstructionError
+from .node import Node, node_from_nested
+from .tree import Tree
+
+
+def tree_from_nested(spec: object) -> Tree:
+    """Build a tree from a nested ``(label, [children])`` specification.
+
+    Examples
+    --------
+    >>> t = tree_from_nested(("a", ["b", ("c", ["d"])]))
+    >>> t.n
+    4
+    """
+    return Tree(node_from_nested(spec))
+
+
+def tree_from_parent_array(
+    labels: Sequence[object], parents: Sequence[int]
+) -> Tree:
+    """Build a tree from parallel ``labels`` / ``parents`` arrays.
+
+    ``parents[i]`` is the index (into the same arrays) of node ``i``'s parent,
+    or ``-1`` for the root.  Children keep the relative order of their indices.
+
+    Raises
+    ------
+    TreeConstructionError
+        If the arrays have different lengths, there is not exactly one root,
+        or the parent pointers contain a cycle.
+    """
+    if len(labels) != len(parents):
+        raise TreeConstructionError(
+            f"labels ({len(labels)}) and parents ({len(parents)}) must have the same length"
+        )
+    n = len(labels)
+    if n == 0:
+        raise TreeConstructionError("cannot build an empty tree")
+
+    roots = [i for i, p in enumerate(parents) if p == -1]
+    if len(roots) != 1:
+        raise TreeConstructionError(f"expected exactly one root, found {len(roots)}")
+
+    children: List[List[int]] = [[] for _ in range(n)]
+    for i, p in enumerate(parents):
+        if p == -1:
+            continue
+        if not 0 <= p < n:
+            raise TreeConstructionError(f"parent index {p} of node {i} out of range")
+        children[p].append(i)
+
+    nodes = [Node(label) for label in labels]
+    # Detect cycles: a valid parent array reaches the root from every node.
+    for i in range(n):
+        seen = set()
+        j = i
+        while j != -1:
+            if j in seen:
+                raise TreeConstructionError("parent array contains a cycle")
+            seen.add(j)
+            j = parents[j]
+
+    for i in range(n):
+        nodes[i].children = [nodes[c] for c in children[i]]
+    return Tree(nodes[roots[0]])
+
+
+def tree_from_edges(
+    edges: Iterable[Tuple[object, object]],
+    labels: Optional[Dict[object, object]] = None,
+    root: Optional[object] = None,
+) -> Tree:
+    """Build a tree from ``(parent, child)`` edges.
+
+    Children keep the order in which their edges appear.  Node identities may
+    be any hashable values; ``labels`` optionally maps identities to labels
+    (defaulting to the identity itself).  When ``root`` is omitted it is
+    inferred as the unique node that never appears as a child.
+    """
+    edge_list = list(edges)
+    children: Dict[object, List[object]] = {}
+    all_nodes: Dict[object, None] = {}
+    child_nodes = set()
+    for parent, child in edge_list:
+        children.setdefault(parent, []).append(child)
+        all_nodes.setdefault(parent)
+        all_nodes.setdefault(child)
+        child_nodes.add(child)
+
+    if not all_nodes:
+        raise TreeConstructionError("cannot build a tree from an empty edge list")
+
+    if root is None:
+        candidates = [v for v in all_nodes if v not in child_nodes]
+        if len(candidates) != 1:
+            raise TreeConstructionError(
+                f"expected exactly one root candidate, found {len(candidates)}"
+            )
+        root = candidates[0]
+    elif root not in all_nodes:
+        raise TreeConstructionError(f"declared root {root!r} does not appear in the edges")
+
+    def label_of(identity: object) -> object:
+        if labels is None:
+            return identity
+        return labels.get(identity, identity)
+
+    def build(identity: object, visited: set) -> Node:
+        if identity in visited:
+            raise TreeConstructionError("edge list contains a cycle")
+        visited.add(identity)
+        node = Node(label_of(identity))
+        for child in children.get(identity, []):
+            node.add_child(build(child, visited))
+        visited.remove(identity)
+        return node
+
+    tree = Tree(build(root, set()))
+    if tree.n != len(all_nodes):
+        raise TreeConstructionError(
+            "edge list is not connected: "
+            f"{len(all_nodes) - tree.n} node(s) unreachable from the root"
+        )
+    return tree
+
+
+def single_node_tree(label: object = "a") -> Tree:
+    """A tree consisting of a single labeled node."""
+    return Tree(Node(label))
+
+
+def path_tree(labels: Sequence[object]) -> Tree:
+    """A degenerate path (each node has exactly one child), top to bottom."""
+    if not labels:
+        raise TreeConstructionError("path_tree requires at least one label")
+    root = Node(labels[0])
+    current = root
+    for label in labels[1:]:
+        current = current.add_child(Node(label))
+    return Tree(root)
+
+
+def star_tree(root_label: object, leaf_labels: Sequence[object]) -> Tree:
+    """A root with ``len(leaf_labels)`` leaf children."""
+    return Tree(Node(root_label, [Node(label) for label in leaf_labels]))

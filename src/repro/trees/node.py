@@ -1,0 +1,160 @@
+"""Mutable tree nodes used to construct trees.
+
+A :class:`Node` is a lightweight recursive structure (label + ordered list of
+children) meant for *building* trees programmatically or from parsers.  Once a
+tree is complete it is converted into an indexed, immutable
+:class:`repro.trees.tree.Tree`, which is what every algorithm in the library
+operates on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional
+
+
+class Node:
+    """An ordered labeled tree node.
+
+    Parameters
+    ----------
+    label:
+        The node label.  Labels may be any hashable value; most of the
+        library uses strings.
+    children:
+        Optional iterable of child nodes, kept in left-to-right order.
+
+    Examples
+    --------
+    >>> t = Node("a", [Node("b"), Node("c", [Node("d")])])
+    >>> t.label
+    'a'
+    >>> [c.label for c in t.children]
+    ['b', 'c']
+    >>> t.size()
+    4
+    """
+
+    __slots__ = ("label", "children")
+
+    def __init__(self, label: object, children: Optional[Iterable["Node"]] = None) -> None:
+        self.label = label
+        self.children: List[Node] = list(children) if children is not None else []
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    def add_child(self, child: "Node") -> "Node":
+        """Append ``child`` as the rightmost child and return it."""
+        self.children.append(child)
+        return child
+
+    def add_children(self, children: Iterable["Node"]) -> "Node":
+        """Append several children (left to right) and return ``self``."""
+        for child in children:
+            self.children.append(child)
+        return self
+
+    def copy(self) -> "Node":
+        """Return a deep copy of the subtree rooted at this node."""
+        return Node(self.label, [child.copy() for child in self.children])
+
+    def mirrored(self) -> "Node":
+        """Return a deep copy with the order of children reversed everywhere."""
+        return Node(self.label, [child.mirrored() for child in reversed(self.children)])
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    @property
+    def is_leaf(self) -> bool:
+        """``True`` when the node has no children."""
+        return not self.children
+
+    def size(self) -> int:
+        """Number of nodes in the subtree rooted at this node."""
+        total = 0
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            total += 1
+            stack.extend(node.children)
+        return total
+
+    def depth(self) -> int:
+        """Height of the subtree rooted at this node (a single node has depth 0)."""
+        best = 0
+        stack = [(self, 0)]
+        while stack:
+            node, level = stack.pop()
+            if level > best:
+                best = level
+            for child in node.children:
+                stack.append((child, level + 1))
+        return best
+
+    def iter_preorder(self) -> Iterator["Node"]:
+        """Yield nodes of the subtree in preorder (parent before children)."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            # Push children right-to-left so the leftmost child is visited first.
+            stack.extend(reversed(node.children))
+
+    def iter_postorder(self) -> Iterator["Node"]:
+        """Yield nodes of the subtree in postorder (children before parent)."""
+        # Iterative postorder to avoid recursion limits on deep trees.
+        stack: List[tuple["Node", int]] = [(self, 0)]
+        while stack:
+            node, child_index = stack.pop()
+            if child_index < len(node.children):
+                stack.append((node, child_index + 1))
+                stack.append((node.children[child_index], 0))
+            else:
+                yield node
+
+    def labels_preorder(self) -> List[object]:
+        """Labels of the subtree in preorder."""
+        return [node.label for node in self.iter_preorder()]
+
+    def labels_postorder(self) -> List[object]:
+        """Labels of the subtree in postorder."""
+        return [node.label for node in self.iter_postorder()]
+
+    # ------------------------------------------------------------------ #
+    # Structural equality (label + shape), useful in tests.
+    # ------------------------------------------------------------------ #
+    def structurally_equal(self, other: "Node") -> bool:
+        """``True`` iff both subtrees have identical shape and labels."""
+        if not isinstance(other, Node):
+            return False
+        stack = [(self, other)]
+        while stack:
+            a, b = stack.pop()
+            if a.label != b.label or len(a.children) != len(b.children):
+                return False
+            stack.extend(zip(a.children, b.children))
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Node({self.label!r}, {len(self.children)} children)"
+
+
+def node_from_nested(spec: object) -> Node:
+    """Build a :class:`Node` from a nested ``(label, [children])`` structure.
+
+    The ``spec`` may be:
+
+    * a bare label (creates a leaf), or
+    * a 2-tuple/list ``(label, children)`` where ``children`` is an iterable of
+      nested specs.
+
+    Examples
+    --------
+    >>> node_from_nested(("a", ["b", ("c", ["d"])])).labels_preorder()
+    ['a', 'b', 'c', 'd']
+    """
+    if isinstance(spec, (tuple, list)) and len(spec) == 2 and isinstance(spec[1], (tuple, list)):
+        label, children = spec
+        return Node(label, [node_from_nested(child) for child in children])
+    return Node(spec)

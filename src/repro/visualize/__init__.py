@@ -1,0 +1,5 @@
+"""ASCII visualization helpers."""
+
+from .ascii_tree import render_mapping, render_outline, render_tree
+
+__all__ = ["render_tree", "render_outline", "render_mapping"]

@@ -1,0 +1,122 @@
+"""ASCII rendering of trees and edit mappings.
+
+Plot-free visual aids for the CLI and the examples: an indented tree view
+with box-drawing connectors, a compact single-line outline, and a rendering
+of an edit mapping that annotates every node with the operation applied to
+it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..algorithms.edit_mapping import EditMapping
+from ..trees.tree import Tree
+
+
+def render_tree(tree: Tree, max_nodes: Optional[int] = None) -> str:
+    """Render a tree with box-drawing connectors, one node per line.
+
+    ``max_nodes`` truncates the output for very large trees (an ellipsis line
+    is appended when truncation happens).
+    """
+    lines: List[str] = []
+    truncated = False
+
+    def visit(v: int, prefix: str, is_last: bool, is_root: bool) -> None:
+        nonlocal truncated
+        if max_nodes is not None and len(lines) >= max_nodes:
+            truncated = True
+            return
+        if is_root:
+            lines.append(str(tree.labels[v]))
+            child_prefix = ""
+        else:
+            connector = "└── " if is_last else "├── "
+            lines.append(prefix + connector + str(tree.labels[v]))
+            child_prefix = prefix + ("    " if is_last else "│   ")
+        children = tree.children[v]
+        for index, child in enumerate(children):
+            visit(child, child_prefix, index == len(children) - 1, False)
+
+    import sys
+
+    old_limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(old_limit, 10000 + 10 * tree.n))
+    try:
+        visit(tree.root, "", True, True)
+    finally:
+        sys.setrecursionlimit(old_limit)
+
+    if truncated:
+        lines.append("…")
+    return "\n".join(lines)
+
+
+def render_outline(tree: Tree) -> str:
+    """Compact one-line outline, e.g. ``a(b, c(d))``."""
+    pieces: List[str] = []
+
+    def visit(v: int) -> None:
+        pieces.append(str(tree.labels[v]))
+        children = tree.children[v]
+        if children:
+            pieces.append("(")
+            for index, child in enumerate(children):
+                if index:
+                    pieces.append(", ")
+                visit(child)
+            pieces.append(")")
+
+    import sys
+
+    old_limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(old_limit, 10000 + 10 * tree.n))
+    try:
+        visit(tree.root)
+    finally:
+        sys.setrecursionlimit(old_limit)
+    return "".join(pieces)
+
+
+def render_mapping(tree_f: Tree, tree_g: Tree, mapping: EditMapping) -> str:
+    """Render the source tree with per-node edit annotations.
+
+    Matched nodes show ``=``, renamed nodes show ``~ new-label``, deleted
+    nodes show ``-``; inserted target nodes are listed below the tree.
+    """
+    match_of: Dict[int, int] = {v: w for v, w in mapping.matches}
+    deletions = set(mapping.deletions)
+
+    lines: List[str] = []
+
+    def annotate(v: int) -> str:
+        if v in deletions:
+            return f"{tree_f.labels[v]}  [- delete]"
+        w = match_of.get(v)
+        if w is None:
+            return str(tree_f.labels[v])
+        if tree_f.labels[v] == tree_g.labels[w]:
+            return f"{tree_f.labels[v]}  [=]"
+        return f"{tree_f.labels[v]}  [~ rename to {tree_g.labels[w]!r}]"
+
+    def visit(v: int, prefix: str, is_last: bool, is_root: bool) -> None:
+        if is_root:
+            lines.append(annotate(v))
+            child_prefix = ""
+        else:
+            connector = "└── " if is_last else "├── "
+            lines.append(prefix + connector + annotate(v))
+            child_prefix = prefix + ("    " if is_last else "│   ")
+        children = tree_f.children[v]
+        for index, child in enumerate(children):
+            visit(child, child_prefix, index == len(children) - 1, False)
+
+    visit(tree_f.root, "", True, True)
+
+    if mapping.insertions:
+        lines.append("")
+        lines.append("inserted in target:")
+        for w in sorted(mapping.insertions):
+            lines.append(f"  + {tree_g.labels[w]!r} (target node {w})")
+    return "\n".join(lines)

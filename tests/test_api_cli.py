@@ -1,0 +1,129 @@
+"""Tests for the high-level API, the algorithm registry, and the CLI."""
+
+import pytest
+
+from repro import (
+    available_algorithms,
+    compare_algorithms,
+    compute,
+    edit_mapping,
+    edit_script,
+    make_algorithm,
+    parse_tree,
+    tree_edit_distance,
+    tree_to_bracket,
+)
+from repro.algorithms import register_algorithm, SimpleTED, PAPER_ALGORITHMS
+from repro.cli import main as cli_main
+from repro.exceptions import ParseError, UnknownAlgorithmError
+from repro.trees import Node, Tree, tree_from_nested
+
+
+class TestParseTree:
+    def test_tree_passthrough(self):
+        tree = tree_from_nested(("a", ["b"]))
+        assert parse_tree(tree) is tree
+
+    def test_node_is_indexed(self):
+        assert isinstance(parse_tree(Node("a", [Node("b")])), Tree)
+
+    def test_bracket_autodetection(self):
+        assert parse_tree("{a{b}}").n == 2
+
+    def test_newick_autodetection(self):
+        assert parse_tree("(A,B)r;").n == 3
+
+    def test_xml_autodetection(self):
+        assert parse_tree("<a><b/></a>").n == 2
+
+    def test_explicit_format(self):
+        assert parse_tree("{a{b}}", fmt="bracket").n == 2
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ParseError):
+            parse_tree("{a}", fmt="yaml")
+
+    def test_non_tree_input_rejected(self):
+        with pytest.raises(ParseError):
+            parse_tree(12345)
+
+
+class TestHighLevelApi:
+    def test_distance_with_string_inputs(self):
+        assert tree_edit_distance("{a{b}{c}}", "{a{b}{x}}") == 1.0
+
+    def test_compute_returns_metadata(self):
+        result = compute("{a{b}{c}}", "{a{b}{x}}", algorithm="rted")
+        assert result.distance == 1.0
+        assert result.algorithm == "RTED"
+        assert result.subproblems > 0
+
+    def test_edit_mapping_and_script(self):
+        mapping = edit_mapping("{a{b}}", "{a{b}{c}}")
+        assert mapping.cost == 1.0
+        script = edit_script("{a{b}}", "{a{b}{c}}")
+        assert any(op.op == "insert" for op in script)
+
+    def test_compare_algorithms_agree(self):
+        results = compare_algorithms("{a{b{c}}{d}}", "{a{d{c}}{e}}")
+        distances = {round(result.distance, 9) for result in results.values()}
+        assert len(distances) == 1
+        assert set(results) == set(PAPER_ALGORITHMS)
+
+    def test_tree_to_bracket_round_trip(self):
+        text = "{a{b}{c{d}}}"
+        assert tree_to_bracket(parse_tree(text)) == text
+
+
+class TestRegistry:
+    def test_available_algorithms_contains_paper_set(self):
+        names = available_algorithms()
+        for name in PAPER_ALGORITHMS:
+            assert name in names
+
+    def test_aliases(self):
+        assert make_algorithm("zhang-shasha").name == "Zhang-L"
+        assert make_algorithm("ROBUST").name == "RTED"
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(UnknownAlgorithmError):
+            make_algorithm("quantum-ted")
+
+    def test_register_custom_algorithm(self):
+        register_algorithm("my-oracle", SimpleTED)
+        assert make_algorithm("my-oracle").name == "Simple"
+
+
+class TestCli:
+    def test_distance_command(self, capsys):
+        assert cli_main(["distance", "{a{b}}", "{a{c}}"]) == 0
+        assert capsys.readouterr().out.strip() == "1.0"
+
+    def test_distance_verbose(self, capsys):
+        assert cli_main(["distance", "{a{b}}", "{a{c}}", "--verbose", "--algorithm", "zhang-l"]) == 0
+        output = capsys.readouterr().out
+        assert "distance" in output and "subproblems" in output
+
+    def test_distance_from_file(self, tmp_path, capsys):
+        path = tmp_path / "tree.bracket"
+        path.write_text("{a{b}{c}}")
+        assert cli_main(["distance", f"@{path}", "{a{b}{c}}"]) == 0
+        assert capsys.readouterr().out.strip() == "0.0"
+
+    def test_mapping_command(self, capsys):
+        assert cli_main(["mapping", "{a{b}}", "{a{x}}"]) == 0
+        assert "rename" in capsys.readouterr().out
+
+    def test_compare_command(self, capsys):
+        assert cli_main(["compare", "{a{b}{c}}", "{a{c}{d}}"]) == 0
+        output = capsys.readouterr().out
+        assert "rted" in output and "zhang-l" in output
+
+    def test_generate_command(self, capsys):
+        assert cli_main(["generate", "--shape", "zigzag", "--size", "9"]) == 0
+        output = capsys.readouterr().out.strip()
+        assert output.count("{") == 9
+
+    def test_generate_random_with_render(self, capsys):
+        assert cli_main(["generate", "--shape", "random", "--size", "7", "--render"]) == 0
+        assert "{" in capsys.readouterr().out

@@ -1,0 +1,144 @@
+"""Tests for distance bounds: every lower bound ≤ exact TED ≤ every upper bound."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.algorithms import ZhangShashaTED
+from repro.bounds import (
+    binary_branch_distance,
+    binary_branch_lower_bound,
+    cheap_lower_bound,
+    combined_lower_bound,
+    label_multiset_lower_bound,
+    levenshtein,
+    pq_gram_distance,
+    pq_gram_profile,
+    postorder_string_lower_bound,
+    preorder_string_lower_bound,
+    size_lower_bound,
+    top_down_upper_bound,
+    traversal_string_lower_bound,
+    trivial_upper_bound,
+)
+from repro.io import parse_bracket
+from repro.datasets import perturb_tree, random_tree
+
+from conftest import random_tree_pairs, tree_pairs
+
+EXACT = ZhangShashaTED()
+
+
+class TestLevenshtein:
+    def test_identical(self):
+        assert levenshtein("abc", "abc") == 0
+
+    def test_known_values(self):
+        assert levenshtein("kitten", "sitting") == 3
+        assert levenshtein("", "abc") == 3
+        assert levenshtein(list("ab"), list("ba")) == 2
+
+    def test_symmetry(self):
+        assert levenshtein("abcd", "xy") == levenshtein("xy", "abcd")
+
+
+class TestSimpleBounds:
+    def test_size_bound(self):
+        t1 = parse_bracket("{a{b}{c}}")
+        t2 = parse_bracket("{a}")
+        assert size_lower_bound(t1, t2) == 2
+
+    def test_label_multiset_bound(self):
+        t1 = parse_bracket("{a{b}{c}}")
+        t2 = parse_bracket("{a{x}{y}}")
+        assert label_multiset_lower_bound(t1, t2) == 2
+
+    def test_cheap_bound_is_max_of_both(self):
+        t1 = parse_bracket("{a{b}{c}{d}}")
+        t2 = parse_bracket("{x}")
+        assert cheap_lower_bound(t1, t2) == max(
+            size_lower_bound(t1, t2), label_multiset_lower_bound(t1, t2)
+        )
+
+    def test_identical_trees_have_zero_bounds(self):
+        tree = parse_bracket("{a{b{c}}{d}}")
+        assert cheap_lower_bound(tree, tree) == 0
+        assert traversal_string_lower_bound(tree, tree) == 0
+        assert binary_branch_distance(tree, tree) == 0
+
+
+class TestStringBounds:
+    def test_preorder_bound_on_rename(self):
+        t1 = parse_bracket("{a{b}{c}}")
+        t2 = parse_bracket("{a{b}{x}}")
+        assert preorder_string_lower_bound(t1, t2) == 1
+        assert postorder_string_lower_bound(t1, t2) == 1
+
+    def test_string_bounds_can_exceed_cheap_bounds(self):
+        # Same label multiset, same size, but different arrangement.
+        t1 = parse_bracket("{a{b{c}}{d}}")
+        t2 = parse_bracket("{a{d{b}}{c}}")
+        assert traversal_string_lower_bound(t1, t2) >= cheap_lower_bound(t1, t2)
+
+
+class TestBinaryBranchAndPqGrams:
+    def test_binary_branch_profile_size(self):
+        tree = parse_bracket("{a{b}{c}}")
+        profile = pq_gram_profile(tree)
+        assert sum(profile.values()) > 0
+        assert sum(binary_branch_distance(tree, tree) for _ in range(1)) == 0
+
+    def test_pq_gram_distance_range(self):
+        t1 = parse_bracket("{a{b}{c}}")
+        t2 = parse_bracket("{x{y{z}}}")
+        assert 0.0 <= pq_gram_distance(t1, t2) <= 1.0
+        assert pq_gram_distance(t1, t1) == 0.0
+
+    def test_pq_gram_rejects_bad_parameters(self):
+        tree = parse_bracket("{a}")
+        with pytest.raises(ValueError):
+            pq_gram_profile(tree, p=0, q=2)
+
+    def test_similar_trees_have_smaller_pq_distance_than_dissimilar(self):
+        base = random_tree(30, rng=1)
+        near = perturb_tree(base, 2, rng=2)
+        far = random_tree(30, rng=99)
+        assert pq_gram_distance(base, near) <= pq_gram_distance(base, far)
+
+
+class TestSandwich:
+    """lower bound ≤ exact distance ≤ upper bound, on many random pairs."""
+
+    def test_sandwich_on_random_pairs(self):
+        for tree_f, tree_g in random_tree_pairs(count=25, max_size=16, seed=37):
+            exact = EXACT.distance(tree_f, tree_g)
+            assert size_lower_bound(tree_f, tree_g) <= exact + 1e-9
+            assert label_multiset_lower_bound(tree_f, tree_g) <= exact + 1e-9
+            assert preorder_string_lower_bound(tree_f, tree_g) <= exact + 1e-9
+            assert postorder_string_lower_bound(tree_f, tree_g) <= exact + 1e-9
+            assert binary_branch_lower_bound(tree_f, tree_g) <= exact + 1e-9
+            assert combined_lower_bound(tree_f, tree_g) <= exact + 1e-9
+            assert exact <= top_down_upper_bound(tree_f, tree_g) + 1e-9
+            assert exact <= trivial_upper_bound(tree_f, tree_g) + 1e-9
+
+    @given(tree_pairs())
+    @settings(max_examples=40, deadline=None)
+    def test_sandwich_property_based(self, pair):
+        tree_f, tree_g = pair
+        exact = EXACT.distance(tree_f, tree_g)
+        assert combined_lower_bound(tree_f, tree_g) <= exact + 1e-9
+        assert exact <= top_down_upper_bound(tree_f, tree_g) + 1e-9
+
+    @given(tree_pairs())
+    @settings(max_examples=40, deadline=None)
+    def test_upper_bounds_ordered(self, pair):
+        tree_f, tree_g = pair
+        assert top_down_upper_bound(tree_f, tree_g) <= trivial_upper_bound(tree_f, tree_g) + 1e-9
+
+    def test_bounds_tight_on_perturbed_trees(self):
+        base = random_tree(40, rng=11)
+        perturbed = perturb_tree(base, 3, rng=12)
+        exact = EXACT.distance(base, perturbed)
+        assert exact <= top_down_upper_bound(base, perturbed) + 1e-9
+        # A small perturbation keeps the exact distance small; the upper bound
+        # must not be wildly larger than delete-all/insert-all would suggest.
+        assert top_down_upper_bound(base, perturbed) < trivial_upper_bound(base, perturbed)

@@ -1,0 +1,105 @@
+"""Unit tests for repro.trees.builders."""
+
+import pytest
+
+from repro.exceptions import TreeConstructionError
+from repro.trees import (
+    path_tree,
+    single_node_tree,
+    star_tree,
+    tree_from_edges,
+    tree_from_nested,
+    tree_from_parent_array,
+)
+
+
+class TestTreeFromNested:
+    def test_simple(self):
+        tree = tree_from_nested(("a", ["b", ("c", ["d"])]))
+        assert tree.n == 4
+        assert tree.labels_preorder() == ["a", "b", "c", "d"]
+
+    def test_single_label(self):
+        assert tree_from_nested("only").n == 1
+
+
+class TestTreeFromParentArray:
+    def test_round_trip(self):
+        labels = ["b", "d", "e", "c", "f", "a"]
+        parents = [5, 3, 3, 5, 5, -1]
+        tree = tree_from_parent_array(labels, parents)
+        assert list(tree.labels) == labels
+        assert list(tree.parents) == parents
+
+    def test_length_mismatch(self):
+        with pytest.raises(TreeConstructionError):
+            tree_from_parent_array(["a", "b"], [-1])
+
+    def test_requires_exactly_one_root(self):
+        with pytest.raises(TreeConstructionError):
+            tree_from_parent_array(["a", "b"], [-1, -1])
+
+    def test_rejects_empty_input(self):
+        with pytest.raises(TreeConstructionError):
+            tree_from_parent_array([], [])
+
+    def test_rejects_out_of_range_parent(self):
+        with pytest.raises(TreeConstructionError):
+            tree_from_parent_array(["a", "b"], [-1, 7])
+
+    def test_rejects_cycle(self):
+        with pytest.raises(TreeConstructionError):
+            tree_from_parent_array(["a", "b", "c"], [-1, 2, 1])
+
+
+class TestTreeFromEdges:
+    def test_simple_edges(self):
+        tree = tree_from_edges([("a", "b"), ("a", "c"), ("c", "d")])
+        assert tree.n == 4
+        assert tree.labels_preorder() == ["a", "b", "c", "d"]
+
+    def test_labels_mapping(self):
+        tree = tree_from_edges([(1, 2)], labels={1: "root", 2: "leaf"})
+        assert tree.labels_preorder() == ["root", "leaf"]
+
+    def test_explicit_root(self):
+        tree = tree_from_edges([("a", "b")], root="a")
+        assert tree.label(tree.root) == "a"
+
+    def test_unknown_root_rejected(self):
+        with pytest.raises(TreeConstructionError):
+            tree_from_edges([("a", "b")], root="zzz")
+
+    def test_multiple_roots_rejected(self):
+        with pytest.raises(TreeConstructionError):
+            tree_from_edges([("a", "b"), ("c", "d")])
+
+    def test_empty_edge_list_rejected(self):
+        with pytest.raises(TreeConstructionError):
+            tree_from_edges([])
+
+    def test_cycle_rejected(self):
+        with pytest.raises(TreeConstructionError):
+            tree_from_edges([("a", "b"), ("b", "a")], root="a")
+
+
+class TestSimpleShapes:
+    def test_single_node_tree(self):
+        tree = single_node_tree("x")
+        assert tree.n == 1 and tree.label(tree.root) == "x"
+
+    def test_path_tree(self):
+        tree = path_tree(["a", "b", "c"])
+        assert tree.n == 3
+        assert tree.depth() == 2
+        assert tree.max_fanout() == 1
+
+    def test_path_tree_requires_labels(self):
+        with pytest.raises(TreeConstructionError):
+            path_tree([])
+
+    def test_star_tree(self):
+        tree = star_tree("hub", ["s1", "s2", "s3"])
+        assert tree.n == 4
+        assert tree.max_fanout() == 3
+        assert tree.depth() == 1

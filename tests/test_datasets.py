@@ -1,0 +1,181 @@
+"""Tests for the dataset generators (shapes, random trees, simulated collections)."""
+
+import random
+
+import pytest
+
+from repro.datasets import (
+    SHAPE_GENERATORS,
+    full_binary_tree,
+    generate_collection,
+    identical_pair,
+    join_workload,
+    left_branch_tree,
+    make_shape,
+    mixed_tree,
+    pairs_at_size_intervals,
+    partition_by_size,
+    perturb_tree,
+    random_binary_tree,
+    random_forest_of_trees,
+    random_tree,
+    right_branch_tree,
+    sample_partition,
+    swissprot_like_tree,
+    treebank_like_tree,
+    treefam_like_tree,
+    treefam_partitions,
+    zigzag_tree,
+)
+from repro.exceptions import TreeConstructionError
+from repro.trees import tree_stats
+
+
+class TestShapes:
+    @pytest.mark.parametrize("size", [1, 2, 7, 20, 101, 256])
+    @pytest.mark.parametrize("name", sorted(SHAPE_GENERATORS))
+    def test_exact_size(self, name, size):
+        assert make_shape(name, size).n == size
+
+    def test_left_branch_structure(self):
+        tree = left_branch_tree(41)
+        stats = tree_stats(tree)
+        assert stats.depth == 20
+        assert stats.num_leaves == 21
+        assert stats.left_heaviness == 1.0
+
+    def test_right_branch_is_mirror_of_left_branch(self):
+        assert right_branch_tree(31).structurally_equal(left_branch_tree(31).mirrored())
+
+    def test_zigzag_alternates(self):
+        tree = zigzag_tree(41)
+        assert tree.depth() == 20
+        stats = tree_stats(tree)
+        assert 0.0 < stats.left_heaviness < 1.0
+
+    def test_full_binary_is_balanced(self):
+        tree = full_binary_tree(63)
+        assert tree.depth() == 5
+        assert tree.max_fanout() == 2
+
+    def test_mixed_tree_contains_varied_substructures(self):
+        tree = mixed_tree(101)
+        assert tree.n == 101
+        assert len(tree.children[tree.root]) == 4
+
+    def test_shape_shorthand_names(self):
+        assert make_shape("LB", 11).structurally_equal(left_branch_tree(11))
+        assert make_shape("zz", 11).structurally_equal(zigzag_tree(11))
+
+    def test_unknown_shape_rejected(self):
+        with pytest.raises(TreeConstructionError):
+            make_shape("spiral", 10)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(TreeConstructionError):
+            left_branch_tree(0)
+
+
+class TestRandomTrees:
+    def test_exact_size_and_limits(self):
+        tree = random_tree(200, max_depth=15, max_fanout=6, rng=1)
+        assert tree.n == 200
+        assert tree.depth() <= 15
+        assert tree.max_fanout() <= 6
+
+    def test_deterministic_for_same_seed(self):
+        assert random_tree(50, rng=7).structurally_equal(random_tree(50, rng=7))
+
+    def test_different_seeds_differ(self):
+        assert not random_tree(50, rng=7).structurally_equal(random_tree(50, rng=8))
+
+    def test_impossible_constraints_rejected(self):
+        with pytest.raises(TreeConstructionError):
+            random_tree(10, max_depth=1, max_fanout=2)
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(TreeConstructionError):
+            random_tree(0)
+
+    def test_random_binary_tree_fanout(self):
+        tree = random_binary_tree(41, rng=3)
+        assert all(len(tree.children[v]) in (0, 2) for v in range(tree.n))
+
+    def test_random_forest_sizes_within_range(self):
+        forest = random_forest_of_trees(10, size_range=(5, 25), rng=5)
+        assert len(forest) == 10
+        assert all(5 <= tree.n <= 25 for tree in forest)
+
+    def test_perturb_tree_changes_little(self):
+        base = random_tree(40, rng=9)
+        modified = perturb_tree(base, 2, rng=10)
+        assert abs(modified.n - base.n) <= 2
+
+
+class TestRealWorldSimulators:
+    def test_swissprot_like_is_flat_and_wide(self):
+        tree = swissprot_like_tree(rng=1)
+        assert tree.depth() <= 4
+        assert tree.n >= 20
+
+    def test_treebank_like_is_small_and_deep(self):
+        tree = treebank_like_tree(rng=2, target_size=70)
+        assert tree.n <= 75
+        assert tree.depth() >= 5
+
+    def test_treefam_like_is_binaryish_and_deep(self):
+        tree = treefam_like_tree(rng=3, target_size=95)
+        stats = tree_stats(tree)
+        assert stats.max_fanout == 2
+        assert stats.depth > 10
+
+    def test_generate_collection_kinds(self):
+        for kind in ("swissprot", "treebank", "treefam"):
+            collection = generate_collection(kind, 5, rng=4)
+            assert len(collection) == 5
+
+    def test_generate_collection_size_range(self):
+        collection = generate_collection("treefam", 5, rng=4, size_range=(30, 60))
+        assert all(25 <= tree.n <= 65 for tree in collection)
+
+    def test_unknown_collection_kind_rejected(self):
+        with pytest.raises(ValueError):
+            generate_collection("dblp", 3)
+
+
+class TestWorkloads:
+    def test_identical_pair_shapes(self):
+        a, b = identical_pair("zigzag", 21)
+        assert a.structurally_equal(b)
+
+    def test_identical_pair_random(self):
+        a, b = identical_pair("random", 21, rng=5)
+        assert a.structurally_equal(b)
+        assert a.n == 21
+
+    def test_pairs_at_size_intervals(self):
+        collection = [full_binary_tree(n) for n in (7, 15, 31, 63)]
+        picks = pairs_at_size_intervals(collection, [10, 60])
+        assert len(picks) == 2
+        size, tree_a, tree_b = picks[0]
+        assert {tree_a.n, tree_b.n} == {7, 15}
+
+    def test_join_workload(self):
+        trees = join_workload(node_count=30, rng=1)
+        assert len(trees) == 5
+        assert all(tree.n == 30 for tree in trees)
+
+    def test_partition_by_size(self):
+        collection = [full_binary_tree(n) for n in (5, 20, 50, 200)]
+        partitions = partition_by_size(collection, [10, 100])
+        assert [len(p) for p in partitions] == [1, 2, 1]
+
+    def test_sample_partition(self):
+        collection = [full_binary_tree(7) for _ in range(10)]
+        assert len(sample_partition(collection, 3, rng=1)) == 3
+        assert len(sample_partition(collection, 50, rng=1)) == 10
+
+    def test_treefam_partitions(self):
+        partitions = treefam_partitions(num_trees=12, boundaries=(80, 160), size_range=(30, 250), rng=3)
+        assert len(partitions) == 3
+        assert sum(len(p) for p in partitions) == 12

@@ -1,0 +1,140 @@
+"""Smoke and correctness tests for the experiment harnesses (small workloads)."""
+
+import pytest
+
+from repro.experiments import (
+    format_fig8,
+    format_fig9,
+    format_fig10,
+    format_table1,
+    format_table2,
+    run_fig8,
+    run_fig9,
+    run_fig10,
+    run_strategy_computation_ablation,
+    run_strategy_space_ablation,
+    run_table1,
+    run_table2,
+)
+from repro.experiments.ablation_strategy import format_ablations
+from repro.experiments.runner import format_count, format_seconds, format_table, geometric_sizes, linear_sizes
+
+
+class TestRunnerHelpers:
+    def test_format_count(self):
+        assert format_count(12) == "12"
+        assert format_count(2_500) == "2.5K"
+        assert format_count(3_200_000) == "3.20M"
+        assert format_count(4_000_000_000) == "4.00G"
+
+    def test_format_seconds(self):
+        assert format_seconds(0.0000005).endswith("µs")
+        assert format_seconds(0.005).endswith("ms")
+        assert format_seconds(2.5).endswith("s")
+
+    def test_format_table_alignment(self):
+        table = format_table(["a", "bbb"], [[1, 2], [333, 4]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+    def test_size_helpers(self):
+        assert linear_sizes(10, 50, 5) == [10, 20, 30, 40, 50]
+        geo = geometric_sizes(10, 1000, 3)
+        assert geo[0] == 10 and geo[-1] == 1000
+        assert linear_sizes(5, 10, 1) == [10]
+
+
+class TestFig8:
+    def test_small_run_reproduces_headline_claims(self):
+        result = run_fig8(sizes=[20, 60], shapes=("left-branch", "zigzag", "mixed"))
+        # (1) LB: Zhang-L ties with RTED and Zhang-R degenerates.
+        for point in result.points["left-branch"]:
+            assert point.counts["rted"] == point.counts["zhang-l"]
+            assert point.counts["zhang-r"] > point.counts["zhang-l"]
+        # (2) ZZ: Demaine ties with RTED.
+        for point in result.points["zigzag"]:
+            assert point.counts["rted"] == point.counts["demaine-h"]
+        # (3) RTED never loses.
+        for shape_points in result.points.values():
+            for point in shape_points:
+                assert point.rted_vs_best_ratio() <= 1.0
+
+    def test_series_extraction_and_formatting(self):
+        result = run_fig8(sizes=[20, 40], shapes=("full-binary",))
+        series = result.series("full-binary", "rted")
+        assert [size for size, _ in series] == [20, 40]
+        text = format_fig8(result)
+        assert "full-binary" in text and "rted" in text
+
+
+class TestFig9:
+    def test_small_run_produces_all_series(self):
+        result = run_fig9(sizes=[10, 20], shapes=("zigzag",))
+        points = result.points["zigzag"]
+        assert len(points) == 2
+        for point in points:
+            assert set(point.runtimes) == {"zhang-l", "demaine-h", "rted"}
+            assert all(value >= 0 for value in point.runtimes.values())
+            # Identical trees: every algorithm must report distance 0.
+            assert all(value == 0.0 for value in point.distances.values())
+        assert "zigzag" in format_fig9(result)
+
+
+class TestFig10:
+    def test_overhead_fraction_is_sane(self):
+        result = run_fig10(datasets=("treebank",), targets=[30, 60], num_trees=12,
+                           size_range=(20, 80), seed=1)
+        points = result.points["treebank"]
+        assert points, "expected at least one sampled pair"
+        for point in points:
+            assert 0.0 <= point.overhead_fraction <= 1.0
+            assert point.total_seconds >= point.strategy_seconds
+        assert "treebank" in format_fig10(result)
+
+
+class TestTable1:
+    def test_join_rows_and_rted_dominance(self):
+        result = run_table1(node_count=20, seed=3)
+        assert {row.algorithm for row in result.rows} == {
+            "zhang-l", "zhang-r", "klein-h", "demaine-h", "rted"
+        }
+        rted_row = result.row("rted")
+        for row in result.rows:
+            assert row.subproblems_cost_formula >= rted_row.subproblems_cost_formula
+            # The same pairs are joined, so every algorithm finds the same matches.
+            assert row.matches == rted_row.matches
+        assert "Table 1" in format_table1(result)
+
+    def test_unknown_row_lookup_raises(self):
+        result = run_table1(node_count=12, algorithms=("rted",), seed=3)
+        with pytest.raises(KeyError):
+            result.row("zhang-l")
+
+
+class TestTable2:
+    def test_ratios_are_within_unit_interval(self):
+        result = run_table2(num_trees=18, boundaries=(60,), size_range=(30, 120),
+                            sample_size=3, seed=5)
+        assert result.partition_labels == ["<60", ">60"]
+        assert result.cells, "expected at least one partition pair"
+        for cell in result.cells.values():
+            assert 0.0 < cell.ratio_to_best <= 1.0 + 1e-9
+            assert 0.0 < cell.ratio_to_worst <= cell.ratio_to_best + 1e-9
+        assert "Table 2" in format_table2(result)
+
+
+class TestAblations:
+    def test_strategy_space_monotonicity(self):
+        rows = run_strategy_space_ablation(shapes=("mixed",), size=60)
+        for row in rows:
+            full = row.counts["full LRH (RTED)"]
+            assert all(full <= count for count in row.counts.values())
+
+    def test_strategy_computation_equivalence(self):
+        rows = run_strategy_computation_ablation(sizes=(20, 40), shape="mixed")
+        for row in rows:
+            assert row.baseline_cost == row.algorithm2_cost
+            assert row.baseline_seconds >= 0 and row.algorithm2_seconds >= 0
+        text = format_ablations(run_strategy_space_ablation(shapes=("zigzag",), size=30), rows)
+        assert "Ablation A1" in text and "Ablation A2" in text

@@ -1,0 +1,123 @@
+"""Unit tests for repro.trees.forest (ForestView and decomposition enumeration)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.trees import (
+    HEAVY,
+    LEFT,
+    RIGHT,
+    ForestView,
+    Tree,
+    enumerate_full_decomposition,
+    enumerate_path_decomposition,
+    enumerate_recursive_path_decomposition,
+    tree_from_nested,
+)
+
+from conftest import trees
+
+
+@pytest.fixture
+def tree() -> Tree:
+    return tree_from_nested(("a", ["b", ("c", ["d", "e"]), "f"]))
+
+
+class TestForestView:
+    def test_whole_tree(self, tree):
+        forest = ForestView.whole_tree(tree)
+        assert forest.is_tree
+        assert forest.size() == tree.n
+        assert forest.leftmost_root == forest.rightmost_root == tree.root
+
+    def test_remove_leftmost_root_exposes_children(self, tree):
+        forest = ForestView.whole_tree(tree).remove_leftmost_root()
+        assert forest.roots == tuple(tree.children[tree.root])
+        assert forest.size() == tree.n - 1
+
+    def test_remove_rightmost_root_of_forest(self, tree):
+        forest = ForestView.whole_tree(tree).remove_leftmost_root()
+        after = forest.remove_rightmost_root()
+        # Rightmost root is the leaf f; removing it exposes no children.
+        assert after.size() == forest.size() - 1
+        assert after.roots == forest.roots[:-1]
+
+    def test_subtree_operations(self, tree):
+        forest = ForestView.whole_tree(tree).remove_leftmost_root()
+        assert forest.leftmost_subtree().roots == (forest.roots[0],)
+        assert forest.without_leftmost_subtree().roots == forest.roots[1:]
+        assert forest.rightmost_subtree().roots == (forest.roots[-1],)
+        assert forest.without_rightmost_subtree().roots == forest.roots[:-1]
+
+    def test_empty_forest(self, tree):
+        forest = ForestView(tree, ())
+        assert forest.is_empty
+        assert forest.size() == 0
+
+    def test_labels_and_nodes(self, tree):
+        forest = ForestView.subtree(tree, 3)
+        assert sorted(forest.iter_nodes()) == [1, 2, 3]
+        assert forest.labels() == ["d", "e", "c"]
+
+    def test_equality_and_hash(self, tree):
+        a = ForestView(tree, (0, 3))
+        b = ForestView(tree, (0, 3))
+        c = ForestView(tree, (3,))
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+
+
+class TestDecompositionEnumeration:
+    def test_full_decomposition_of_figure3_tree(self):
+        # Figure 3 of the paper enumerates the full decomposition of this
+        # 7-node tree; together with the tree itself and excluding the empty
+        # forest the closed form gives the count below.
+        tree = tree_from_nested(("A", [("B", ["D", ("E", ["F"]), "G"]), "C"]))
+        enumerated = enumerate_full_decomposition(tree)
+        assert len(enumerated) == tree.full_decomposition_sizes()[tree.root]
+
+    def test_single_path_decomposition_count_is_tree_size(self, tree):
+        for kind in (LEFT, RIGHT, HEAVY):
+            forests = enumerate_path_decomposition(tree, tree.root, kind)
+            assert len(forests) == tree.n  # Lemma 2
+
+    def test_single_path_decomposition_starts_with_whole_tree(self, tree):
+        forests = enumerate_path_decomposition(tree, tree.root, LEFT)
+        assert forests[0] == (tree.root,)
+
+    def test_recursive_decomposition_matches_lemma3(self, tree):
+        left = enumerate_recursive_path_decomposition(tree, tree.root, LEFT)
+        right = enumerate_recursive_path_decomposition(tree, tree.root, RIGHT)
+        assert len(left) == tree.left_decomposition_sizes()[tree.root]
+        assert len(right) == tree.right_decomposition_sizes()[tree.root]
+
+    @given(trees())
+    @settings(max_examples=40, deadline=None)
+    def test_lemma1_closed_form_matches_enumeration(self, random_tree):
+        enumerated = enumerate_full_decomposition(random_tree)
+        assert len(enumerated) == random_tree.full_decomposition_sizes()[random_tree.root]
+
+    @given(trees())
+    @settings(max_examples=40, deadline=None)
+    def test_lemma2_every_path_produces_n_subforests(self, random_tree):
+        for kind in (LEFT, RIGHT, HEAVY):
+            forests = enumerate_path_decomposition(random_tree, random_tree.root, kind)
+            assert len(forests) == random_tree.n
+
+    @given(trees())
+    @settings(max_examples=40, deadline=None)
+    def test_lemma3_closed_form_matches_enumeration(self, random_tree):
+        for kind, table in (
+            (LEFT, random_tree.left_decomposition_sizes()),
+            (RIGHT, random_tree.right_decomposition_sizes()),
+        ):
+            forests = enumerate_recursive_path_decomposition(random_tree, random_tree.root, kind)
+            assert len(forests) == table[random_tree.root]
+
+    @given(trees())
+    @settings(max_examples=40, deadline=None)
+    def test_path_decompositions_are_subsets_of_full_decomposition(self, random_tree):
+        full = enumerate_full_decomposition(random_tree)
+        for kind in (LEFT, RIGHT, HEAVY):
+            forests = set(enumerate_path_decomposition(random_tree, random_tree.root, kind))
+            assert forests <= full

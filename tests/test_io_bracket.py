@@ -1,0 +1,89 @@
+"""Unit tests for bracket-notation parsing and serialization."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.exceptions import ParseError
+from repro.io import (
+    dump_bracket_collection,
+    parse_bracket,
+    parse_bracket_collection,
+    to_bracket,
+)
+
+from conftest import trees
+
+
+class TestParsing:
+    def test_single_node(self):
+        tree = parse_bracket("{a}")
+        assert tree.n == 1 and tree.label(tree.root) == "a"
+
+    def test_nested(self):
+        tree = parse_bracket("{a{b}{c{d}}}")
+        assert tree.n == 4
+        assert tree.labels_preorder() == ["a", "b", "c", "d"]
+
+    def test_whitespace_tolerated_around_tree(self):
+        assert parse_bracket("  {a{b}}  ").n == 2
+
+    def test_empty_label_allowed(self):
+        tree = parse_bracket("{{x}}")
+        assert tree.label(tree.root) == ""
+        assert tree.n == 2
+
+    def test_escaped_braces_in_label(self):
+        tree = parse_bracket(r"{a\{b\}}")
+        assert tree.label(tree.root) == "a{b}"
+
+    def test_label_with_spaces_and_punctuation(self):
+        tree = parse_bracket("{hello world, 42!{x}}")
+        assert tree.label(tree.root) == "hello world, 42!"
+
+    @pytest.mark.parametrize(
+        "text",
+        ["", "a", "{a", "{a}}", "{a}{b}", "{a}trailing"],
+    )
+    def test_malformed_input_raises(self, text):
+        with pytest.raises(ParseError):
+            parse_bracket(text)
+
+
+class TestSerialization:
+    def test_round_trip_simple(self):
+        text = "{a{b}{c{d}}}"
+        assert to_bracket(parse_bracket(text)) == text
+
+    def test_round_trip_with_special_characters(self):
+        original = parse_bracket(r"{we\{ird{x}}")
+        assert parse_bracket(to_bracket(original)).structurally_equal(original)
+
+    @given(trees())
+    @settings(max_examples=60, deadline=None)
+    def test_round_trip_random_trees(self, tree):
+        assert parse_bracket(to_bracket(tree)).structurally_equal(tree)
+
+    def test_deep_tree_serialization_does_not_recurse(self):
+        from repro.datasets import left_branch_tree
+
+        tree = left_branch_tree(4001)
+        text = to_bracket(tree)
+        assert text.count("{") == tree.n
+        assert parse_bracket(text).n == tree.n
+
+
+class TestCollections:
+    def test_collection_round_trip(self):
+        trees_in = [parse_bracket("{a{b}}"), parse_bracket("{x}")]
+        text = dump_bracket_collection(trees_in)
+        trees_out = parse_bracket_collection(text)
+        assert len(trees_out) == 2
+        assert trees_out[0].structurally_equal(trees_in[0])
+
+    def test_collection_skips_comments_and_blank_lines(self):
+        text = "# comment\n\n{a}\n   \n{b{c}}\n"
+        assert [t.n for t in parse_bracket_collection(text)] == [1, 2]
+
+    def test_collection_reports_line_number_on_error(self):
+        with pytest.raises(ParseError, match="line 2"):
+            parse_bracket_collection("{a}\n{broken\n")

@@ -1,0 +1,63 @@
+"""Unit tests for the Newick parser and serializer."""
+
+import pytest
+
+from repro.exceptions import ParseError
+from repro.io import parse_newick, to_newick
+
+
+class TestNewickParsing:
+    def test_leaf_only(self):
+        tree = parse_newick("A;")
+        assert tree.n == 1 and tree.label(tree.root) == "A"
+
+    def test_simple_phylogeny(self):
+        tree = parse_newick("((A,B)ab,C)root;")
+        assert tree.n == 5
+        assert tree.label(tree.root) == "root"
+        assert tree.labels_preorder() == ["root", "ab", "A", "B", "C"]
+
+    def test_unnamed_internal_nodes_get_empty_label(self):
+        tree = parse_newick("(A,B);")
+        assert tree.label(tree.root) == ""
+        assert tree.n == 3
+
+    def test_branch_lengths_dropped_by_default(self):
+        tree = parse_newick("(A:0.1,B:0.25)r:1.0;")
+        assert tree.labels_preorder() == ["r", "A", "B"]
+
+    def test_branch_lengths_kept_when_requested(self):
+        tree = parse_newick("(A:0.1,B)r;", keep_lengths=True)
+        assert "A:0.1" in tree.labels_preorder()
+
+    def test_quoted_labels(self):
+        tree = parse_newick("('Homo sapiens',B)r;")
+        assert "Homo sapiens" in tree.labels_preorder()
+
+    def test_missing_semicolon_is_tolerated(self):
+        assert parse_newick("(A,B)r").n == 3
+
+    @pytest.mark.parametrize("text", ["", "(A,B", "(A,B))x;", "(A,B}x;"])
+    def test_malformed_input_raises(self, text):
+        with pytest.raises(ParseError):
+            parse_newick(text)
+
+
+class TestNewickSerialization:
+    def test_round_trip(self):
+        text = "((A,B)ab,C)root;"
+        tree = parse_newick(text)
+        assert to_newick(tree) == text
+
+    def test_round_trip_structural(self):
+        tree = parse_newick("((HUMAN,MOUSE)clade,(RAT,CHICK)clade)family;")
+        rebuilt = parse_newick(to_newick(tree))
+        assert rebuilt.structurally_equal(tree)
+
+    def test_labels_with_spaces_are_quoted(self):
+        tree = parse_newick("('Homo sapiens',B)r;")
+        assert "'Homo sapiens'" in to_newick(tree)
+
+    def test_without_semicolon(self):
+        tree = parse_newick("(A,B)r;")
+        assert not to_newick(tree, with_semicolon=False).endswith(";")

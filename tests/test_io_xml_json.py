@@ -1,0 +1,101 @@
+"""Unit tests for the XML and JSON adapters."""
+
+import pytest
+
+from repro.exceptions import ParseError
+from repro.io import (
+    arrays_dict_to_tree,
+    dumps,
+    loads,
+    nested_dict_to_tree,
+    parse_xml_collection,
+    tree_to_arrays_dict,
+    tree_to_nested_dict,
+    tree_to_xml,
+    xml_to_tree,
+)
+from repro.trees import tree_from_nested
+
+
+SAMPLE_XML = """
+<article key="a1">
+  <title>Tree edit distance</title>
+  <authors>
+    <author>Pawlik</author>
+    <author>Augsten</author>
+  </authors>
+</article>
+"""
+
+
+class TestXmlAdapter:
+    def test_structure_only_view(self):
+        tree = xml_to_tree(SAMPLE_XML)
+        assert tree.label(tree.root) == "article"
+        assert tree.labels_preorder() == ["article", "title", "authors", "author", "author"]
+
+    def test_text_nodes_included_when_requested(self):
+        tree = xml_to_tree(SAMPLE_XML, include_text=True)
+        assert "Pawlik" in list(tree.labels)
+        assert "Tree edit distance" in list(tree.labels)
+
+    def test_attributes_included_when_requested(self):
+        tree = xml_to_tree(SAMPLE_XML, include_attributes=True)
+        assert "@key=a1" in list(tree.labels)
+
+    def test_namespace_stripping(self):
+        xml = '<ns:root xmlns:ns="http://example.org"><ns:child/></ns:root>'
+        tree = xml_to_tree(xml)
+        assert tree.labels_preorder() == ["root", "child"]
+
+    def test_invalid_xml_raises(self):
+        with pytest.raises(ParseError):
+            xml_to_tree("<unclosed>")
+
+    def test_round_trip_through_xml(self):
+        tree = xml_to_tree(SAMPLE_XML)
+        rebuilt = xml_to_tree(tree_to_xml(tree))
+        assert rebuilt.structurally_equal(tree)
+
+    def test_invalid_tag_labels_are_wrapped(self):
+        tree = tree_from_nested(("not a tag!", ["ok"]))
+        xml = tree_to_xml(tree)
+        assert 'label="not a tag!"' in xml
+
+    def test_collection_parsing_skips_broken_documents(self):
+        trees = parse_xml_collection(["<a><b/></a>", "<broken>", "<c/>"])
+        assert [t.n for t in trees] == [2, 1]
+
+
+class TestJsonAdapter:
+    def test_nested_round_trip(self):
+        tree = tree_from_nested(("a", ["b", ("c", ["d"])]))
+        assert nested_dict_to_tree(tree_to_nested_dict(tree)).structurally_equal(tree)
+
+    def test_arrays_round_trip(self):
+        tree = tree_from_nested(("a", ["b", ("c", ["d"])]))
+        assert arrays_dict_to_tree(tree_to_arrays_dict(tree)).structurally_equal(tree)
+
+    def test_dumps_loads_nested(self):
+        tree = tree_from_nested(("a", ["b"]))
+        assert loads(dumps(tree, encoding="nested")).structurally_equal(tree)
+
+    def test_dumps_loads_arrays(self):
+        tree = tree_from_nested(("a", ["b", "c"]))
+        assert loads(dumps(tree, encoding="arrays")).structurally_equal(tree)
+
+    def test_dumps_rejects_unknown_encoding(self):
+        with pytest.raises(ValueError):
+            dumps(tree_from_nested("a"), encoding="pickle")
+
+    def test_loads_rejects_invalid_json(self):
+        with pytest.raises(ParseError):
+            loads("{not json")
+
+    def test_loads_rejects_missing_tree_key(self):
+        with pytest.raises(ParseError):
+            loads('{"encoding": "nested"}')
+
+    def test_nested_requires_label_key(self):
+        with pytest.raises(ParseError):
+            nested_dict_to_tree({"children": []})

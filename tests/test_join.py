@@ -1,0 +1,98 @@
+"""Tests for the similarity join."""
+
+import pytest
+
+from repro.algorithms import ZhangShashaTED
+from repro.datasets import perturb_tree, random_tree
+from repro.join import similarity_join, similarity_self_join, top_k_closest_pairs
+from repro.io import parse_bracket
+
+
+@pytest.fixture
+def collection():
+    base = random_tree(20, rng=1)
+    return [
+        base,
+        perturb_tree(base, 1, rng=2),
+        perturb_tree(base, 2, rng=3),
+        random_tree(20, rng=99),
+    ]
+
+
+class TestSelfJoin:
+    def test_matches_respect_threshold(self, collection):
+        result = similarity_self_join(collection, threshold=3.5, algorithm="zhang-l")
+        exact = ZhangShashaTED()
+        expected = {
+            (i, j)
+            for i in range(len(collection))
+            for j in range(i + 1, len(collection))
+            if exact.distance(collection[i], collection[j]) < 3.5
+        }
+        assert {(i, j) for i, j, _ in result.matches} == expected
+
+    def test_pair_counting(self, collection):
+        result = similarity_self_join(collection, threshold=2.0, algorithm="zhang-l")
+        assert result.pairs_total == 6
+        assert result.pairs_computed == 6
+        assert result.pairs_filtered == 0
+        assert result.total_subproblems > 0
+        assert result.total_time >= 0.0
+
+    def test_rted_and_zhang_produce_identical_matches(self, collection):
+        zhang = similarity_self_join(collection, threshold=4.0, algorithm="zhang-l")
+        rted = similarity_self_join(collection, threshold=4.0, algorithm="rted")
+        assert {(i, j) for i, j, _ in zhang.matches} == {(i, j) for i, j, _ in rted.matches}
+
+    def test_lower_bound_filter_preserves_result(self, collection):
+        unfiltered = similarity_self_join(collection, threshold=3.0, algorithm="zhang-l")
+        filtered = similarity_self_join(
+            collection, threshold=3.0, algorithm="zhang-l", use_lower_bound_filter=True
+        )
+        assert {(i, j) for i, j, _ in unfiltered.matches} == {
+            (i, j) for i, j, _ in filtered.matches
+        }
+        assert filtered.pairs_filtered + filtered.pairs_computed == filtered.pairs_total
+
+    def test_filter_reduces_work_for_dissimilar_trees(self):
+        trees = [parse_bracket("{a{b}{c}}"), parse_bracket("{x{y{z{w{v}}}}}")]
+        result = similarity_self_join(
+            trees, threshold=1.0, algorithm="zhang-l", use_lower_bound_filter=True
+        )
+        assert result.pairs_filtered == 1
+        assert result.pairs_computed == 0
+        assert result.filter_rate == 1.0
+
+    def test_combined_filter_also_preserves_result(self, collection):
+        strict = similarity_self_join(
+            collection,
+            threshold=3.0,
+            algorithm="zhang-l",
+            use_lower_bound_filter=True,
+            cheap_filter_only=False,
+        )
+        baseline = similarity_self_join(collection, threshold=3.0, algorithm="zhang-l")
+        assert {(i, j) for i, j, _ in strict.matches} == {(i, j) for i, j, _ in baseline.matches}
+
+    def test_algorithm_instance_accepted(self, collection):
+        result = similarity_self_join(collection, threshold=2.0, algorithm=ZhangShashaTED())
+        assert result.algorithm == "Zhang-L"
+
+
+class TestCrossJoin:
+    def test_join_of_two_collections(self, collection):
+        result = similarity_join(collection[:2], collection[2:], threshold=5.0, algorithm="zhang-l")
+        assert result.pairs_total == 4
+        for i, j, distance in result.matches:
+            assert distance < 5.0
+            assert 0 <= i < 2 and 0 <= j < 2
+
+
+class TestTopK:
+    def test_top_k_returns_sorted_closest_pairs(self, collection):
+        top = top_k_closest_pairs(collection, k=2, algorithm="zhang-l")
+        assert len(top) == 2
+        assert top[0][2] <= top[1][2]
+
+    def test_top_k_with_k_larger_than_pairs(self, collection):
+        assert len(top_k_closest_pairs(collection, k=100, algorithm="zhang-l")) == 6

@@ -1,0 +1,100 @@
+"""Unit tests for repro.trees.node."""
+
+import pytest
+
+from repro.trees import Node, node_from_nested
+
+
+class TestNodeConstruction:
+    def test_leaf_has_no_children(self):
+        node = Node("a")
+        assert node.is_leaf
+        assert node.children == []
+
+    def test_children_kept_in_order(self):
+        node = Node("a", [Node("b"), Node("c"), Node("d")])
+        assert [child.label for child in node.children] == ["b", "c", "d"]
+
+    def test_add_child_returns_child(self):
+        root = Node("a")
+        child = root.add_child(Node("b"))
+        assert child.label == "b"
+        assert root.children == [child]
+
+    def test_add_children_returns_self(self):
+        root = Node("a")
+        assert root.add_children([Node("b"), Node("c")]) is root
+        assert len(root.children) == 2
+
+    def test_labels_may_be_non_strings(self):
+        node = Node(42, [Node((1, 2))])
+        assert node.label == 42
+        assert node.children[0].label == (1, 2)
+
+
+class TestNodeQueries:
+    def test_size_counts_all_nodes(self):
+        node = Node("a", [Node("b"), Node("c", [Node("d"), Node("e")])])
+        assert node.size() == 5
+
+    def test_depth_of_single_node_is_zero(self):
+        assert Node("a").depth() == 0
+
+    def test_depth_of_chain(self):
+        node = Node("a", [Node("b", [Node("c", [Node("d")])])])
+        assert node.depth() == 3
+
+    def test_preorder_traversal(self):
+        node = Node("a", [Node("b", [Node("c")]), Node("d")])
+        assert node.labels_preorder() == ["a", "b", "c", "d"]
+
+    def test_postorder_traversal(self):
+        node = Node("a", [Node("b", [Node("c")]), Node("d")])
+        assert node.labels_postorder() == ["c", "b", "d", "a"]
+
+    def test_postorder_handles_deep_chains(self):
+        # A chain deep enough to break naive recursion if it were used.
+        root = Node(0)
+        current = root
+        for index in range(1, 5000):
+            current = current.add_child(Node(index))
+        labels = root.labels_postorder()
+        assert labels[0] == 4999
+        assert labels[-1] == 0
+
+
+class TestNodeCopyAndEquality:
+    def test_copy_is_deep(self):
+        original = Node("a", [Node("b")])
+        clone = original.copy()
+        clone.children[0].label = "x"
+        assert original.children[0].label == "b"
+
+    def test_mirrored_reverses_children_recursively(self):
+        node = Node("a", [Node("b", [Node("x"), Node("y")]), Node("c")])
+        mirrored = node.mirrored()
+        assert [child.label for child in mirrored.children] == ["c", "b"]
+        assert [child.label for child in mirrored.children[1].children] == ["y", "x"]
+
+    def test_structural_equality(self):
+        a = Node("a", [Node("b"), Node("c")])
+        b = Node("a", [Node("b"), Node("c")])
+        c = Node("a", [Node("c"), Node("b")])
+        assert a.structurally_equal(b)
+        assert not a.structurally_equal(c)
+        assert not a.structurally_equal("not a node")
+
+
+class TestNodeFromNested:
+    def test_bare_label_is_leaf(self):
+        node = node_from_nested("x")
+        assert node.is_leaf and node.label == "x"
+
+    def test_nested_structure(self):
+        node = node_from_nested(("a", ["b", ("c", ["d"])]))
+        assert node.labels_preorder() == ["a", "b", "c", "d"]
+
+    def test_pair_without_child_list_is_leaf_label(self):
+        # A 2-tuple whose second element is not a list is treated as a label.
+        node = node_from_nested((1, 2))
+        assert node.is_leaf

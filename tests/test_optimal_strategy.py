@@ -1,0 +1,161 @@
+"""Tests for Algorithm 2 (OptStrategy) — the optimal LRH strategy in O(n^2)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.algorithms import (
+    ALL_FIXED_CHOICES,
+    PathChoice,
+    SIDE_F,
+    SIDE_G,
+    optimal_strategy,
+    optimal_strategy_cost,
+)
+from repro.counting import (
+    count_subproblems,
+    optimal_cost_bruteforce,
+    rted_count_fast,
+    strategy_cost,
+)
+from repro.datasets import (
+    full_binary_tree,
+    left_branch_tree,
+    make_shape,
+    random_tree,
+    right_branch_tree,
+    zigzag_tree,
+)
+from repro.trees import HEAVY, LEFT, RIGHT, tree_from_nested
+
+from conftest import tree_pairs
+
+
+class TestPaperExample4:
+    """Example 4 of the paper: F has 3 nodes (root + 2 leaves), G has 2 (chain)."""
+
+    def setup_method(self):
+        self.tree_f = tree_from_nested(("3", ["1", "2"]))
+        self.tree_g = tree_from_nested(("2", ["1"]))
+
+    def test_optimal_cost_is_eight(self):
+        # The paper computes all six candidate costs as 8 for the root pair.
+        result = optimal_strategy(self.tree_f, self.tree_g)
+        assert result.cost == 8
+
+    def test_tie_breaks_to_heavy_path_in_f(self):
+        # All candidates tie; the paper picks γ_H(F_3).
+        result = optimal_strategy(self.tree_f, self.tree_g)
+        root_choice = result.choices[self.tree_f.root][self.tree_g.root]
+        assert root_choice == PathChoice(SIDE_F, HEAVY)
+
+    def test_leaf_pairs_cost_one(self):
+        result = optimal_strategy(self.tree_f, self.tree_g)
+        assert result.costs[0][0] == 1
+
+
+class TestOptimalityAgainstBruteForce:
+    """Algorithm 2 must equal the direct evaluation of the cost formula."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_trees(self, seed):
+        tree_f = random_tree(10 + seed, rng=seed, max_depth=6, max_fanout=4)
+        tree_g = random_tree(8 + seed, rng=seed + 100, max_depth=6, max_fanout=4)
+        assert optimal_strategy_cost(tree_f, tree_g) == optimal_cost_bruteforce(tree_f, tree_g)
+
+    @pytest.mark.parametrize(
+        "shape", ["left-branch", "right-branch", "full-binary", "zigzag", "mixed"]
+    )
+    def test_synthetic_shapes(self, shape):
+        tree = make_shape(shape, 21)
+        assert optimal_strategy_cost(tree, tree) == optimal_cost_bruteforce(tree, tree)
+
+    @given(tree_pairs())
+    @settings(max_examples=40, deadline=None)
+    def test_property_based(self, pair):
+        tree_f, tree_g = pair
+        assert optimal_strategy_cost(tree_f, tree_g) == optimal_cost_bruteforce(tree_f, tree_g)
+
+    @given(tree_pairs())
+    @settings(max_examples=40, deadline=None)
+    def test_numpy_counter_agrees(self, pair):
+        tree_f, tree_g = pair
+        assert rted_count_fast(tree_f, tree_g) == optimal_strategy_cost(tree_f, tree_g)
+
+
+class TestOptimalityAgainstFixedStrategies:
+    """The optimal cost can never exceed the cost of any fixed LRH strategy."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_trees(self, seed):
+        tree_f = random_tree(12, rng=seed, max_depth=6, max_fanout=4)
+        tree_g = random_tree(12, rng=seed + 50, max_depth=6, max_fanout=4)
+        optimal = optimal_strategy_cost(tree_f, tree_g)
+        for choice in ALL_FIXED_CHOICES:
+            fixed = strategy_cost(tree_f, tree_g, lambda v, w, c=choice: c)
+            assert optimal <= fixed
+
+    @pytest.mark.parametrize("algorithm", ["zhang-l", "zhang-r", "klein-h", "demaine-h"])
+    @pytest.mark.parametrize(
+        "shape", ["left-branch", "right-branch", "full-binary", "zigzag", "mixed"]
+    )
+    def test_rted_never_worse_than_paper_competitors(self, algorithm, shape):
+        tree = make_shape(shape, 41)
+        assert optimal_strategy_cost(tree, tree) <= count_subproblems(algorithm, tree, tree)
+
+    @given(tree_pairs())
+    @settings(max_examples=30, deadline=None)
+    def test_property_based_dominance(self, pair):
+        tree_f, tree_g = pair
+        optimal = optimal_strategy_cost(tree_f, tree_g)
+        for algorithm in ["zhang-l", "zhang-r", "klein-h", "demaine-h"]:
+            assert optimal <= count_subproblems(algorithm, tree_f, tree_g)
+
+
+class TestStrategyChoicesMatchShapes:
+    """On the synthetic shapes the optimal strategy picks the expected paths."""
+
+    def test_left_branch_prefers_left_paths(self):
+        tree = left_branch_tree(41)
+        result = optimal_strategy(tree, tree)
+        assert optimal_strategy_cost(tree, tree) == count_subproblems("zhang-l", tree, tree)
+        root_choice = result.choices[tree.root][tree.root]
+        assert root_choice.kind in (LEFT, HEAVY)  # heavy == left path for this shape
+
+    def test_right_branch_matches_zhang_r(self):
+        tree = right_branch_tree(41)
+        assert optimal_strategy_cost(tree, tree) == count_subproblems("zhang-r", tree, tree)
+
+    def test_zigzag_matches_demaine(self):
+        tree = zigzag_tree(41)
+        assert optimal_strategy_cost(tree, tree) == count_subproblems("demaine-h", tree, tree)
+
+    def test_full_binary_matches_zhang_l(self):
+        tree = full_binary_tree(31)
+        assert optimal_strategy_cost(tree, tree) == count_subproblems("zhang-l", tree, tree)
+
+    def test_mixed_strictly_beats_every_competitor(self):
+        tree = make_shape("mixed", 81)
+        optimal = optimal_strategy_cost(tree, tree)
+        for algorithm in ["zhang-l", "zhang-r", "klein-h", "demaine-h"]:
+            assert optimal < count_subproblems(algorithm, tree, tree)
+
+
+class TestStrategyMatrixShape:
+    def test_matrix_dimensions_and_completeness(self):
+        tree_f = random_tree(9, rng=3)
+        tree_g = random_tree(7, rng=4)
+        result = optimal_strategy(tree_f, tree_g)
+        assert len(result.choices) == tree_f.n
+        assert all(len(row) == tree_g.n for row in result.choices)
+        for row in result.choices:
+            for choice in row:
+                assert choice is not None
+                assert choice.side in (SIDE_F, SIDE_G)
+                assert choice.kind in (LEFT, RIGHT, HEAVY)
+
+    def test_costs_matrix_monotone_in_subtree_size(self):
+        tree = full_binary_tree(15)
+        result = optimal_strategy(tree, tree)
+        # The optimal cost of the root pair dominates that of any other pair.
+        root_cost = result.costs[tree.root][tree.root]
+        assert all(root_cost >= cost for row in result.costs for cost in row)

@@ -1,0 +1,117 @@
+"""Unit tests for path strategies (Definition 4)."""
+
+import pytest
+
+from repro.algorithms import (
+    ALL_FIXED_CHOICES,
+    SIDE_F,
+    SIDE_G,
+    HeavyFStrategy,
+    HeavyLargerStrategy,
+    LeftFStrategy,
+    PathChoice,
+    PrecomputedStrategy,
+    RightFStrategy,
+    fixed_strategy_for,
+)
+from repro.exceptions import StrategyError
+from repro.trees import HEAVY, LEFT, RIGHT, tree_from_nested
+from repro.datasets import left_branch_tree, right_branch_tree
+
+
+@pytest.fixture
+def trees():
+    return tree_from_nested(("a", ["b", "c"])), tree_from_nested(("x", [("y", ["z"])]))
+
+
+class TestPathChoice:
+    def test_valid_choice(self):
+        choice = PathChoice(SIDE_F, LEFT)
+        assert choice.side == SIDE_F and choice.kind == LEFT
+
+    def test_invalid_side_rejected(self):
+        with pytest.raises(StrategyError):
+            PathChoice("X", LEFT)
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(StrategyError):
+            PathChoice(SIDE_F, "diagonal")
+
+    def test_choices_are_hashable_and_comparable(self):
+        assert PathChoice(SIDE_F, LEFT) == PathChoice(SIDE_F, LEFT)
+        assert len({PathChoice(SIDE_F, LEFT), PathChoice(SIDE_F, LEFT)}) == 1
+
+
+class TestFixedStrategies:
+    def test_left_f(self, trees):
+        tree_f, tree_g = trees
+        assert LeftFStrategy().choose(tree_f, tree_g, tree_f.root, tree_g.root) == PathChoice(
+            SIDE_F, LEFT
+        )
+
+    def test_right_f(self, trees):
+        tree_f, tree_g = trees
+        assert RightFStrategy().choose(tree_f, tree_g, 0, 0) == PathChoice(SIDE_F, RIGHT)
+
+    def test_heavy_f(self, trees):
+        tree_f, tree_g = trees
+        assert HeavyFStrategy().choose(tree_f, tree_g, 0, 0) == PathChoice(SIDE_F, HEAVY)
+
+    def test_heavy_larger_picks_larger_tree(self):
+        small = tree_from_nested(("a", ["b"]))
+        large = tree_from_nested(("x", ["y", "z", "w"]))
+        strategy = HeavyLargerStrategy()
+        assert strategy.choose(small, large, small.root, large.root).side == SIDE_G
+        assert strategy.choose(large, small, large.root, small.root).side == SIDE_F
+
+    def test_heavy_larger_ties_go_to_f(self):
+        a = tree_from_nested(("a", ["b"]))
+        b = tree_from_nested(("x", ["y"]))
+        assert HeavyLargerStrategy().choose(a, b, a.root, b.root).side == SIDE_F
+
+    def test_fixed_strategy_factory_covers_all_choices(self, trees):
+        tree_f, tree_g = trees
+        for choice in ALL_FIXED_CHOICES:
+            strategy = fixed_strategy_for(choice)
+            assert strategy.choose(tree_f, tree_g, 0, 0) == choice
+
+
+class TestPrecomputedStrategy:
+    def test_lookup(self, trees):
+        tree_f, tree_g = trees
+        matrix = [
+            [PathChoice(SIDE_F, LEFT) for _ in range(tree_g.n)] for _ in range(tree_f.n)
+        ]
+        matrix[tree_f.root][tree_g.root] = PathChoice(SIDE_G, HEAVY)
+        strategy = PrecomputedStrategy(matrix)
+        assert strategy.choose(tree_f, tree_g, 0, 0) == PathChoice(SIDE_F, LEFT)
+        assert strategy.choose(tree_f, tree_g, tree_f.root, tree_g.root) == PathChoice(
+            SIDE_G, HEAVY
+        )
+
+    def test_missing_entry_raises(self, trees):
+        tree_f, tree_g = trees
+        strategy = PrecomputedStrategy([[None]])
+        with pytest.raises(StrategyError):
+            strategy.choose(tree_f, tree_g, 0, 0)
+
+    def test_out_of_range_raises(self, trees):
+        tree_f, tree_g = trees
+        strategy = PrecomputedStrategy([[PathChoice(SIDE_F, LEFT)]])
+        with pytest.raises(StrategyError):
+            strategy.choose(tree_f, tree_g, 5, 9)
+
+
+class TestStrategyEffectOnWork:
+    def test_matching_strategy_beats_mismatched_strategy(self):
+        from repro.counting import strategy_object_cost
+
+        tree = left_branch_tree(41)
+        left_cost = strategy_object_cost(tree, tree, LeftFStrategy())
+        right_cost = strategy_object_cost(tree, tree, RightFStrategy())
+        assert left_cost < right_cost
+
+        tree = right_branch_tree(41)
+        left_cost = strategy_object_cost(tree, tree, LeftFStrategy())
+        right_cost = strategy_object_cost(tree, tree, RightFStrategy())
+        assert right_cost < left_cost

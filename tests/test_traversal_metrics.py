@@ -1,0 +1,88 @@
+"""Unit tests for repro.trees.traversal and repro.trees.metrics."""
+
+import pytest
+
+from repro.trees import tree_from_nested, tree_stats, collection_stats, shape_signature, label_histogram
+from repro.trees.traversal import (
+    ancestors,
+    bfs_order,
+    euler_tour,
+    leaves,
+    levels,
+    lowest_common_ancestor,
+    root_path_labels,
+)
+from repro.datasets import left_branch_tree, full_binary_tree
+
+
+@pytest.fixture
+def tree():
+    return tree_from_nested(("a", ["b", ("c", ["d", "e"]), "f"]))
+
+
+class TestTraversal:
+    def test_bfs_order_starts_at_root(self, tree):
+        order = bfs_order(tree)
+        assert order[0] == tree.root
+        assert sorted(order) == list(range(tree.n))
+
+    def test_leaves(self, tree):
+        assert leaves(tree) == [0, 1, 2, 4]
+
+    def test_ancestors(self, tree):
+        assert ancestors(tree, 1) == [3, tree.root]
+        assert ancestors(tree, tree.root) == []
+
+    def test_root_path_labels(self, tree):
+        assert root_path_labels(tree, 1) == ["a", "c", "d"]
+
+    def test_levels(self, tree):
+        grouped = levels(tree)
+        assert grouped[0] == [tree.root]
+        assert sorted(grouped[1]) == [0, 3, 4]
+        assert sorted(grouped[2]) == [1, 2]
+
+    def test_euler_tour_visits_each_node_twice(self, tree):
+        tour = euler_tour(tree)
+        assert len(tour) == 2 * tree.n
+        assert tour[0] == ("enter", tree.root)
+        assert tour[-1] == ("leave", tree.root)
+
+    def test_lowest_common_ancestor(self, tree):
+        assert lowest_common_ancestor(tree, 1, 2) == 3
+        assert lowest_common_ancestor(tree, 1, 4) == tree.root
+        assert lowest_common_ancestor(tree, 3, 1) == 3
+
+
+class TestMetrics:
+    def test_tree_stats(self, tree):
+        stats = tree_stats(tree)
+        assert stats.size == 6
+        assert stats.depth == 2
+        assert stats.max_fanout == 3
+        assert stats.num_leaves == 4
+
+    def test_left_heaviness_of_left_branch(self):
+        stats = tree_stats(left_branch_tree(31))
+        assert stats.left_heaviness == 1.0
+
+    def test_collection_stats(self):
+        stats = collection_stats([full_binary_tree(15), full_binary_tree(31)])
+        assert stats.num_trees == 2
+        assert stats.max_size == 31
+        assert stats.avg_size == 23
+
+    def test_collection_stats_empty(self):
+        assert collection_stats([]).num_trees == 0
+
+    def test_shape_signature_ignores_labels(self):
+        a = tree_from_nested(("a", ["b", "c"]))
+        b = tree_from_nested(("x", ["y", "z"]))
+        c = tree_from_nested(("a", [("b", ["c"])]))
+        assert shape_signature(a) == shape_signature(b)
+        assert shape_signature(a) != shape_signature(c)
+
+    def test_label_histogram(self, tree):
+        histogram = label_histogram(tree)
+        assert histogram["a"] == 1
+        assert sum(histogram.values()) == tree.n

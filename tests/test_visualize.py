@@ -1,0 +1,47 @@
+"""Tests for the ASCII visualization helpers."""
+
+from repro.algorithms import compute_edit_mapping
+from repro.io import parse_bracket
+from repro.visualize import render_mapping, render_outline, render_tree
+from repro.datasets import left_branch_tree
+
+
+class TestRenderTree:
+    def test_single_node(self):
+        assert render_tree(parse_bracket("{a}")) == "a"
+
+    def test_every_node_appears_once(self):
+        tree = parse_bracket("{a{b{c}}{d}}")
+        rendering = render_tree(tree)
+        assert rendering.splitlines()[0] == "a"
+        for label in ("b", "c", "d"):
+            assert rendering.count(label) == 1
+
+    def test_connectors_present(self):
+        rendering = render_tree(parse_bracket("{a{b}{c}}"))
+        assert "├── b" in rendering
+        assert "└── c" in rendering
+
+    def test_truncation(self):
+        rendering = render_tree(left_branch_tree(101), max_nodes=10)
+        assert rendering.endswith("…")
+        assert len(rendering.splitlines()) == 11
+
+
+class TestRenderOutline:
+    def test_outline(self):
+        assert render_outline(parse_bracket("{a{b}{c{d}}}")) == "a(b, c(d))"
+
+    def test_leaf_outline(self):
+        assert render_outline(parse_bracket("{x}")) == "x"
+
+
+class TestRenderMapping:
+    def test_annotations(self):
+        t1 = parse_bracket("{a{b}{c}}")
+        t2 = parse_bracket("{a{x}{c}{d}}")
+        mapping = compute_edit_mapping(t1, t2)
+        rendering = render_mapping(t1, t2, mapping)
+        assert "[=]" in rendering                # at least one exact match
+        assert "rename" in rendering or "delete" in rendering
+        assert "inserted in target:" in rendering
