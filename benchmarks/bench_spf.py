@@ -1,0 +1,169 @@
+#!/usr/bin/env python3
+"""Benchmark: recursive decomposition engine vs iterative SPF vs NumPy SPF.
+
+Compares the three execution backends of the left/right single-path phases on
+the workloads the acceptance criteria care about (300-node left/right-path
+trees) plus a random and a deep-path workload:
+
+* ``recursive`` — :class:`repro.algorithms.forest_engine.DecompositionEngine`
+  with the corresponding fixed strategy (the seed implementation);
+* ``spf-python`` — the iterative single-path function, pure-Python kernel;
+* ``spf-numpy`` — the same with the vectorized row kernel.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_spf.py
+
+which prints a table and records the measurements in
+``benchmarks/BENCH_spf.json`` (the committed file is the baseline recorded on
+the machine that introduced the SPF layer; regenerate to compare).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Callable, Dict, List
+
+from repro.algorithms import DecompositionEngine, LeftFStrategy, RightFStrategy
+from repro.algorithms.spf import numpy_available, spf_L, spf_R
+from repro.datasets import random_tree
+from repro.datasets.shapes import left_branch_tree, right_branch_tree
+from repro.trees import Node, Tree
+
+DEFAULT_OUTPUT = Path(__file__).parent / "BENCH_spf.json"
+
+
+def _path_tree(depth: int, label: object = "a") -> Tree:
+    node = Node(label)
+    for _ in range(depth):
+        node = Node(label, [node])
+    return Tree(node)
+
+
+def _workloads() -> List[Dict]:
+    return [
+        {
+            "name": "left-branch-301",
+            "trees": (left_branch_tree(301), left_branch_tree(299, label="b")),
+            "strategy": LeftFStrategy,
+            "spf": spf_L,
+        },
+        {
+            "name": "right-branch-301",
+            "trees": (right_branch_tree(301), right_branch_tree(299, label="b")),
+            "strategy": RightFStrategy,
+            "spf": spf_R,
+        },
+        {
+            "name": "random-300",
+            "trees": (random_tree(300, rng=20110713), random_tree(300, rng=20110714)),
+            "strategy": LeftFStrategy,
+            "spf": spf_L,
+        },
+        {
+            "name": "deep-path-1500-x-random-200",
+            "trees": (_path_tree(1500), random_tree(200, rng=42)),
+            "strategy": LeftFStrategy,
+            "spf": spf_L,
+        },
+    ]
+
+
+def _time(fn: Callable[[], float], repeats: int) -> tuple:
+    """(best wall-clock seconds, last result) over ``repeats`` runs."""
+    best = float("inf")
+    value = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, value
+
+
+def run_benchmark(spf_repeats: int = 3) -> Dict:
+    results = []
+    for workload in _workloads():
+        tree_f, tree_g = workload["trees"]
+        strategy_cls = workload["strategy"]
+        spf = workload["spf"]
+        entry: Dict = {
+            "workload": workload["name"],
+            "n_f": tree_f.n,
+            "n_g": tree_g.n,
+        }
+
+        # The recursive engine is orders of magnitude slower on some of these
+        # workloads; a single run is representative enough for a baseline.
+        recursive_time, recursive_distance = _time(
+            lambda: DecompositionEngine(tree_f, tree_g, strategy_cls()).distance(), repeats=1
+        )
+        entry["recursive_seconds"] = recursive_time
+
+        python_time, python_distance = _time(
+            lambda: spf(tree_f, tree_g, use_numpy=False), repeats=spf_repeats
+        )
+        entry["spf_python_seconds"] = python_time
+        entry["spf_python_speedup"] = recursive_time / python_time
+        assert abs(python_distance - recursive_distance) < 1e-9, workload["name"]
+
+        if numpy_available():
+            numpy_time, numpy_distance = _time(
+                lambda: spf(tree_f, tree_g, use_numpy=True), repeats=spf_repeats
+            )
+            entry["spf_numpy_seconds"] = numpy_time
+            entry["spf_numpy_speedup"] = recursive_time / numpy_time
+            assert abs(numpy_distance - recursive_distance) < 1e-9, workload["name"]
+
+        entry["distance"] = float(recursive_distance)
+        results.append(entry)
+        _print_entry(entry)
+
+    return {
+        "benchmark": "bench_spf",
+        "description": "recursive decomposition engine vs iterative SPF kernels",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "numpy_available": numpy_available(),
+        "results": results,
+    }
+
+
+def _print_entry(entry: Dict) -> None:
+    line = (
+        f"{entry['workload']:28s} recursive={entry['recursive_seconds']:8.3f}s  "
+        f"spf-python={entry['spf_python_seconds']:7.3f}s "
+        f"({entry['spf_python_speedup']:6.1f}x)"
+    )
+    if "spf_numpy_seconds" in entry:
+        line += (
+            f"  spf-numpy={entry['spf_numpy_seconds']:7.3f}s "
+            f"({entry['spf_numpy_speedup']:6.1f}x)"
+        )
+    print(line)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
+    parser.add_argument("--repeats", type=int, default=3, help="repetitions per SPF timing")
+    args = parser.parse_args()
+
+    report = run_benchmark(spf_repeats=args.repeats)
+    args.output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(f"\nwrote {args.output}")
+
+    slowest = min(
+        entry["spf_python_speedup"]
+        for entry in report["results"]
+        if "branch" in entry["workload"]
+    )
+    print(f"minimum SPF speedup on 300-node branch workloads: {slowest:.1f}x (target: >= 3x)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

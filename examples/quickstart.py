@@ -55,6 +55,28 @@ def main() -> None:
             f"  {name:10s}  distance={algo_result.distance:<4g}  "
             f"subproblems={algo_result.subproblems}"
         )
+    print()
+
+    # 5. The same algorithm can run on different execution engines.  "spf"
+    #    runs left/right strategy phases through iterative, array-based
+    #    single-path functions: fastest for zhang-l/zhang-r and most RTED
+    #    strategies, and recursion-free, so arbitrarily deep trees work.
+    #    "recursive" is the reference engine, preferred for heavy-dominated
+    #    strategies (klein-h, demaine-h).  "auto" (default) keeps each
+    #    algorithm's historical implementation.
+    print("Engine comparison (zhang-l):")
+    for engine in ("auto", "spf"):
+        result = compute(original, revised, algorithm="zhang-l", engine=engine)
+        print(
+            f"  engine={engine:5s}  distance={result.distance:<4g}  "
+            f"time={result.total_time * 1000:.2f} ms"
+        )
+
+    deep_bracket = "{a" * 2000 + "}" * 2000
+    deep_distance = tree_edit_distance(
+        deep_bracket, original, algorithm="zhang-l", engine="spf"
+    )
+    print(f"2000-deep path tree vs document tree (engine='spf'): {deep_distance}")
 
 
 if __name__ == "__main__":

@@ -1,6 +1,15 @@
 """Tree edit distance algorithms: RTED, its competitors, and the GTED framework."""
 
-from .base import Stopwatch, TEDAlgorithm, TEDResult
+from .base import (
+    ENGINE_AUTO,
+    ENGINE_RECURSIVE,
+    ENGINE_SPF,
+    ENGINES,
+    Stopwatch,
+    TEDAlgorithm,
+    TEDResult,
+    resolve_engine,
+)
 from .simple import SimpleTED, simple_ted
 from .zhang_shasha import ZhangShashaRightTED, ZhangShashaTED, zhang_shasha, zhang_shasha_distance
 from .strategies import (
@@ -21,7 +30,8 @@ from .strategies import (
 )
 from .optimal_strategy import OptimalStrategyResult, optimal_strategy, optimal_strategy_cost
 from .forest_engine import DecompositionEngine
-from .gted import GTED
+from .spf import SinglePathContext, spf_L, spf_R
+from .gted import GTED, StrategyExecutor
 from .rted import RTED, rted
 from .klein import KleinTED
 from .demaine import DemaineTED
@@ -37,6 +47,11 @@ __all__ = [
     "TEDAlgorithm",
     "TEDResult",
     "Stopwatch",
+    "ENGINE_AUTO",
+    "ENGINE_RECURSIVE",
+    "ENGINE_SPF",
+    "ENGINES",
+    "resolve_engine",
     "SimpleTED",
     "simple_ted",
     "ZhangShashaTED",
@@ -61,7 +76,11 @@ __all__ = [
     "optimal_strategy",
     "optimal_strategy_cost",
     "DecompositionEngine",
+    "SinglePathContext",
+    "spf_L",
+    "spf_R",
     "GTED",
+    "StrategyExecutor",
     "RTED",
     "rted",
     "KleinTED",

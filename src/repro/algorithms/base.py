@@ -14,7 +14,38 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..costs import UNIT_COST, CostModel
+from ..exceptions import UnknownEngineError
 from ..trees.tree import Tree
+
+#: Execution-engine identifiers.  ``auto`` picks each algorithm's historical
+#: default; ``recursive`` forces the strategy-driven
+#: :class:`~repro.algorithms.forest_engine.DecompositionEngine`; ``spf``
+#: forces the iterative executor that dispatches left/right strategy steps to
+#: the single-path functions of :mod:`repro.algorithms.spf` (see
+#: ``DESIGN.md``).
+ENGINE_AUTO = "auto"
+ENGINE_RECURSIVE = "recursive"
+ENGINE_SPF = "spf"
+
+ENGINES = (ENGINE_AUTO, ENGINE_RECURSIVE, ENGINE_SPF)
+
+
+def resolve_engine(engine: Optional[str]) -> str:
+    """Normalize an engine selector (``None`` → ``auto``) or raise.
+
+    Raises
+    ------
+    UnknownEngineError
+        If ``engine`` is not one of :data:`ENGINES`.
+    """
+    if engine is None:
+        return ENGINE_AUTO
+    key = str(engine).strip().lower()
+    if key not in ENGINES:
+        raise UnknownEngineError(
+            f"unknown engine {engine!r}; available: {', '.join(ENGINES)}"
+        )
+    return key
 
 
 @dataclass

@@ -24,12 +24,18 @@ of constant-factor overhead.
 Because the recursive formula is correct for *either* direction choice at
 every step, the distance returned by the engine is exact for every strategy;
 only the amount of work depends on the strategy.
+
+Since the introduction of the iterative single-path layer
+(:mod:`repro.algorithms.spf`, ``engine="spf"``) this engine is the *reference
+oracle* and the fallback executor for heavy paths; left/right phases run
+recursion-free in the SPF layer and never enter this module.
 """
 
 from __future__ import annotations
 
 import sys
-from typing import Dict, Optional, Tuple
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional, Tuple
 
 from ..costs import CostModel
 from ..trees.tree import Tree
@@ -37,6 +43,37 @@ from .base import resolve_cost_model
 from .strategies import SIDE_F, Strategy
 
 ForestKey = Tuple[int, ...]
+
+#: Hard ceiling for the temporary recursion-limit bump below.  The recursive
+#: engine needs stack headroom proportional to the forest sizes it decomposes;
+#: pairs that would require more than this are out of the engine's league and
+#: should run on the iterative ``spf`` engine instead (which needs none).
+MAX_RECURSION_LIMIT = 50_000
+
+
+@contextmanager
+def _recursion_headroom(nodes: int) -> Iterator[None]:
+    """Temporarily raise the interpreter recursion limit for ``nodes`` work.
+
+    This is the single place in the *distance engines* that mutates
+    ``sys.setrecursionlimit``; it is only entered by
+    :meth:`DecompositionEngine.subtree_distance`, i.e. when the recursive
+    reference/fallback engine runs — the SPF execution paths never need it.
+    The bump is capped at :data:`MAX_RECURSION_LIMIT` and always restored.
+    (Some peripheral subsystems — serializers, bounds, counting, rendering —
+    still bump the limit locally for their own recursions; those are
+    independent of the distance core.)
+    """
+    old_limit = sys.getrecursionlimit()
+    needed = min(MAX_RECURSION_LIMIT, 20_000 + 30 * nodes)
+    if needed <= old_limit:
+        yield
+        return
+    sys.setrecursionlimit(needed)
+    try:
+        yield
+    finally:
+        sys.setrecursionlimit(old_limit)
 
 
 class DecompositionEngine:
@@ -97,13 +134,8 @@ class DecompositionEngine:
 
     def subtree_distance(self, v: int, w: int) -> float:
         """Edit distance between the subtree of F rooted at ``v`` and of G at ``w``."""
-        old_limit = sys.getrecursionlimit()
-        needed = 20000 + 30 * (self.tree_f.sizes[v] + self.tree_g.sizes[w])
-        sys.setrecursionlimit(max(old_limit, needed))
-        try:
+        with _recursion_headroom(self.tree_f.sizes[v] + self.tree_g.sizes[w]):
             return self._dist((v,), (w,), None, frozenset())
-        finally:
-            sys.setrecursionlimit(old_limit)
 
     # ------------------------------------------------------------------ #
     # Recursion

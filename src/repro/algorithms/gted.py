@@ -1,22 +1,136 @@
 """GTED — the general tree edit distance algorithm (Algorithm 1).
 
-GTED computes the tree edit distance for *any* path strategy.  In this
-reproduction the recursive decomposition and the single-path functions are
-realized by the strategy-driven :class:`~repro.algorithms.forest_engine.
-DecompositionEngine` (see ``DESIGN.md`` for the substitution rationale), so
-``GTED(strategy)`` is the algorithm object that wires a strategy, a cost
-model, and the engine together and reports the paper's measurements.
+GTED computes the tree edit distance for *any* path strategy.  Two
+interchangeable execution engines realize the recursive decomposition and the
+single-path functions (see ``DESIGN.md`` for the architecture):
+
+* ``engine="recursive"`` — the strategy-driven
+  :class:`~repro.algorithms.forest_engine.DecompositionEngine`, a direct,
+  hash-memoized transcription of the paper's recursion.  It is the reference
+  implementation and the only engine that executes *heavy* paths natively.
+* ``engine="spf"`` — the iterative :class:`StrategyExecutor` below, which
+  walks the strategy's decomposition tree with an explicit stack and runs
+  every left/right step through the array-based single-path functions
+  ``Δ_L`` / ``Δ_R`` of :mod:`repro.algorithms.spf` (heavy steps fall back to
+  the recursive engine).  It is much faster on left/right-dominated
+  strategies and frees those phases from the interpreter recursion limit.
+
+``GTED(strategy)`` wires a strategy, a cost model, and an engine together and
+reports the paper's measurements.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional, Set, Tuple
 
 from ..costs import CostModel
-from ..trees.tree import Tree
-from .base import Stopwatch, TEDAlgorithm, TEDResult
+from ..trees.tree import HEAVY, Tree
+from .base import (
+    ENGINE_AUTO,
+    ENGINE_RECURSIVE,
+    ENGINE_SPF,
+    Stopwatch,
+    TEDAlgorithm,
+    TEDResult,
+    resolve_engine,
+)
 from .forest_engine import DecompositionEngine
-from .strategies import Strategy
+from .spf import SinglePathContext
+from .strategies import SIDE_F, PathChoice, Strategy
+
+
+class StrategyExecutor:
+    """Iterative GTED driver over a path strategy (the ``spf`` engine).
+
+    Walks the decomposition tree of Algorithm 1 with an explicit stack: every
+    subtree pair whose strategy choice is a left or right path becomes a
+    *spine* run of the matching single-path function, preceded by sub-tasks
+    for the relevant subtrees hanging off that path.  Pairs mapped to a heavy
+    path are delegated to the recursive reference engine, which fills the
+    same dense distance matrix so both worlds compose freely.
+
+    Invariant (shared with :class:`~repro.algorithms.spf.SinglePathContext`):
+    once a pair ``(v, w)`` is done, ``D[x][y]`` is final for every
+    ``x ∈ F_v, y ∈ G_w`` — exactly what an enclosing single-path run needs.
+    """
+
+    def __init__(
+        self,
+        tree_f: Tree,
+        tree_g: Tree,
+        strategy: Strategy,
+        cost_model: Optional[CostModel] = None,
+        use_numpy: Optional[bool] = None,
+    ) -> None:
+        self.tree_f = tree_f
+        self.tree_g = tree_g
+        self.strategy = strategy
+        self.context = SinglePathContext(
+            tree_f, tree_g, cost_model=cost_model, use_numpy=use_numpy
+        )
+        self._cost_model = cost_model
+        self._fallback: Optional[DecompositionEngine] = None
+        #: Relevant subproblems evaluated (SPF table cells + fallback memo entries).
+        self.subproblems = 0
+
+    def distance(self) -> float:
+        """Tree edit distance between the two whole trees."""
+        tree_f, tree_g = self.tree_f, self.tree_g
+        stack: List[Tuple[int, int, Optional[PathChoice]]] = [(tree_f.root, tree_g.root, None)]
+        done: Set[Tuple[int, int]] = set()
+        scheduled: Set[Tuple[int, int]] = set()
+
+        while stack:
+            v, w, choice = stack.pop()
+            if choice is not None:
+                # Phase 2 of a task: the off-path blocks are complete, run the
+                # single-path function along the chosen spine.
+                self.context.run(choice.side, choice.kind, v, w, spine_only=True)
+                done.add((v, w))
+                continue
+            if (v, w) in done or (v, w) in scheduled:
+                continue
+
+            choice = self.strategy.choose(tree_f, tree_g, v, w)
+            if choice.kind == HEAVY:
+                self._fallback_block(v, w)
+                done.add((v, w))
+                continue
+
+            scheduled.add((v, w))
+            stack.append((v, w, choice))
+            if choice.side == SIDE_F:
+                for root in tree_f.relevant_subtrees(v, choice.kind):
+                    if (root, w) not in done:
+                        stack.append((root, w, None))
+            else:
+                for root in tree_g.relevant_subtrees(w, choice.kind):
+                    if (v, root) not in done:
+                        stack.append((v, root, None))
+
+        self.subproblems = self.context.cells
+        if self._fallback is not None:
+            self.subproblems += self._fallback.subproblems
+        return float(self.context.D[tree_f.root][tree_g.root])
+
+    def _fallback_block(self, v: int, w: int) -> None:
+        """Fill the whole ``F_v × G_w`` distance block with the recursive engine.
+
+        Heavy paths have no iterative single-path function yet, and an
+        enclosing spine run may read any subtree pair of the block, so the
+        reference engine computes them all.  A single engine instance is kept
+        so its memo table is shared across fallback blocks.
+        """
+        if self._fallback is None:
+            self._fallback = DecompositionEngine(
+                self.tree_f, self.tree_g, self.strategy, cost_model=self._cost_model
+            )
+        engine = self._fallback
+        D = self.context.D
+        for x in self.tree_f.subtree_nodes(v):
+            row = D[x]
+            for y in self.tree_g.subtree_nodes(w):
+                row[y] = engine.subtree_distance(x, y)
 
 
 class GTED(TEDAlgorithm):
@@ -31,24 +145,41 @@ class GTED(TEDAlgorithm):
         Algorithm 2 reproduces RTED.
     name:
         Optional display name; defaults to ``"GTED(<strategy>)"``.
+    engine:
+        Execution engine: ``"recursive"`` (the reference decomposition
+        engine, also the ``"auto"`` default) or ``"spf"`` (iterative
+        single-path executor, fastest for left/right-dominated strategies).
     """
 
-    def __init__(self, strategy: Strategy, name: Optional[str] = None) -> None:
+    def __init__(
+        self, strategy: Strategy, name: Optional[str] = None, engine: str = ENGINE_AUTO
+    ) -> None:
         self.strategy = strategy
+        self.engine = resolve_engine(engine)
         self.name = name if name is not None else f"GTED({strategy.name})"
 
     def compute(
         self, tree_f: Tree, tree_g: Tree, cost_model: Optional[CostModel] = None
     ) -> TEDResult:
+        engine = ENGINE_RECURSIVE if self.engine == ENGINE_AUTO else self.engine
         watch = Stopwatch()
         watch.start()
-        engine = DecompositionEngine(tree_f, tree_g, self.strategy, cost_model=cost_model)
-        distance = engine.distance()
+        if engine == ENGINE_SPF:
+            executor = StrategyExecutor(tree_f, tree_g, self.strategy, cost_model=cost_model)
+            distance = executor.distance()
+            subproblems = executor.subproblems
+        else:
+            recursive = DecompositionEngine(
+                tree_f, tree_g, self.strategy, cost_model=cost_model
+            )
+            distance = recursive.distance()
+            subproblems = recursive.subproblems
         return TEDResult(
             distance=distance,
             algorithm=self.name,
-            subproblems=engine.subproblems,
+            subproblems=subproblems,
             distance_time=watch.elapsed(),
             n_f=tree_f.n,
             n_g=tree_g.n,
+            extra={"engine": engine},
         )

@@ -4,38 +4,82 @@ The experiments, the CLI, and the public API refer to algorithms by name
 (``"rted"``, ``"zhang-l"``, ...).  The registry maps those names to factory
 functions so that new algorithms (or configured GTED variants) can be plugged
 in without touching the call sites.
+
+Factories may accept an ``engine`` keyword (see
+:func:`repro.algorithms.base.resolve_engine`) selecting the execution
+backend: with ``engine="auto"`` every name keeps its historical
+implementation, while ``engine="spf"`` / ``engine="recursive"`` force the
+iterative single-path executor or the recursive reference engine for the
+algorithm's strategy.  Names with a single implementation (e.g. ``simple``)
+reject explicit engine selection.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+import inspect
+from typing import Callable, Dict, List, Optional
 
-from ..exceptions import UnknownAlgorithmError
-from .base import TEDAlgorithm
+from ..exceptions import UnknownAlgorithmError, UnknownEngineError
+from .base import ENGINE_AUTO, TEDAlgorithm, resolve_engine
 from .demaine import DemaineTED
 from .gted import GTED
 from .klein import KleinTED
 from .rted import RTED
 from .simple import SimpleTED
 from .strategies import (
+    HeavyFStrategy,
     HeavyGStrategy,
+    HeavyLargerStrategy,
+    LeftFStrategy,
     LeftGStrategy,
+    RightFStrategy,
     RightGStrategy,
 )
 from .zhang_shasha import ZhangShashaRightTED, ZhangShashaTED
 
-_FACTORIES: Dict[str, Callable[[], TEDAlgorithm]] = {
-    "rted": RTED,
-    "zhang-l": ZhangShashaTED,
-    "zhang-r": ZhangShashaRightTED,
-    "klein-h": KleinTED,
-    "demaine-h": DemaineTED,
+
+def _zhang_l(engine: str = ENGINE_AUTO) -> TEDAlgorithm:
+    if engine == ENGINE_AUTO:
+        return ZhangShashaTED()
+    return GTED(LeftFStrategy(), name=f"Zhang-L[{engine}]", engine=engine)
+
+
+def _zhang_r(engine: str = ENGINE_AUTO) -> TEDAlgorithm:
+    if engine == ENGINE_AUTO:
+        return ZhangShashaRightTED()
+    return GTED(RightFStrategy(), name=f"Zhang-R[{engine}]", engine=engine)
+
+
+def _klein(engine: str = ENGINE_AUTO) -> TEDAlgorithm:
+    if engine == ENGINE_AUTO:
+        return KleinTED()
+    return GTED(HeavyFStrategy(), name=f"Klein-H[{engine}]", engine=engine)
+
+
+def _demaine(engine: str = ENGINE_AUTO) -> TEDAlgorithm:
+    if engine == ENGINE_AUTO:
+        return DemaineTED()
+    return GTED(HeavyLargerStrategy(), name=f"Demaine-H[{engine}]", engine=engine)
+
+
+_FACTORIES: Dict[str, Callable[..., TEDAlgorithm]] = {
+    "rted": lambda engine=ENGINE_AUTO: RTED(engine=engine),
+    "zhang-l": _zhang_l,
+    "zhang-r": _zhang_r,
+    "klein-h": _klein,
+    "demaine-h": _demaine,
     "simple": SimpleTED,
     # GTED variants that decompose the right-hand tree; mostly of interest for
     # experimentation with the strategy space.
-    "gted-left-g": lambda: GTED(LeftGStrategy(), name="GTED(left-G)"),
-    "gted-right-g": lambda: GTED(RightGStrategy(), name="GTED(right-G)"),
-    "gted-heavy-g": lambda: GTED(HeavyGStrategy(), name="GTED(heavy-G)"),
+    "gted-left-g": lambda engine=ENGINE_AUTO: GTED(
+        LeftGStrategy(), name="GTED(left-G)", engine=engine
+    ),
+    "gted-right-g": lambda engine=ENGINE_AUTO: GTED(
+        RightGStrategy(), name="GTED(right-G)", engine=engine
+    ),
+    "gted-heavy-g": lambda engine=ENGINE_AUTO: GTED(
+        HeavyGStrategy(), name="GTED(heavy-G)", engine=engine
+    ),
 }
 
 _ALIASES: Dict[str, str] = {
@@ -60,8 +104,13 @@ def available_algorithms() -> List[str]:
     return sorted(_FACTORIES)
 
 
-def make_algorithm(name: str) -> TEDAlgorithm:
-    """Instantiate an algorithm by (case-insensitive) name or alias."""
+def make_algorithm(name: str, engine: Optional[str] = None) -> TEDAlgorithm:
+    """Instantiate an algorithm by (case-insensitive) name or alias.
+
+    ``engine`` selects the execution backend for names that support several
+    (``"auto"``, ``"recursive"``, ``"spf"``); ``None`` is equivalent to
+    ``"auto"`` and always valid.
+    """
     key = name.strip().lower()
     key = _ALIASES.get(key, key)
     factory = _FACTORIES.get(key)
@@ -69,9 +118,21 @@ def make_algorithm(name: str) -> TEDAlgorithm:
         raise UnknownAlgorithmError(
             f"unknown algorithm {name!r}; available: {', '.join(available_algorithms())}"
         )
+    resolved = resolve_engine(engine)
+    if "engine" in inspect.signature(factory).parameters:
+        return factory(engine=resolved)
+    if resolved != ENGINE_AUTO:
+        raise UnknownEngineError(
+            f"algorithm {name!r} has a single implementation; "
+            f"engine selection is not supported"
+        )
     return factory()
 
 
-def register_algorithm(name: str, factory: Callable[[], TEDAlgorithm]) -> None:
-    """Register a custom algorithm factory under ``name`` (lower-cased)."""
+def register_algorithm(name: str, factory: Callable[..., TEDAlgorithm]) -> None:
+    """Register a custom algorithm factory under ``name`` (lower-cased).
+
+    The factory may be zero-argument or accept an ``engine`` keyword; only
+    factories with an ``engine`` parameter participate in engine selection.
+    """
     _FACTORIES[name.strip().lower()] = factory

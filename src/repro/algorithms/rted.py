@@ -6,6 +6,12 @@ space) and then runs GTED with that strategy.  Its number of relevant
 subproblems is, by construction of the optimal strategy, at most the number
 computed by any of the fixed-strategy competitors (Zhang-L/R, Klein-H,
 Demaine-H).
+
+Like :class:`~repro.algorithms.gted.GTED`, the distance phase can run on
+either execution engine: the recursive reference engine (default) or the
+iterative ``spf`` executor, which evaluates the left/right steps of the
+optimal strategy with array-based single-path functions and falls back to
+the recursive engine only for heavy steps.
 """
 
 from __future__ import annotations
@@ -14,19 +20,40 @@ from typing import Optional
 
 from ..costs import CostModel
 from ..trees.tree import Tree
-from .base import Stopwatch, TEDAlgorithm, TEDResult
+from .base import (
+    ENGINE_AUTO,
+    ENGINE_RECURSIVE,
+    ENGINE_SPF,
+    Stopwatch,
+    TEDAlgorithm,
+    TEDResult,
+    resolve_engine,
+)
 from .forest_engine import DecompositionEngine
+from .gted import StrategyExecutor
 from .optimal_strategy import OptimalStrategyResult, optimal_strategy
 
 
 class RTED(TEDAlgorithm):
-    """Robust tree edit distance: optimal LRH strategy + GTED."""
+    """Robust tree edit distance: optimal LRH strategy + GTED.
+
+    Parameters
+    ----------
+    engine:
+        Execution engine for the distance phase: ``"recursive"`` (the
+        reference decomposition engine, also the ``"auto"`` default) or
+        ``"spf"`` (iterative single-path executor).
+    """
 
     name = "RTED"
+
+    def __init__(self, engine: str = ENGINE_AUTO) -> None:
+        self.engine = resolve_engine(engine)
 
     def compute(
         self, tree_f: Tree, tree_g: Tree, cost_model: Optional[CostModel] = None
     ) -> TEDResult:
+        engine = ENGINE_RECURSIVE if self.engine == ENGINE_AUTO else self.engine
         strategy_watch = Stopwatch()
         strategy_watch.start()
         strategy_result: OptimalStrategyResult = optimal_strategy(tree_f, tree_g)
@@ -34,22 +61,31 @@ class RTED(TEDAlgorithm):
 
         distance_watch = Stopwatch()
         distance_watch.start()
-        engine = DecompositionEngine(
-            tree_f, tree_g, strategy_result.strategy, cost_model=cost_model
-        )
-        distance = engine.distance()
+        if engine == ENGINE_SPF:
+            executor = StrategyExecutor(
+                tree_f, tree_g, strategy_result.strategy, cost_model=cost_model
+            )
+            distance = executor.distance()
+            subproblems = executor.subproblems
+        else:
+            recursive = DecompositionEngine(
+                tree_f, tree_g, strategy_result.strategy, cost_model=cost_model
+            )
+            distance = recursive.distance()
+            subproblems = recursive.subproblems
         distance_time = distance_watch.elapsed()
 
         return TEDResult(
             distance=distance,
             algorithm=self.name,
-            subproblems=engine.subproblems,
+            subproblems=subproblems,
             strategy_time=strategy_time,
             distance_time=distance_time,
             n_f=tree_f.n,
             n_g=tree_g.n,
             extra={
                 "optimal_strategy_cost": strategy_result.cost,
+                "engine": engine,
             },
         )
 
@@ -58,6 +94,8 @@ class RTED(TEDAlgorithm):
         return optimal_strategy(tree_f, tree_g)
 
 
-def rted(tree_f: Tree, tree_g: Tree, cost_model: Optional[CostModel] = None) -> float:
+def rted(
+    tree_f: Tree, tree_g: Tree, cost_model: Optional[CostModel] = None, engine: str = ENGINE_AUTO
+) -> float:
     """Functional shortcut returning only the RTED distance."""
-    return RTED().distance(tree_f, tree_g, cost_model=cost_model)
+    return RTED(engine=engine).distance(tree_f, tree_g, cost_model=cost_model)

@@ -1,0 +1,407 @@
+"""Iterative single-path functions Δ_L and Δ_R over flat postorder arrays.
+
+This module is the hot execution core of the library: it evaluates the
+Zhang–Shasha-style forest-distance recurrence for *left-path* and *right-path*
+decompositions without recursion, without tuple forest keys, and with dense
+``O(n·m)`` subtree tables instead of hash-map memoization.  It realizes the
+paper's single-path functions ``Δ_L`` and ``Δ_R`` (Figure 6); heavy/inner
+paths stay with the recursive reference engine
+(:class:`~repro.algorithms.forest_engine.DecompositionEngine`), see
+``DESIGN.md`` for the full architecture.
+
+Two interchangeable kernels fill each keyroot-pair table:
+
+* a pure-Python kernel (always available), and
+* a NumPy kernel (:mod:`repro.algorithms.spf_numpy`) that sweeps each table
+  row with vectorized operations — the running-minimum coupling between
+  ``fd[i][j-1]`` and ``fd[i][j]`` is resolved with a prefix-minimum over
+  ``t[j] - I[j]`` (``I`` = cumulative insert costs), so a whole row costs a
+  handful of ``O(cols)`` array operations.
+
+The right-path variant reuses the left-path recurrence verbatim by switching
+to *reverse-postorder* coordinates (``Tree.rpost_of_post``), in which the
+mirrored tree's arrays appear without building a mirrored tree.  Both trees,
+both path kinds, and both decomposition sides (``F`` or ``G``) are expressed
+through the small :class:`_Frame` view below.
+
+Contract shared with the executor (:mod:`repro.algorithms.gted`): after
+:meth:`SinglePathContext.run` finishes for a subtree pair ``(v, w)``, the
+dense distance matrix ``D`` holds the exact tree edit distance for *every*
+pair of subtrees ``(x, y)`` with ``x ∈ F_v`` and ``y ∈ G_w``.
+"""
+
+from __future__ import annotations
+
+from math import nan
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..costs import CostModel
+from ..trees.tree import LEFT, RIGHT, Tree
+from .base import resolve_cost_model
+from .strategies import SIDE_F, SIDE_G
+
+try:  # NumPy is an optional accelerator, mirroring repro.counting's split.
+    from . import spf_numpy as _np_kernel
+except ImportError:  # pragma: no cover - exercised only without numpy
+    _np_kernel = None
+
+
+def numpy_available() -> bool:
+    """``True`` when the NumPy kernel can be used."""
+    return _np_kernel is not None
+
+
+def _resolve_use_numpy(use_numpy: Optional[bool]) -> bool:
+    if use_numpy is None:
+        return numpy_available()
+    if use_numpy and not numpy_available():
+        raise RuntimeError("NumPy kernel requested but numpy is not importable")
+    return bool(use_numpy)
+
+
+class _Frame:
+    """A tree viewed in left-decomposition coordinates.
+
+    For ``kind == LEFT`` the frame ids are plain postorder ids.  For
+    ``kind == RIGHT`` they are reverse-postorder ids, i.e. the postorder ids
+    of the mirrored tree; in that coordinate system the *rightmost* leaf of a
+    node becomes its frame-``lml`` and the right-path recurrence coincides
+    with the left-path one.  ``to_post`` maps frame ids back to postorder ids
+    for reads/writes of the shared distance matrix.
+    """
+
+    __slots__ = ("n", "kind", "tree", "labels", "lml", "sizes", "to_post", "of_post", "np_arrays")
+
+    def __init__(self, tree: Tree, kind: str) -> None:
+        self.n = tree.n
+        self.kind = kind
+        self.tree = tree
+        #: Lazily built integer-array mirrors, populated by the NumPy kernel.
+        self.np_arrays = None
+        if kind == LEFT:
+            self.labels: List[object] = list(tree.labels)
+            self.lml: List[int] = list(tree.lml)
+            self.sizes: List[int] = list(tree.sizes)
+            self.to_post: List[int] = list(range(tree.n))
+            self.of_post: List[int] = self.to_post
+        elif kind == RIGHT:
+            rpost = tree.rpost_of_post()
+            post = tree.post_of_rpost()
+            self.labels = [tree.labels[p] for p in post]
+            self.lml = [rpost[tree.rml[p]] for p in post]
+            self.sizes = [tree.sizes[p] for p in post]
+            self.to_post = list(post)
+            self.of_post = list(rpost)
+        else:
+            raise ValueError(f"single-path functions support left/right paths, not {kind!r}")
+
+    def subtree_keyroots(self, v: int) -> List[int]:
+        """Frame ids of the keyroots inside the subtree rooted at frame id ``v``."""
+        keyroots = self.tree.subtree_keyroots(self.to_post[v], self.kind)
+        if self.kind == LEFT:
+            return keyroots
+        of_post = self.of_post
+        return sorted(of_post[k] for k in keyroots)
+
+
+class SinglePathContext:
+    """Shared state for running single-path functions over one tree pair.
+
+    Owns the dense ``n_f × n_g`` tree-distance matrix ``D`` (postorder ×
+    postorder, initialized to NaN so that a contract violation surfaces as a
+    NaN distance instead of a silently wrong number), the lazily built
+    coordinate frames, per-frame cost arrays, and the relevant-subproblem
+    counter ``cells``.
+
+    A context is used directly by :func:`spf_L` / :func:`spf_R` for whole
+    subtree pairs, and incrementally by the GTED executor which calls
+    :meth:`run` once per strategy step with ``spine_only=True``.
+    """
+
+    def __init__(
+        self,
+        tree_f: Tree,
+        tree_g: Tree,
+        cost_model: Optional[CostModel] = None,
+        use_numpy: Optional[bool] = None,
+    ) -> None:
+        self.tree_f = tree_f
+        self.tree_g = tree_g
+        self.cost_model = resolve_cost_model(cost_model)
+        self.use_numpy = _resolve_use_numpy(use_numpy)
+        #: Number of forest-distance cells evaluated (the relevant subproblems).
+        self.cells = 0
+
+        if self.use_numpy:
+            self.D = _np_kernel.allocate_matrix(tree_f.n, tree_g.n)
+        else:
+            self.D = [[nan] * tree_g.n for _ in range(tree_f.n)]
+
+        self._frames: Dict[Tuple[str, str], _Frame] = {}
+        self._costs: Dict[Tuple[str, str, str], List[float]] = {}
+        self._renames: Dict[Tuple[str, str], object] = {}
+
+    # ------------------------------------------------------------------ #
+    # Cached per-frame data
+    # ------------------------------------------------------------------ #
+    def _frame(self, which: str, kind: str) -> _Frame:
+        key = (which, kind)
+        frame = self._frames.get(key)
+        if frame is None:
+            tree = self.tree_f if which == SIDE_F else self.tree_g
+            frame = _Frame(tree, kind)
+            self._frames[key] = frame
+        return frame
+
+    def _cost_array(self, which: str, kind: str, operation: str) -> List[float]:
+        """Per-frame-id node costs; ``operation`` is ``"delete"`` or ``"insert"``."""
+        key = (which, kind, operation)
+        costs = self._costs.get(key)
+        if costs is None:
+            frame = self._frame(which, kind)
+            fn = self.cost_model.delete if operation == "delete" else self.cost_model.insert
+            costs = [fn(label) for label in frame.labels]
+            if self.use_numpy:
+                costs = _np_kernel.as_array(costs)
+            self._costs[key] = costs
+        return costs
+
+    def _rename_matrix(self, side: str, kind: str):
+        """Dense rename-cost matrix in frame coordinates (NumPy kernel only).
+
+        Row axis is the decomposed tree, column axis the other tree; for
+        ``side == SIDE_G`` the stored costs are ``rename(label_F, label_G)``
+        with the *original* argument order, so the swapped orientation still
+        charges the correct direction-sensitive cost.
+        """
+        key = (side, kind)
+        matrix = self._renames.get(key)
+        if matrix is None:
+            if side == SIDE_F:
+                rows, cols = self._frame(SIDE_F, kind), self._frame(SIDE_G, kind)
+                rename = self.cost_model.rename
+            else:
+                rows, cols = self._frame(SIDE_G, kind), self._frame(SIDE_F, kind)
+                rename = lambda a, b: self.cost_model.rename(b, a)  # noqa: E731
+            matrix = _np_kernel.rename_matrix(rows.labels, cols.labels, rename)
+            self._renames[key] = matrix
+        return matrix
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def run(self, side: str, kind: str, v: int, w: int, spine_only: bool = False) -> float:
+        """Run the single-path function for the subtree pair ``(v, w)``.
+
+        Parameters
+        ----------
+        side, kind:
+            Which tree is decomposed (``"F"`` or ``"G"``) along which path
+            (``LEFT`` or ``RIGHT``).
+        v, w:
+            Postorder ids of the subtree roots in ``tree_f`` / ``tree_g``.
+        spine_only:
+            When ``False`` (standalone mode) every keyroot of the decomposed
+            subtree is processed, which computes the pair from scratch.  When
+            ``True`` (executor mode) only the root spine is processed and the
+            off-path blocks of ``D`` must already be filled — that is exactly
+            the state Algorithm 1 guarantees after its recursive calls.
+
+        Returns the tree edit distance ``d(F_v, G_w)``.
+        """
+        if kind not in (LEFT, RIGHT):
+            raise ValueError(f"single-path functions support left/right paths, not {kind!r}")
+        if side == SIDE_F:
+            dec_which, oth_which = SIDE_F, SIDE_G
+            dec_root, oth_root = v, w
+        else:
+            dec_which, oth_which = SIDE_G, SIDE_F
+            dec_root, oth_root = w, v
+
+        dec = self._frame(dec_which, kind)
+        oth = self._frame(oth_which, kind)
+        dec_fid = dec.of_post[dec_root]
+        oth_fid = oth.of_post[oth_root]
+
+        # Removing a node from the decomposed tree is a *delete* when F is
+        # decomposed and an *insert* when G is (and vice versa for the other
+        # side), which keeps asymmetric cost models exact.
+        del_costs = self._cost_array(dec_which, kind, "delete" if side == SIDE_F else "insert")
+        ins_costs = self._cost_array(oth_which, kind, "insert" if side == SIDE_F else "delete")
+
+        dec_keyroots = [dec_fid] if spine_only else dec.subtree_keyroots(dec_fid)
+        oth_keyroots = oth.subtree_keyroots(oth_fid)
+
+        if self.use_numpy:
+            base = self.D if side == SIDE_F else self.D.T
+            rename = self._rename_matrix(side, kind)
+            cells = _np_kernel.run_regions(
+                dec, oth, dec_keyroots, oth_keyroots, del_costs, ins_costs, rename, base,
+                fallback=self._region_kernel_py(side, dec, oth, del_costs, ins_costs),
+            )
+        else:
+            kernel = self._region_kernel_py(side, dec, oth, del_costs, ins_costs)
+            cells = 0
+            for kf in dec_keyroots:
+                for kg in oth_keyroots:
+                    cells += kernel(kf, kg)
+        self.cells += cells
+        return float(self.D[v][w])
+
+    # ------------------------------------------------------------------ #
+    # Pure-Python kernel
+    # ------------------------------------------------------------------ #
+    def _region_kernel_py(
+        self,
+        side: str,
+        dec: _Frame,
+        oth: _Frame,
+        del_costs: List[float],
+        ins_costs: List[float],
+    ) -> Callable[[int, int], int]:
+        """Bind the pure-Python region kernel to one orientation.
+
+        The returned callable fills a single keyroot-pair table; it is both
+        the pure-Python execution path and the small-region fallback of the
+        NumPy kernel (whose per-region setup overhead would dominate the many
+        tiny tables produced by branchy trees).
+        """
+        D = self.D
+        to_post_dec = dec.to_post
+        to_post_oth = oth.to_post
+        if side == SIDE_F:
+            rename = self.cost_model.rename
+
+            def read_row(node_post: int, col_posts: List[int]) -> List[float]:
+                row = D[node_post]
+                return [row[p] for p in col_posts]
+
+            def write(node_post: int, col_post: int, value: float) -> None:
+                D[node_post][col_post] = value
+
+        else:
+            cm_rename = self.cost_model.rename
+
+            def rename(a: object, b: object) -> float:
+                return cm_rename(b, a)
+
+            def read_row(node_post: int, col_posts: List[int]) -> List[float]:
+                return [D[p][node_post] for p in col_posts]
+
+            def write(node_post: int, col_post: int, value: float) -> None:
+                D[col_post][node_post] = value
+
+        def kernel(kf: int, kg: int) -> int:
+            return _region_py(
+                dec, oth, kf, kg, del_costs, ins_costs, rename,
+                to_post_dec, to_post_oth, read_row, write,
+            )
+
+        return kernel
+
+
+def _region_py(
+    dec: _Frame,
+    oth: _Frame,
+    kf: int,
+    kg: int,
+    del_costs: List[float],
+    ins_costs: List[float],
+    rename: Callable[[object, object], float],
+    to_post_dec: List[int],
+    to_post_oth: List[int],
+    read_row: Callable[[int, List[int]], List[float]],
+    write: Callable[[int, int, float], None],
+) -> int:
+    """Fill one keyroot-pair forest-distance table (pure-Python kernel).
+
+    The recurrence is the classic Zhang–Shasha one over frame-contiguous
+    prefix forests; distances between pairs of complete subtrees are written
+    to the shared matrix, and distances of previously completed subtree pairs
+    are read back for the forest-split case.
+    """
+    lml_f, lml_g = dec.lml, oth.lml
+    labels_f, labels_g = dec.labels, oth.labels
+    lf, lg = lml_f[kf], lml_g[kg]
+    rows = kf - lf + 2
+    cols = kg - lg + 2
+
+    col_posts = to_post_oth[lg : kg + 1]
+
+    fd: List[List[float]] = [[0.0] * cols for _ in range(rows)]
+    for i in range(1, rows):
+        fd[i][0] = fd[i - 1][0] + del_costs[lf + i - 1]
+    first_row = fd[0]
+    for j in range(1, cols):
+        first_row[j] = first_row[j - 1] + ins_costs[lg + j - 1]
+
+    for i in range(1, rows):
+        node_f = lf + i - 1
+        spans_f = lml_f[node_f] == lf
+        delete_cost = del_costs[node_f]
+        label_f = labels_f[node_f]
+        node_f_post = to_post_dec[node_f]
+        prev = fd[i - 1]
+        row = fd[i]
+        split_row = fd[lml_f[node_f] - lf]
+        dist_row = None if spans_f else read_row(node_f_post, col_posts)
+        for j in range(1, cols):
+            node_g = lg + j - 1
+            best = prev[j] + delete_cost
+            candidate = row[j - 1] + ins_costs[node_g]
+            if candidate < best:
+                best = candidate
+            if spans_f and lml_g[node_g] == lg:
+                candidate = prev[j - 1] + rename(label_f, labels_g[node_g])
+                if candidate < best:
+                    best = candidate
+                row[j] = best
+                write(node_f_post, col_posts[j - 1], best)
+            else:
+                if dist_row is None:
+                    dist_row = read_row(node_f_post, col_posts)
+                candidate = split_row[lml_g[node_g] - lg] + dist_row[j - 1]
+                if candidate < best:
+                    best = candidate
+                row[j] = best
+
+    return (rows - 1) * (cols - 1)
+
+
+# --------------------------------------------------------------------------- #
+# Public single-path functions
+# --------------------------------------------------------------------------- #
+def spf_L(
+    tree_f: Tree,
+    tree_g: Tree,
+    v: Optional[int] = None,
+    w: Optional[int] = None,
+    cost_model: Optional[CostModel] = None,
+    use_numpy: Optional[bool] = None,
+) -> float:
+    """Tree edit distance via the iterative left-path single-path function.
+
+    Computes ``d(F_v, G_w)`` (whole trees by default) by decomposing both
+    trees along left paths — the strategy of Zhang-L — entirely with
+    iterative keyroot tables: no recursion is involved, so arbitrarily deep
+    trees are handled without touching the interpreter recursion limit.
+    """
+    context = SinglePathContext(tree_f, tree_g, cost_model=cost_model, use_numpy=use_numpy)
+    return context.run(SIDE_F, LEFT, tree_f.root if v is None else v, tree_g.root if w is None else w)
+
+
+def spf_R(
+    tree_f: Tree,
+    tree_g: Tree,
+    v: Optional[int] = None,
+    w: Optional[int] = None,
+    cost_model: Optional[CostModel] = None,
+    use_numpy: Optional[bool] = None,
+) -> float:
+    """Tree edit distance via the iterative right-path single-path function.
+
+    The mirror image of :func:`spf_L` (the strategy of Zhang-R), executed in
+    reverse-postorder coordinates instead of on mirrored tree copies.
+    """
+    context = SinglePathContext(tree_f, tree_g, cost_model=cost_model, use_numpy=use_numpy)
+    return context.run(SIDE_F, RIGHT, tree_f.root if v is None else v, tree_g.root if w is None else w)

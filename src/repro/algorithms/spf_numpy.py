@@ -1,0 +1,207 @@
+"""NumPy kernel for the iterative single-path functions.
+
+Same semantics as the pure-Python kernel in :mod:`repro.algorithms.spf`
+(the test-suite cross-checks both), but each forest-distance table row is
+computed with a handful of ``O(cols)`` vector operations:
+
+* the delete / rename / split candidates of a row depend only on the previous
+  row and on already-final tree distances, so they vectorize directly;
+* the insert candidate couples ``fd[i][j]`` to ``fd[i][j-1]``; writing
+  ``I[j]`` for the cumulative insert costs, the recurrence
+  ``fd[i][j] = min(t[j], fd[i][j-1] + ins[j])`` unrolls to
+  ``fd[i][j] = I[j] + min_{k<=j}(t[k] - I[k])``, a prefix minimum computed
+  with ``np.minimum.accumulate``.
+
+The kernel operates on ``base``, a dense tree-distance matrix whose row axis
+is the decomposed tree — the caller passes ``D`` itself or its transposed
+*view* ``D.T`` depending on the decomposition side, so no data is copied.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+
+
+def allocate_matrix(n: int, m: int) -> np.ndarray:
+    """Dense ``n × m`` tree-distance matrix, NaN-initialized.
+
+    NaN (rather than 0) makes a violated fill-order contract visible: any read
+    of a never-written entry propagates into the final distance.
+    """
+    return np.full((n, m), np.nan, dtype=np.float64)
+
+
+def as_array(values: Sequence[float]) -> np.ndarray:
+    """Cost list → float64 array."""
+    return np.asarray(values, dtype=np.float64)
+
+
+def rename_matrix(
+    labels_rows: Sequence[object],
+    labels_cols: Sequence[object],
+    rename: Callable[[object, object], float],
+) -> np.ndarray:
+    """Dense rename-cost matrix between two label sequences.
+
+    Labels are interned into integer codes so the cost model is only called
+    once per *distinct* label pair (label alphabets are tiny compared to tree
+    sizes).  When that does not hold — mostly-distinct labels would make the
+    uniques×uniques table larger than the rows×cols result — and for
+    unhashable labels, the direct quadratic evaluation is used instead.
+    """
+    codes: Dict[object, int] = {}
+    row_codes = col_codes = None
+    try:
+        row_codes = np.fromiter(
+            (codes.setdefault(label, len(codes)) for label in labels_rows),
+            dtype=np.intp,
+            count=len(labels_rows),
+        )
+        col_codes = np.fromiter(
+            (codes.setdefault(label, len(codes)) for label in labels_cols),
+            dtype=np.intp,
+            count=len(labels_cols),
+        )
+    except TypeError:
+        pass
+    if col_codes is None or len(codes) ** 2 > len(labels_rows) * len(labels_cols):
+        return np.array(
+            [[rename(a, b) for b in labels_cols] for a in labels_rows], dtype=np.float64
+        )
+    uniques = list(codes)
+    table = np.empty((len(uniques), len(uniques)), dtype=np.float64)
+    for i, label_a in enumerate(uniques):
+        for j, label_b in enumerate(uniques):
+            table[i, j] = rename(label_a, label_b)
+    return table[row_codes[:, None], col_codes[None, :]]
+
+
+def _frame_arrays(frame) -> Dict[str, np.ndarray]:
+    """Integer arrays of a :class:`~repro.algorithms.spf._Frame`, cached on it."""
+    arrays = frame.np_arrays
+    if arrays is None:
+        arrays = {
+            "lml": np.asarray(frame.lml, dtype=np.intp),
+            "to_post": np.asarray(frame.to_post, dtype=np.intp),
+        }
+        frame.np_arrays = arrays
+    return arrays
+
+
+#: Minimum region width (columns) for the vectorized kernel.  Rows are swept
+#: with ``O(cols)`` array operations whose fixed overhead (~a dozen ufunc
+#: dispatches) only pays off for wide tables; narrow regions — the vast
+#: majority on branchy trees — run faster through the scalar fallback kernel.
+MIN_VECTOR_COLS = 16
+
+
+def run_regions(
+    dec,
+    oth,
+    dec_keyroots: List[int],
+    oth_keyroots: List[int],
+    del_costs: np.ndarray,
+    ins_costs: np.ndarray,
+    rename: np.ndarray,
+    base: np.ndarray,
+    fallback: Callable[[int, int], int],
+) -> int:
+    """Fill every keyroot-pair table of the given keyroot lists.
+
+    Wide tables are swept with the vectorized row kernel; tables narrower
+    than :data:`MIN_VECTOR_COLS` are delegated to ``fallback`` (the bound
+    pure-Python kernel).  Returns the number of forest-distance cells
+    evaluated.
+    """
+    oth_arrays = _frame_arrays(oth)
+    dec_arrays = _frame_arrays(dec)
+    oth_lml = oth.lml
+    cells = 0
+    for kg in oth_keyroots:
+        vectorize = kg - oth_lml[kg] + 1 >= MIN_VECTOR_COLS
+        for kf in dec_keyroots:
+            if vectorize:
+                cells += _region(
+                    dec, oth, kf, kg, del_costs, ins_costs, rename, base,
+                    dec_arrays["to_post"], oth_arrays["to_post"], oth_arrays["lml"],
+                )
+            else:
+                cells += fallback(kf, kg)
+    return cells
+
+
+def _region(
+    dec,
+    oth,
+    kf: int,
+    kg: int,
+    del_costs: np.ndarray,
+    ins_costs: np.ndarray,
+    rename: np.ndarray,
+    base: np.ndarray,
+    to_post_f: np.ndarray,
+    to_post_g: np.ndarray,
+    lml_g_array: np.ndarray,
+) -> int:
+    """One keyroot-pair forest-distance table, swept row-by-row."""
+    lml_f = dec.lml
+    lf = lml_f[kf]
+    lg = oth.lml[kg]
+    rows = kf - lf + 2
+    cols = kg - lg + 2
+
+    inserts = ins_costs[lg : kg + 1]
+    cumulative = np.empty(cols, dtype=np.float64)
+    cumulative[0] = 0.0
+    np.cumsum(inserts, out=cumulative[1:])
+
+    lml_g_region = lml_g_array[lg : kg + 1]
+    spans_g = lml_g_region == lg
+    split_cols = lml_g_region - lg
+
+    row_posts = to_post_f[lf : kf + 1]
+    col_posts = to_post_g[lg : kg + 1]
+    # Snapshot of the subtree distances this region may read.  Cells that are
+    # *written* by this region (spine × spanning) are never read by it, so the
+    # snapshot cannot go stale; their NaNs are masked out below.
+    tree_dists = base[row_posts[:, None], col_posts[None, :]]
+    rename_block = rename[lf : kf + 1, lg : kg + 1]
+    write_cols = col_posts[spans_g]
+
+    fd = np.empty((rows, cols), dtype=np.float64)
+    fd[0] = cumulative
+    deletes = del_costs[lf : kf + 1]
+    special = np.empty(cols - 1, dtype=np.float64)
+    spanning = np.empty(cols - 1, dtype=np.float64)
+
+    for i in range(1, rows):
+        node_f = lf + i - 1
+        previous = fd[i - 1]
+        delete_cost = deletes[i - 1]
+        spans_f = lml_f[node_f] == lf
+
+        # Candidate 3 of the recurrence: forest split (read-back of final
+        # subtree distances) or, on spanning×spanning cells, rename.
+        split_row = fd[lml_f[node_f] - lf]
+        np.take(split_row, split_cols, out=special)
+        special += tree_dists[i - 1]
+        if spans_f:
+            np.add(previous[:-1], rename_block[i - 1], out=spanning)
+            np.copyto(special, spanning, where=spans_g)
+
+        # t[j] = min(delete, special); then the insert candidate couples the
+        # row left-to-right, resolved by the prefix minimum of t - I.
+        row = fd[i]
+        np.add(previous[1:], delete_cost, out=row[1:])
+        np.minimum(row[1:], special, out=row[1:])
+        row[0] = previous[0] + delete_cost
+        row -= cumulative
+        np.minimum.accumulate(row, out=row)
+        row += cumulative
+
+        if spans_f and write_cols.size:
+            base[row_posts[i - 1], write_cols] = row[1:][spans_g]
+
+    return (rows - 1) * (cols - 1)

@@ -73,6 +73,7 @@ def tree_edit_distance(
     tree_g: TreeLike,
     algorithm: str = "rted",
     cost_model: Optional[CostModel] = None,
+    engine: Optional[str] = None,
 ) -> float:
     """The tree edit distance between two trees.
 
@@ -85,8 +86,25 @@ def tree_edit_distance(
         ``"demaine-h"``, or any other registered name.
     cost_model:
         Optional :class:`~repro.costs.CostModel`; defaults to unit costs.
+    engine:
+        Execution engine: ``"auto"`` (default, the algorithm's historical
+        implementation), ``"recursive"`` (the strategy-driven reference
+        engine), or ``"spf"`` (iterative single-path executor).  ``"spf"``
+        is the fastest choice for left/right-dominated strategies
+        (``zhang-l``, ``zhang-r``, and most ``rted`` strategies) and, being
+        recursion-free on those paths, handles arbitrarily deep trees;
+        ``"recursive"`` executes every path kind natively and is preferred
+        for heavy-dominated strategies (``klein-h``, ``demaine-h``).
+
+    Examples
+    --------
+    >>> from repro import tree_edit_distance
+    >>> tree_edit_distance("{a{b}{c}}", "{a{b}{d}}", algorithm="zhang-l", engine="spf")
+    1.0
     """
-    return compute(tree_f, tree_g, algorithm=algorithm, cost_model=cost_model).distance
+    return compute(
+        tree_f, tree_g, algorithm=algorithm, cost_model=cost_model, engine=engine
+    ).distance
 
 
 def compute(
@@ -94,9 +112,15 @@ def compute(
     tree_g: TreeLike,
     algorithm: str = "rted",
     cost_model: Optional[CostModel] = None,
+    engine: Optional[str] = None,
 ) -> TEDResult:
-    """Full computation result (distance, subproblem count, timings)."""
-    algo = make_algorithm(algorithm)
+    """Full computation result (distance, subproblem count, timings).
+
+    ``engine`` selects the execution backend exactly as in
+    :func:`tree_edit_distance`; the engine actually used is reported in
+    ``result.extra["engine"]`` for algorithms that support several.
+    """
+    algo = make_algorithm(algorithm, engine=engine)
     return algo.compute(parse_tree(tree_f), parse_tree(tree_g), cost_model=cost_model)
 
 

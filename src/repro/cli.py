@@ -18,6 +18,7 @@ import sys
 from typing import List, Optional
 
 from .api import compare_algorithms, compute, edit_script, parse_tree
+from .algorithms.base import ENGINES
 from .algorithms.registry import available_algorithms
 from .datasets.random_trees import random_tree
 from .datasets.shapes import SHAPE_GENERATORS, make_shape
@@ -53,6 +54,12 @@ def _build_parser() -> argparse.ArgumentParser:
     distance.add_argument("tree_g", help="second tree (inline or @file)")
     distance.add_argument(
         "--algorithm", default="rted", choices=available_algorithms(), help="algorithm to use"
+    )
+    distance.add_argument(
+        "--engine",
+        default=None,
+        choices=list(ENGINES),
+        help="execution engine: auto (default), recursive, or spf (iterative single-path)",
     )
     distance.add_argument("--format", dest="fmt", default=None, help="bracket | newick | xml")
     distance.add_argument("--verbose", action="store_true", help="print timings and subproblems")
@@ -90,9 +97,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "distance":
         tree_f = _load_tree_argument(args.tree_f, args.fmt)
         tree_g = _load_tree_argument(args.tree_g, args.fmt)
-        result = compute(tree_f, tree_g, algorithm=args.algorithm)
+        result = compute(tree_f, tree_g, algorithm=args.algorithm, engine=args.engine)
         if args.verbose:
             print(f"algorithm:   {result.algorithm}")
+            if "engine" in result.extra:
+                print(f"engine:      {result.extra['engine']}")
             print(f"distance:    {result.distance}")
             print(f"subproblems: {result.subproblems}")
             print(f"strategy:    {result.strategy_time:.4f}s")

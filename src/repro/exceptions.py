@@ -33,6 +33,10 @@ class UnknownAlgorithmError(ReproError):
     """Raised when an algorithm name is not present in the registry."""
 
 
+class UnknownEngineError(ReproError):
+    """Raised when an execution-engine name is invalid or unsupported."""
+
+
 class StrategyError(ReproError):
     """Raised when a decomposition strategy returns an invalid path choice."""
 

@@ -17,10 +17,15 @@ On top of the raw arrays the class precomputes everything the RTED machinery
 needs: heavy children, membership of a node in its parent's left/right/heavy
 path, Zhang–Shasha keyroots, and the decomposition cardinalities of
 Lemmas 1–3 of the paper (``|A(F_v)|``, ``|F(F_v, Γ_L)|``, ``|F(F_v, Γ_R)|``).
+The iterative single-path functions (:mod:`repro.algorithms.spf`) additionally
+use the reverse-postorder ids (:meth:`Tree.rpost_of_post`), per-subtree
+keyroot slices (:meth:`Tree.subtree_keyroots`) and subtree-local offsets
+(:meth:`Tree.subtree_offset`); see ``DESIGN.md`` for how they fit together.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from typing import Iterator, List, Optional, Sequence, Tuple
 
 from ..exceptions import InvalidNodeError, TreeConstructionError
@@ -75,6 +80,8 @@ class Tree:
         "_keyroots_left",
         "_keyroots_right",
         "_leaf_counts",
+        "_rpost_of_post",
+        "_post_of_rpost",
     )
 
     def __init__(self, root: Node) -> None:
@@ -90,6 +97,8 @@ class Tree:
         self._keyroots_left: Optional[List[int]] = None
         self._keyroots_right: Optional[List[int]] = None
         self._leaf_counts: Optional[List[int]] = None
+        self._rpost_of_post: Optional[List[int]] = None
+        self._post_of_rpost: Optional[List[int]] = None
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -446,6 +455,67 @@ class Tree:
                 if self.parents[v] == -1 or self.rml[v] != self.rml[self.parents[v]]
             ]
         return self._keyroots_right
+
+    # ------------------------------------------------------------------ #
+    # Index arrays for the iterative single-path functions (repro.algorithms.spf)
+    # ------------------------------------------------------------------ #
+    def rpost_of_post(self) -> List[int]:
+        """Reverse-postorder id of every node, indexed by postorder id.
+
+        The reverse postorder visits children right-to-left before their
+        parent, i.e. it is the postorder of the *mirrored* tree, and equals
+        ``n - 1 - preorder``.  In reverse-postorder coordinates the subtree of
+        ``v`` occupies the contiguous range
+        ``[rpost(v) - sizes[v] + 1, rpost(v)]`` and the rightmost leaf plays
+        the role of the leftmost leaf, which lets the right-path single-path
+        function reuse the left-path recurrence on flat arrays without
+        materializing a mirrored tree.
+        """
+        if self._rpost_of_post is None:
+            last = self.n - 1
+            self._rpost_of_post = [last - p for p in self.pre_of_post]
+        return self._rpost_of_post
+
+    def post_of_rpost(self) -> List[int]:
+        """Inverse of :meth:`rpost_of_post`: postorder id for a reverse-postorder id."""
+        if self._post_of_rpost is None:
+            inverse = [0] * self.n
+            for post_id, rpost_id in enumerate(self.rpost_of_post()):
+                inverse[rpost_id] = post_id
+            self._post_of_rpost = inverse
+        return self._post_of_rpost
+
+    def subtree_offset(self, v: int) -> int:
+        """Postorder id of the first node of the subtree rooted at ``v``.
+
+        ``u - subtree_offset(v)`` is the *subtree-local* index of a descendant
+        ``u``, the row/column index used by the dense single-path tables.
+        """
+        self._check(v)
+        return v - self.sizes[v] + 1
+
+    def subtree_keyroots(self, v: int, kind: str = LEFT) -> List[int]:
+        """Keyroots of the subtree rooted at ``v``, in ascending postorder.
+
+        For ``v`` the whole-tree root this equals :meth:`keyroots_left` /
+        :meth:`keyroots_right`.  For an inner ``v`` the result is the slice of
+        the global keyroot list falling inside the subtree's contiguous
+        postorder range, plus ``v`` itself (the root of a subtree is always a
+        keyroot of that subtree even when it is a leftmost/rightmost child
+        globally).
+        """
+        self._check(v)
+        if kind == LEFT:
+            keyroots = self.keyroots_left()
+        elif kind == RIGHT:
+            keyroots = self.keyroots_right()
+        else:
+            raise ValueError(f"subtree keyroots are defined for left/right paths, not {kind!r}")
+        low = self.subtree_offset(v)
+        slice_ = keyroots[bisect_left(keyroots, low) : bisect_right(keyroots, v)]
+        if not slice_ or slice_[-1] != v:
+            slice_ = slice_ + [v]
+        return slice_
 
     # ------------------------------------------------------------------ #
     # Derived trees

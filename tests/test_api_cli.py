@@ -15,7 +15,7 @@ from repro import (
 )
 from repro.algorithms import register_algorithm, SimpleTED, PAPER_ALGORITHMS
 from repro.cli import main as cli_main
-from repro.exceptions import ParseError, UnknownAlgorithmError
+from repro.exceptions import ParseError, UnknownAlgorithmError, UnknownEngineError
 from repro.trees import Node, Tree, tree_from_nested
 
 
@@ -93,6 +93,33 @@ class TestRegistry:
         register_algorithm("my-oracle", SimpleTED)
         assert make_algorithm("my-oracle").name == "Simple"
 
+    def test_engine_selection(self):
+        for name in ("zhang-l", "zhang-r", "rted", "klein-h", "demaine-h"):
+            for engine in ("auto", "recursive", "spf"):
+                algo = make_algorithm(name, engine=engine)
+                assert algo.distance(
+                    parse_tree("{a{b{c}}{d}}"), parse_tree("{a{d{c}}{e}}")
+                ) == pytest.approx(2.0)
+
+    def test_engine_none_is_auto(self):
+        assert make_algorithm("zhang-l", engine=None).name == "Zhang-L"
+        assert make_algorithm("zhang-l", engine="spf").name == "Zhang-L[spf]"
+
+    def test_unknown_engine(self):
+        with pytest.raises(UnknownEngineError):
+            make_algorithm("rted", engine="quantum")
+
+    def test_single_implementation_rejects_engine(self):
+        with pytest.raises(UnknownEngineError):
+            make_algorithm("simple", engine="spf")
+        assert make_algorithm("simple", engine="auto").name == "Simple"
+
+    def test_engine_through_api(self):
+        result = compute("{a{b}{c}}", "{a{b}{x}}", algorithm="zhang-l", engine="spf")
+        assert result.distance == 1.0
+        assert result.extra["engine"] == "spf"
+        assert tree_edit_distance("{a{b}{c}}", "{a{b}{x}}", engine="spf") == 1.0
+
 
 class TestCli:
     def test_distance_command(self, capsys):
@@ -103,6 +130,15 @@ class TestCli:
         assert cli_main(["distance", "{a{b}}", "{a{c}}", "--verbose", "--algorithm", "zhang-l"]) == 0
         output = capsys.readouterr().out
         assert "distance" in output and "subproblems" in output
+
+    def test_distance_engine_flag(self, capsys):
+        assert cli_main(
+            ["distance", "{a{b}}", "{a{c}}", "--algorithm", "zhang-l", "--engine", "spf",
+             "--verbose"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "engine:      spf" in output
+        assert "1.0" in output
 
     def test_distance_from_file(self, tmp_path, capsys):
         path = tmp_path / "tree.bracket"

@@ -1,0 +1,227 @@
+"""Tests for the iterative single-path layer (spf, spf_numpy, StrategyExecutor).
+
+The recursive :class:`DecompositionEngine` is the reference oracle; every
+test here cross-checks the iterative SPFs and the strategy executor against
+it (and against the independent Zhang–Shasha implementation), on randomized
+tree pairs with unit and non-unit cost models, and on deep path-shaped trees
+that the recursive engine could only handle by raising the interpreter
+recursion limit.
+"""
+
+import random
+import sys
+
+import pytest
+from hypothesis import given, settings
+
+from repro.algorithms import (
+    GTED,
+    RTED,
+    DecompositionEngine,
+    HeavyFStrategy,
+    HeavyLargerStrategy,
+    LeftFStrategy,
+    LeftGStrategy,
+    RightFStrategy,
+    RightGStrategy,
+    SinglePathContext,
+    StrategyExecutor,
+    ZhangShashaTED,
+    optimal_strategy,
+    spf_L,
+    spf_R,
+    zhang_shasha_distance,
+)
+from repro.algorithms.spf import numpy_available
+from repro.costs import UNIT_COST, StringRenameCostModel, WeightedCostModel
+from repro.datasets import random_tree
+from repro.trees import Node, Tree
+
+from conftest import random_tree_pairs, tree_pairs
+
+KERNELS = [False, True] if numpy_available() else [False]
+
+#: 100 pairs for the left SPF + 100 pairs for the right SPF = the >= 200
+#: randomized cross-checked pairs required of this layer.
+SPF_PAIRS = random_tree_pairs(count=100, max_size=14, seed=20110713)
+
+WEIGHTED = WeightedCostModel(delete_cost=1.5, insert_cost=0.5, rename_cost=2.0)
+
+
+def _path_tree(depth: int, label: object = "a") -> Tree:
+    """A linear (path-shaped) tree with ``depth`` edges, built iteratively."""
+    node = Node(label)
+    for _ in range(depth):
+        node = Node(label, [node])
+    return Tree(node)
+
+
+class TestSinglePathFunctions:
+    @pytest.mark.parametrize("use_numpy", KERNELS)
+    def test_spf_left_matches_recursive_engine(self, use_numpy):
+        for tree_f, tree_g in SPF_PAIRS:
+            expected = DecompositionEngine(tree_f, tree_g, LeftFStrategy()).distance()
+            assert spf_L(tree_f, tree_g, use_numpy=use_numpy) == pytest.approx(expected)
+
+    @pytest.mark.parametrize("use_numpy", KERNELS)
+    def test_spf_right_matches_recursive_engine(self, use_numpy):
+        for tree_f, tree_g in SPF_PAIRS:
+            expected = DecompositionEngine(tree_f, tree_g, RightFStrategy()).distance()
+            assert spf_R(tree_f, tree_g, use_numpy=use_numpy) == pytest.approx(expected)
+
+    def test_spf_left_matches_zhang_shasha(self):
+        for tree_f, tree_g in SPF_PAIRS[:40]:
+            expected = zhang_shasha_distance(tree_f, tree_g, UNIT_COST)[0]
+            assert spf_L(tree_f, tree_g) == pytest.approx(expected)
+
+    @pytest.mark.parametrize("use_numpy", KERNELS)
+    @pytest.mark.parametrize(
+        "cost_model", [WEIGHTED, StringRenameCostModel()], ids=["weighted", "string-rename"]
+    )
+    def test_non_unit_costs_match_recursive_engine(self, use_numpy, cost_model):
+        for tree_f, tree_g in SPF_PAIRS[:25]:
+            left = DecompositionEngine(
+                tree_f, tree_g, LeftFStrategy(), cost_model=cost_model
+            ).distance()
+            right = DecompositionEngine(
+                tree_f, tree_g, RightFStrategy(), cost_model=cost_model
+            ).distance()
+            assert spf_L(tree_f, tree_g, cost_model=cost_model, use_numpy=use_numpy) == (
+                pytest.approx(left)
+            )
+            assert spf_R(tree_f, tree_g, cost_model=cost_model, use_numpy=use_numpy) == (
+                pytest.approx(right)
+            )
+
+    def test_kernels_agree_with_each_other(self):
+        if not numpy_available():
+            pytest.skip("numpy kernel unavailable")
+        for tree_f, tree_g in SPF_PAIRS[:30]:
+            assert spf_L(tree_f, tree_g, use_numpy=True) == pytest.approx(
+                spf_L(tree_f, tree_g, use_numpy=False)
+            )
+            assert spf_R(tree_f, tree_g, use_numpy=True) == pytest.approx(
+                spf_R(tree_f, tree_g, use_numpy=False)
+            )
+
+    def test_subtree_pair_distances(self):
+        """run() on inner subtree roots matches the engine's subtree_distance."""
+        gen = random.Random(5)
+        tree_f = random_tree(18, rng=gen)
+        tree_g = random_tree(16, rng=gen)
+        engine = DecompositionEngine(tree_f, tree_g, LeftFStrategy())
+        for v in range(0, tree_f.n, 3):
+            for w in range(0, tree_g.n, 3):
+                context = SinglePathContext(tree_f, tree_g)
+                got = context.run("F", "left", v, w)
+                assert got == pytest.approx(engine.subtree_distance(v, w))
+
+    def test_counts_cells(self):
+        tree_f, tree_g = SPF_PAIRS[0]
+        context = SinglePathContext(tree_f, tree_g)
+        context.run("F", "left", tree_f.root, tree_g.root)
+        assert context.cells > 0
+
+    @given(tree_pairs())
+    @settings(max_examples=40, deadline=None)
+    def test_property_spf_matches_zhang_shasha(self, pair):
+        tree_f, tree_g = pair
+        expected = zhang_shasha_distance(tree_f, tree_g, UNIT_COST)[0]
+        assert spf_L(tree_f, tree_g) == pytest.approx(expected)
+        assert spf_R(tree_f, tree_g) == pytest.approx(expected)
+
+
+EXECUTOR_STRATEGIES = [
+    LeftFStrategy(),
+    RightFStrategy(),
+    LeftGStrategy(),
+    RightGStrategy(),
+    HeavyFStrategy(),
+    HeavyLargerStrategy(),
+]
+
+
+class TestStrategyExecutor:
+    @pytest.mark.parametrize("strategy", EXECUTOR_STRATEGIES, ids=lambda s: s.name)
+    def test_matches_recursive_engine(self, strategy):
+        for tree_f, tree_g in SPF_PAIRS[:25]:
+            expected = DecompositionEngine(tree_f, tree_g, strategy).distance()
+            executor = StrategyExecutor(tree_f, tree_g, strategy)
+            assert executor.distance() == pytest.approx(expected)
+            assert executor.subproblems > 0
+
+    def test_optimal_strategy_through_executor(self):
+        for tree_f, tree_g in SPF_PAIRS[:25]:
+            strategy = optimal_strategy(tree_f, tree_g).strategy
+            expected = DecompositionEngine(tree_f, tree_g, strategy).distance()
+            assert StrategyExecutor(tree_f, tree_g, strategy).distance() == pytest.approx(expected)
+
+    @pytest.mark.parametrize("strategy", EXECUTOR_STRATEGIES, ids=lambda s: s.name)
+    def test_weighted_costs(self, strategy):
+        for tree_f, tree_g in SPF_PAIRS[:10]:
+            expected = DecompositionEngine(
+                tree_f, tree_g, strategy, cost_model=WEIGHTED
+            ).distance()
+            executor = StrategyExecutor(tree_f, tree_g, strategy, cost_model=WEIGHTED)
+            assert executor.distance() == pytest.approx(expected)
+
+    def test_gted_engine_parameter(self):
+        tree_f, tree_g = SPF_PAIRS[1]
+        recursive = GTED(LeftFStrategy(), engine="recursive").compute(tree_f, tree_g)
+        iterative = GTED(LeftFStrategy(), engine="spf").compute(tree_f, tree_g)
+        assert iterative.distance == pytest.approx(recursive.distance)
+        assert recursive.extra["engine"] == "recursive"
+        assert iterative.extra["engine"] == "spf"
+
+    def test_rted_engine_parameter(self):
+        for tree_f, tree_g in SPF_PAIRS[:15]:
+            recursive = RTED(engine="recursive").compute(tree_f, tree_g)
+            iterative = RTED(engine="spf").compute(tree_f, tree_g)
+            assert iterative.distance == pytest.approx(recursive.distance)
+
+
+class TestDeepTrees:
+    """Path-shaped inputs beyond any reasonable recursion limit."""
+
+    def test_deep_left_path_spf(self):
+        deep = _path_tree(1200)
+        bushy = random_tree(24, rng=3)
+        expected = zhang_shasha_distance(deep, bushy, UNIT_COST)[0]
+        assert spf_L(deep, bushy) == pytest.approx(expected)
+        assert spf_R(deep, bushy) == pytest.approx(expected)
+
+    def test_deep_pair_both_deep(self):
+        left = _path_tree(1100, label="a")
+        right = _path_tree(1050, label="b")
+        # Both trees are pure paths with disjoint labels: the cheapest script
+        # renames all 1051 nodes of the shorter path and deletes the other 50.
+        assert spf_L(left, right) == pytest.approx(1101.0)
+
+    def test_5000_deep_zhang_l_without_recursion_limit(self, monkeypatch):
+        """Acceptance: a 5000-deep linear tree under zhang-l, with
+        sys.setrecursionlimit forbidden for the whole computation."""
+        deep = _path_tree(5000)
+        bushy = random_tree(30, rng=7)
+        expected = zhang_shasha_distance(deep, bushy, UNIT_COST)[0]
+
+        def forbidden(limit):  # pragma: no cover - would fail the test
+            raise AssertionError("sys.setrecursionlimit must not be touched")
+
+        monkeypatch.setattr(sys, "setrecursionlimit", forbidden)
+        from repro.api import compute
+
+        assert compute(deep, bushy, algorithm="zhang-l").distance == pytest.approx(expected)
+        assert compute(deep, bushy, algorithm="zhang-l", engine="spf").distance == (
+            pytest.approx(expected)
+        )
+        assert GTED(RightFStrategy(), engine="spf").distance(deep, bushy) == (
+            pytest.approx(expected)
+        )
+
+    def test_fallback_engine_still_bumps_recursion_limit_capped(self):
+        from repro.algorithms.forest_engine import MAX_RECURSION_LIMIT, _recursion_headroom
+
+        before = sys.getrecursionlimit()
+        with _recursion_headroom(10**9):
+            assert sys.getrecursionlimit() == MAX_RECURSION_LIMIT
+        assert sys.getrecursionlimit() == before

@@ -227,3 +227,57 @@ class TestTreePropertyBased:
 @pytest.fixture
 def figure3_tree():
     return tree_from_nested(("A", [("B", ["D", ("E", ["F"]), "G"]), "C"]))
+
+
+class TestSpfIndexArrays:
+    """Index arrays consumed by the iterative single-path functions."""
+
+    def test_rpost_is_postorder_of_mirrored_tree(self, example):
+        rpost = example.rpost_of_post()
+        mirrored = example.mirrored()
+        # Node with postorder id v maps to postorder id rpost[v] in the mirror.
+        assert [mirrored.labels[rpost[v]] for v in range(example.n)] == list(example.labels)
+
+    def test_rpost_roundtrip(self, example):
+        rpost = example.rpost_of_post()
+        post = example.post_of_rpost()
+        assert sorted(rpost) == list(range(example.n))
+        assert all(rpost[post[i]] == i for i in range(example.n))
+
+    def test_rpost_subtrees_are_contiguous(self, example):
+        rpost = example.rpost_of_post()
+        for v in range(example.n):
+            ids = sorted(rpost[u] for u in example.subtree_nodes(v))
+            assert ids == list(range(rpost[v] - example.sizes[v] + 1, rpost[v] + 1))
+
+    def test_subtree_offset(self, example):
+        for v in range(example.n):
+            assert example.subtree_offset(v) == v - example.sizes[v] + 1
+        assert example.subtree_offset(example.root) == 0
+
+    def test_subtree_keyroots_match_rebuilt_subtree(self, example):
+        for v in range(example.n):
+            offset = example.subtree_offset(v)
+            sub = example.subtree(v)
+            assert example.subtree_keyroots(v, LEFT) == [
+                offset + k for k in sub.keyroots_left()
+            ]
+            assert example.subtree_keyroots(v, RIGHT) == [
+                offset + k for k in sub.keyroots_right()
+            ]
+
+    def test_subtree_keyroots_whole_tree(self, example):
+        assert example.subtree_keyroots(example.root, LEFT) == example.keyroots_left()
+        assert example.subtree_keyroots(example.root, RIGHT) == example.keyroots_right()
+
+    def test_subtree_keyroots_reject_heavy(self, example):
+        with pytest.raises(ValueError):
+            example.subtree_keyroots(example.root, HEAVY)
+
+    @given(trees())
+    @settings(max_examples=40, deadline=None)
+    def test_subtree_keyroots_property(self, tree):
+        for v in range(tree.n):
+            offset = tree.subtree_offset(v)
+            sub = tree.subtree(v)
+            assert tree.subtree_keyroots(v, LEFT) == [offset + k for k in sub.keyroots_left()]
