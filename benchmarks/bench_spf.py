@@ -1,22 +1,28 @@
 #!/usr/bin/env python3
-"""Benchmark: recursive decomposition engine vs iterative SPF vs NumPy SPF.
+"""Benchmark: iterative SPF engines vs the recursive oracle, plus Algorithm 2.
 
-Compares the three execution backends of the left/right single-path phases on
-the workloads the acceptance criteria care about (300-node left/right-path
-trees) plus a random and a deep-path workload:
+Three benchmark families, tracking the perf trajectory of the distance core:
 
-* ``recursive`` — :class:`repro.algorithms.forest_engine.DecompositionEngine`
-  with the corresponding fixed strategy (the seed implementation);
-* ``spf-python`` — the iterative single-path function, pure-Python kernel;
-* ``spf-numpy`` — the same with the vectorized row kernel.
+* **left/right** — the keyroot single-path functions ``Δ_L``/``Δ_R`` against
+  the recursive engine on the PR-1 workloads (recorded in ``BENCH_spf.json``);
+* **heavy / full RTED** — the inner-path program ``Δ_A`` (chain × boundary
+  grid) and the full iterative RTED pipeline against the recursive engine on
+  300-node heavy-strategy workloads of several shapes (deep, branchy, zigzag,
+  mixed) plus a deep-path workload (recorded in ``BENCH_rted.json``);
+* **algorithm2** — the flat-array / vectorized Algorithm 2 against the legacy
+  object-matrix implementation on 1000-node trees (also in
+  ``BENCH_rted.json``).
 
 Run with::
 
-    PYTHONPATH=src python benchmarks/bench_spf.py
+    PYTHONPATH=src python benchmarks/bench_spf.py            # full baselines
+    PYTHONPATH=src python benchmarks/bench_spf.py --quick    # CI smoke (<1 min)
 
-which prints a table and records the measurements in
-``benchmarks/BENCH_spf.json`` (the committed file is the baseline recorded on
-the machine that introduced the SPF layer; regenerate to compare).
+The committed JSON files are the baselines recorded on the machine that
+introduced each layer; regenerate to compare.  In ``--quick`` mode the
+workloads shrink, nothing is written unless ``--output``/``--output-rted``
+are given explicitly, and the process exits non-zero if the SPF engine is
+slower than the recursive engine anywhere — the CI regression gate.
 """
 
 from __future__ import annotations
@@ -24,17 +30,36 @@ from __future__ import annotations
 import argparse
 import json
 import platform
+import statistics
 import time
 from pathlib import Path
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
-from repro.algorithms import DecompositionEngine, LeftFStrategy, RightFStrategy
-from repro.algorithms.spf import numpy_available, spf_L, spf_R
+from repro.algorithms import (
+    RTED,
+    DecompositionEngine,
+    HeavyFStrategy,
+    LeftFStrategy,
+    RightFStrategy,
+    StrategyExecutor,
+    optimal_strategy,
+    optimal_strategy_objects,
+    spf_H,
+    spf_L,
+    spf_R,
+)
+from repro.algorithms.spf import numpy_available
 from repro.datasets import random_tree
-from repro.datasets.shapes import left_branch_tree, right_branch_tree
+from repro.datasets.shapes import (
+    left_branch_tree,
+    make_shape,
+    right_branch_tree,
+    zigzag_tree,
+)
 from repro.trees import Node, Tree
 
 DEFAULT_OUTPUT = Path(__file__).parent / "BENCH_spf.json"
+DEFAULT_OUTPUT_RTED = Path(__file__).parent / "BENCH_rted.json"
 
 
 def _path_tree(depth: int, label: object = "a") -> Tree:
@@ -44,36 +69,7 @@ def _path_tree(depth: int, label: object = "a") -> Tree:
     return Tree(node)
 
 
-def _workloads() -> List[Dict]:
-    return [
-        {
-            "name": "left-branch-301",
-            "trees": (left_branch_tree(301), left_branch_tree(299, label="b")),
-            "strategy": LeftFStrategy,
-            "spf": spf_L,
-        },
-        {
-            "name": "right-branch-301",
-            "trees": (right_branch_tree(301), right_branch_tree(299, label="b")),
-            "strategy": RightFStrategy,
-            "spf": spf_R,
-        },
-        {
-            "name": "random-300",
-            "trees": (random_tree(300, rng=20110713), random_tree(300, rng=20110714)),
-            "strategy": LeftFStrategy,
-            "spf": spf_L,
-        },
-        {
-            "name": "deep-path-1500-x-random-200",
-            "trees": (_path_tree(1500), random_tree(200, rng=42)),
-            "strategy": LeftFStrategy,
-            "spf": spf_L,
-        },
-    ]
-
-
-def _time(fn: Callable[[], float], repeats: int) -> tuple:
+def _time(fn: Callable[[], object], repeats: int) -> tuple:
     """(best wall-clock seconds, last result) over ``repeats`` runs."""
     best = float("inf")
     value = None
@@ -84,20 +80,49 @@ def _time(fn: Callable[[], float], repeats: int) -> tuple:
     return best, value
 
 
-def run_benchmark(spf_repeats: int = 3) -> Dict:
+# --------------------------------------------------------------------------- #
+# Left/right keyroot workloads (PR 1 baseline, BENCH_spf.json)
+# --------------------------------------------------------------------------- #
+def _lr_workloads(quick: bool) -> List[Dict]:
+    n = 81 if quick else 301
+    r = 80 if quick else 300
+    deep = 300 if quick else 1500
+    return [
+        {
+            "name": f"left-branch-{n}",
+            "trees": (left_branch_tree(n), left_branch_tree(n - 2, label="b")),
+            "strategy": LeftFStrategy,
+            "spf": spf_L,
+        },
+        {
+            "name": f"right-branch-{n}",
+            "trees": (right_branch_tree(n), right_branch_tree(n - 2, label="b")),
+            "strategy": RightFStrategy,
+            "spf": spf_R,
+        },
+        {
+            "name": f"random-{r}",
+            "trees": (random_tree(r, rng=20110713), random_tree(r, rng=20110714)),
+            "strategy": LeftFStrategy,
+            "spf": spf_L,
+        },
+        {
+            "name": f"deep-path-{deep}-x-random-200",
+            "trees": (_path_tree(deep), random_tree(200, rng=42)),
+            "strategy": LeftFStrategy,
+            "spf": spf_L,
+        },
+    ]
+
+
+def run_lr_benchmark(quick: bool, spf_repeats: int = 3) -> Dict:
     results = []
-    for workload in _workloads():
+    for workload in _lr_workloads(quick):
         tree_f, tree_g = workload["trees"]
         strategy_cls = workload["strategy"]
         spf = workload["spf"]
-        entry: Dict = {
-            "workload": workload["name"],
-            "n_f": tree_f.n,
-            "n_g": tree_g.n,
-        }
+        entry: Dict = {"workload": workload["name"], "n_f": tree_f.n, "n_g": tree_g.n}
 
-        # The recursive engine is orders of magnitude slower on some of these
-        # workloads; a single run is representative enough for a baseline.
         recursive_time, recursive_distance = _time(
             lambda: DecompositionEngine(tree_f, tree_g, strategy_cls()).distance(), repeats=1
         )
@@ -120,7 +145,7 @@ def run_benchmark(spf_repeats: int = 3) -> Dict:
 
         entry["distance"] = float(recursive_distance)
         results.append(entry)
-        _print_entry(entry)
+        _print_lr_entry(entry)
 
     return {
         "benchmark": "bench_spf",
@@ -132,7 +157,7 @@ def run_benchmark(spf_repeats: int = 3) -> Dict:
     }
 
 
-def _print_entry(entry: Dict) -> None:
+def _print_lr_entry(entry: Dict) -> None:
     line = (
         f"{entry['workload']:28s} recursive={entry['recursive_seconds']:8.3f}s  "
         f"spf-python={entry['spf_python_seconds']:7.3f}s "
@@ -146,22 +171,226 @@ def _print_entry(entry: Dict) -> None:
     print(line)
 
 
+# --------------------------------------------------------------------------- #
+# Heavy-path and full-RTED workloads (BENCH_rted.json)
+# --------------------------------------------------------------------------- #
+def _heavy_workloads(quick: bool) -> List[Dict]:
+    if quick:
+        return [
+            {"name": "heavy-random-80", "trees": (random_tree(80, rng=1), random_tree(80, rng=2))},
+            {"name": "heavy-zigzag-81", "trees": (zigzag_tree(81), zigzag_tree(79, label="b"))},
+            {"name": "heavy-mixed-81", "trees": (make_shape("mixed", 81), make_shape("mixed", 81, label="b"))},
+        ]
+    return [
+        {
+            "name": "heavy-random-300",
+            "trees": (random_tree(300, rng=20110713), random_tree(300, rng=20110714)),
+        },
+        {
+            "name": "heavy-zigzag-301",
+            "trees": (zigzag_tree(301), zigzag_tree(299, label="b")),
+        },
+        {
+            "name": "heavy-mixed-301",
+            "trees": (make_shape("mixed", 301), make_shape("mixed", 301, label="b")),
+        },
+        {
+            "name": "heavy-deep-path-1500-x-random-200",
+            "trees": (_path_tree(1500), random_tree(200, rng=42)),
+        },
+    ]
+
+
+def _rted_workloads(quick: bool) -> List[Dict]:
+    if quick:
+        return [
+            {"name": "rted-random-80", "trees": (random_tree(80, rng=5), random_tree(80, rng=6))},
+        ]
+    return [
+        {
+            "name": "rted-random-300",
+            "trees": (random_tree(300, rng=5), random_tree(300, rng=6)),
+        },
+        {
+            "name": "rted-mixed-301",
+            "trees": (make_shape("mixed", 301), make_shape("mixed", 301, label="b")),
+        },
+        {
+            "name": "rted-zigzag-301",
+            "trees": (zigzag_tree(301), zigzag_tree(299, label="b")),
+        },
+    ]
+
+
+def _alg2_workloads(quick: bool) -> List[Dict]:
+    if quick:
+        return [
+            {"name": "alg2-random-200", "trees": (random_tree(200, rng=9), random_tree(200, rng=10))},
+        ]
+    return [
+        {
+            "name": "alg2-random-1000",
+            "trees": (random_tree(1000, rng=11), random_tree(1000, rng=12)),
+        },
+        {
+            "name": "alg2-full-binary-1023",
+            "trees": (make_shape("full-binary", 1023), make_shape("full-binary", 1023, label="b")),
+        },
+        {
+            "name": "alg2-mixed-1001",
+            "trees": (make_shape("mixed", 1001), make_shape("mixed", 1001, label="b")),
+        },
+    ]
+
+
+def run_rted_benchmark(quick: bool, spf_repeats: int = 2) -> Dict:
+    heavy_entries = []
+    for workload in _heavy_workloads(quick):
+        tree_f, tree_g = workload["trees"]
+        entry: Dict = {"workload": workload["name"], "n_f": tree_f.n, "n_g": tree_g.n}
+
+        recursive_time, recursive_distance = _time(
+            lambda: DecompositionEngine(tree_f, tree_g, HeavyFStrategy()).distance(), repeats=1
+        )
+        entry["recursive_seconds"] = recursive_time
+
+        spf_time, spf_distance = _time(
+            lambda: spf_H(tree_f, tree_g), repeats=spf_repeats
+        )
+        entry["spf_seconds"] = spf_time
+        entry["speedup"] = recursive_time / spf_time
+        entry["distance"] = float(recursive_distance)
+        assert abs(spf_distance - recursive_distance) < 1e-9, workload["name"]
+        heavy_entries.append(entry)
+        print(
+            f"{entry['workload']:36s} recursive={recursive_time:8.3f}s  "
+            f"spf={spf_time:7.3f}s ({entry['speedup']:6.1f}x)"
+        )
+
+    rted_entries = []
+    for workload in _rted_workloads(quick):
+        tree_f, tree_g = workload["trees"]
+        entry = {"workload": workload["name"], "n_f": tree_f.n, "n_g": tree_g.n}
+        strategy = optimal_strategy(tree_f, tree_g).strategy
+
+        recursive_time, recursive_distance = _time(
+            lambda: DecompositionEngine(tree_f, tree_g, strategy).distance(), repeats=1
+        )
+        spf_time, spf_distance = _time(
+            lambda: StrategyExecutor(tree_f, tree_g, strategy).distance(), repeats=spf_repeats
+        )
+        entry["recursive_seconds"] = recursive_time
+        entry["spf_seconds"] = spf_time
+        entry["speedup"] = recursive_time / spf_time
+        entry["distance"] = float(recursive_distance)
+        assert abs(spf_distance - recursive_distance) < 1e-9, workload["name"]
+        rted_entries.append(entry)
+        print(
+            f"{entry['workload']:36s} recursive={recursive_time:8.3f}s  "
+            f"spf={spf_time:7.3f}s ({entry['speedup']:6.1f}x)"
+        )
+
+    alg2_entries = []
+    # Warm both implementations once (NumPy lazy state, allocator) so the
+    # best-of timings below compare steady-state costs.
+    warm_f, warm_g = random_tree(60, rng=0), random_tree(60, rng=1)
+    optimal_strategy(warm_f, warm_g)
+    optimal_strategy_objects(warm_f, warm_g)
+    alg2_repeats = max(3, spf_repeats)
+    for workload in _alg2_workloads(quick):
+        tree_f, tree_g = workload["trees"]
+        entry = {"workload": workload["name"], "n_f": tree_f.n, "n_g": tree_g.n}
+        object_time, object_result = _time(
+            lambda: optimal_strategy_objects(tree_f, tree_g), repeats=alg2_repeats
+        )
+        flat_time, flat_result = _time(
+            lambda: optimal_strategy(tree_f, tree_g), repeats=alg2_repeats
+        )
+        assert flat_result.cost == object_result.cost, workload["name"]
+        entry["object_seconds"] = object_time
+        entry["flat_seconds"] = flat_time
+        entry["speedup"] = object_time / flat_time
+        entry["optimal_cost"] = int(flat_result.cost)
+        alg2_entries.append(entry)
+        print(
+            f"{entry['workload']:36s} object   ={object_time:8.3f}s  "
+            f"flat={flat_time:7.3f}s ({entry['speedup']:6.1f}x)"
+        )
+
+    return {
+        "benchmark": "bench_rted",
+        "description": (
+            "iterative heavy-path SPF + full RTED pipeline vs the recursive "
+            "oracle, and flat-array Algorithm 2 vs the object-matrix version"
+        ),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "numpy_available": numpy_available(),
+        "heavy": heavy_entries,
+        "rted": rted_entries,
+        "algorithm2": alg2_entries,
+        "heavy_median_speedup": statistics.median(e["speedup"] for e in heavy_entries),
+        "rted_median_speedup": statistics.median(e["speedup"] for e in rted_entries),
+        "algorithm2_median_speedup": statistics.median(e["speedup"] for e in alg2_entries),
+    }
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
+    parser.add_argument("--output", type=Path, default=None, help="BENCH_spf.json path")
+    parser.add_argument(
+        "--output-rted", type=Path, default=None, help="BENCH_rted.json path"
+    )
     parser.add_argument("--repeats", type=int, default=3, help="repetitions per SPF timing")
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small workloads, no files written by default; non-zero exit if the "
+        "spf engine is slower than the recursive engine anywhere (CI smoke)",
+    )
+    parser.add_argument(
+        "--skip-lr", action="store_true", help="skip the left/right keyroot family"
+    )
     args = parser.parse_args()
 
-    report = run_benchmark(spf_repeats=args.repeats)
-    args.output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
-    print(f"\nwrote {args.output}")
+    lr_report: Optional[Dict] = None
+    if not args.skip_lr:
+        lr_report = run_lr_benchmark(args.quick, spf_repeats=args.repeats)
+    rted_report = run_rted_benchmark(args.quick, spf_repeats=max(2, args.repeats - 1))
 
-    slowest = min(
-        entry["spf_python_speedup"]
-        for entry in report["results"]
-        if "branch" in entry["workload"]
+    print()
+    print(f"heavy-path median speedup:  {rted_report['heavy_median_speedup']:.1f}x (target >= 5x)")
+    print(f"full-RTED median speedup:   {rted_report['rted_median_speedup']:.1f}x")
+    print(
+        f"Algorithm 2 median speedup: {rted_report['algorithm2_median_speedup']:.1f}x "
+        f"(target >= 3x on the full workloads)"
     )
-    print(f"minimum SPF speedup on 300-node branch workloads: {slowest:.1f}x (target: >= 3x)")
+
+    if not args.quick or args.output is not None:
+        output = args.output or DEFAULT_OUTPUT
+        if lr_report is not None:
+            output.write_text(json.dumps(lr_report, indent=2) + "\n", encoding="utf-8")
+            print(f"wrote {output}")
+    if not args.quick or args.output_rted is not None:
+        output_rted = args.output_rted or DEFAULT_OUTPUT_RTED
+        output_rted.write_text(json.dumps(rted_report, indent=2) + "\n", encoding="utf-8")
+        print(f"wrote {output_rted}")
+
+    if args.quick:
+        slowest = min(
+            [e["speedup"] for e in rted_report["heavy"]]
+            + [e["speedup"] for e in rted_report["rted"]]
+            + ([
+                min(e["spf_numpy_speedup"], e["spf_python_speedup"])
+                if "spf_numpy_speedup" in e
+                else e["spf_python_speedup"]
+                for e in lr_report["results"]
+            ] if lr_report is not None else [])
+        )
+        if slowest < 1.0:
+            print(f"FAIL: spf engine slower than the recursive engine ({slowest:.2f}x)")
+            return 1
+        print(f"smoke OK: minimum spf speedup {slowest:.2f}x")
     return 0
 
 

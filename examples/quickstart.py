@@ -57,26 +57,29 @@ def main() -> None:
         )
     print()
 
-    # 5. The same algorithm can run on different execution engines.  "spf"
-    #    runs left/right strategy phases through iterative, array-based
-    #    single-path functions: fastest for zhang-l/zhang-r and most RTED
-    #    strategies, and recursion-free, so arbitrarily deep trees work.
-    #    "recursive" is the reference engine, preferred for heavy-dominated
-    #    strategies (klein-h, demaine-h).  "auto" (default) keeps each
-    #    algorithm's historical implementation.
-    print("Engine comparison (zhang-l):")
-    for engine in ("auto", "spf"):
-        result = compute(original, revised, algorithm="zhang-l", engine=engine)
+    # 5. Execution engines.  "spf" — the recommended default, and what
+    #    "auto" resolves to for every GTED/RTED variant (rted, klein-h,
+    #    demaine-h; zhang-l/r keep their dedicated Zhang–Shasha tables) —
+    #    runs *every* strategy phase (left, right and heavy paths) through
+    #    iterative, array-based single-path functions and, being
+    #    recursion-free, handles arbitrarily deep trees without touching the
+    #    interpreter recursion limit.  "recursive" is the reference oracle
+    #    kept for cross-checking only.
+    print("Engine comparison (rted):")
+    for engine in ("spf", "recursive"):
+        result = compute(original, revised, algorithm="rted", engine=engine)
         print(
-            f"  engine={engine:5s}  distance={result.distance:<4g}  "
+            f"  engine={engine:9s}  distance={result.distance:<4g}  "
             f"time={result.total_time * 1000:.2f} ms"
         )
 
+    # Deep trees are no problem for the iterative engine — even for RTED and
+    # the heavy-path algorithms, which recursed (and needed a raised
+    # recursion limit) before the spf engine existed.
     deep_bracket = "{a" * 2000 + "}" * 2000
-    deep_distance = tree_edit_distance(
-        deep_bracket, original, algorithm="zhang-l", engine="spf"
-    )
-    print(f"2000-deep path tree vs document tree (engine='spf'): {deep_distance}")
+    for algorithm in ("zhang-l", "klein-h", "rted"):
+        deep_distance = tree_edit_distance(deep_bracket, original, algorithm=algorithm)
+        print(f"2000-deep path tree vs document tree ({algorithm}): {deep_distance}")
 
 
 if __name__ == "__main__":

@@ -16,6 +16,7 @@ from .strategies import (
     ALL_FIXED_CHOICES,
     SIDE_F,
     SIDE_G,
+    EncodedStrategy,
     HeavyFStrategy,
     HeavyGStrategy,
     HeavyLargerStrategy,
@@ -28,9 +29,14 @@ from .strategies import (
     Strategy,
     fixed_strategy_for,
 )
-from .optimal_strategy import OptimalStrategyResult, optimal_strategy, optimal_strategy_cost
+from .optimal_strategy import (
+    OptimalStrategyResult,
+    optimal_strategy,
+    optimal_strategy_cost,
+    optimal_strategy_objects,
+)
 from .forest_engine import DecompositionEngine
-from .spf import SinglePathContext, spf_L, spf_R
+from .spf import SinglePathContext, spf_A, spf_H, spf_L, spf_R
 from .gted import GTED, StrategyExecutor
 from .rted import RTED, rted
 from .klein import KleinTED
@@ -61,6 +67,7 @@ __all__ = [
     "Strategy",
     "PathChoice",
     "PrecomputedStrategy",
+    "EncodedStrategy",
     "LeftFStrategy",
     "RightFStrategy",
     "HeavyFStrategy",
@@ -75,8 +82,11 @@ __all__ = [
     "OptimalStrategyResult",
     "optimal_strategy",
     "optimal_strategy_cost",
+    "optimal_strategy_objects",
     "DecompositionEngine",
     "SinglePathContext",
+    "spf_A",
+    "spf_H",
     "spf_L",
     "spf_R",
     "GTED",

@@ -17,12 +17,14 @@ from ..costs import UNIT_COST, CostModel
 from ..exceptions import UnknownEngineError
 from ..trees.tree import Tree
 
-#: Execution-engine identifiers.  ``auto`` picks each algorithm's historical
-#: default; ``recursive`` forces the strategy-driven
-#: :class:`~repro.algorithms.forest_engine.DecompositionEngine`; ``spf``
-#: forces the iterative executor that dispatches left/right strategy steps to
-#: the single-path functions of :mod:`repro.algorithms.spf` (see
-#: ``DESIGN.md``).
+#: Execution-engine identifiers.  ``auto`` picks each algorithm's production
+#: default — the iterative ``spf`` executor for every GTED/RTED variant, the
+#: dedicated Zhang–Shasha tables for ``zhang-l``/``zhang-r``; ``spf`` forces
+#: the iterative executor that dispatches *every* strategy step (left, right
+#: and heavy) to the single-path functions of :mod:`repro.algorithms.spf`;
+#: ``recursive`` forces the strategy-driven
+#: :class:`~repro.algorithms.forest_engine.DecompositionEngine`, kept as the
+#: cross-check oracle (see ``DESIGN.md``).
 ENGINE_AUTO = "auto"
 ENGINE_RECURSIVE = "recursive"
 ENGINE_SPF = "spf"

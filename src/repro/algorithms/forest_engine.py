@@ -25,10 +25,12 @@ Because the recursive formula is correct for *either* direction choice at
 every step, the distance returned by the engine is exact for every strategy;
 only the amount of work depends on the strategy.
 
-Since the introduction of the iterative single-path layer
-(:mod:`repro.algorithms.spf`, ``engine="spf"``) this engine is the *reference
-oracle* and the fallback executor for heavy paths; left/right phases run
-recursion-free in the SPF layer and never enter this module.
+Since the iterative single-path layer (:mod:`repro.algorithms.spf`,
+``engine="spf"``) gained the inner-path program ``Δ_A``, this engine is a
+*pure cross-check oracle*: every path class — left, right and heavy — runs
+recursion-free in the SPF layer, and no production path (``engine="auto"``
+or ``"spf"`` anywhere in the library) enters this module.  Only an explicit
+``engine="recursive"`` request executes it.
 """
 
 from __future__ import annotations

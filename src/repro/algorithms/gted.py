@@ -4,16 +4,18 @@ GTED computes the tree edit distance for *any* path strategy.  Two
 interchangeable execution engines realize the recursive decomposition and the
 single-path functions (see ``DESIGN.md`` for the architecture):
 
+* ``engine="spf"`` (also the ``"auto"`` default) — the iterative
+  :class:`StrategyExecutor` below, which walks the strategy's decomposition
+  tree with an explicit stack and runs *every* strategy step — left, right
+  and heavy — through the array-based single-path functions ``Δ_L`` / ``Δ_R``
+  / ``Δ_A`` of :mod:`repro.algorithms.spf`.  No recursion is involved
+  anywhere, so the interpreter recursion limit is never touched and
+  arbitrarily deep trees are handled.
 * ``engine="recursive"`` — the strategy-driven
   :class:`~repro.algorithms.forest_engine.DecompositionEngine`, a direct,
   hash-memoized transcription of the paper's recursion.  It is the reference
-  implementation and the only engine that executes *heavy* paths natively.
-* ``engine="spf"`` — the iterative :class:`StrategyExecutor` below, which
-  walks the strategy's decomposition tree with an explicit stack and runs
-  every left/right step through the array-based single-path functions
-  ``Δ_L`` / ``Δ_R`` of :mod:`repro.algorithms.spf` (heavy steps fall back to
-  the recursive engine).  It is much faster on left/right-dominated
-  strategies and frees those phases from the interpreter recursion limit.
+  oracle the tests cross-check against and is never entered by the default
+  execution path.
 
 ``GTED(strategy)`` wires a strategy, a cost model, and an engine together and
 reports the paper's measurements.
@@ -24,7 +26,7 @@ from __future__ import annotations
 from typing import List, Optional, Set, Tuple
 
 from ..costs import CostModel
-from ..trees.tree import HEAVY, Tree
+from ..trees.tree import HEAVY, LEFT, RIGHT, Tree
 from .base import (
     ENGINE_AUTO,
     ENGINE_RECURSIVE,
@@ -34,24 +36,34 @@ from .base import (
     TEDResult,
     resolve_engine,
 )
-from .forest_engine import DecompositionEngine
 from .spf import SinglePathContext
 from .strategies import SIDE_F, PathChoice, Strategy
+
+#: The inner-path program evaluates a ``(m+1)²`` boundary grid over the
+#: non-decomposed subtree, while the paper's cost model charges a heavy step
+#: ``|A(G_w)|`` — the number of subforests the full decomposition actually
+#: reaches.  The two agree within a small constant for bushy trees, but for
+#: path-degenerate subtrees ``|A|`` collapses to ``O(m)`` and the grid would
+#: overcount quadratically.  When the mismatch exceeds this factor the
+#: executor reroutes the step to the cheaper keyroot kind on the same side —
+#: the distance is exact for *every* strategy, so this only trades one
+#: decomposition order for a cheaper one on shapes the grid handles poorly.
+GRID_OVERCOUNT_FACTOR = 16
 
 
 class StrategyExecutor:
     """Iterative GTED driver over a path strategy (the ``spf`` engine).
 
     Walks the decomposition tree of Algorithm 1 with an explicit stack: every
-    subtree pair whose strategy choice is a left or right path becomes a
-    *spine* run of the matching single-path function, preceded by sub-tasks
-    for the relevant subtrees hanging off that path.  Pairs mapped to a heavy
-    path are delegated to the recursive reference engine, which fills the
-    same dense distance matrix so both worlds compose freely.
+    subtree pair becomes a *spine* run of the single-path function matching
+    the strategy's choice — ``Δ_L`` / ``Δ_R`` in keyroot coordinates for
+    left/right paths, the chain/grid program ``Δ_A`` for heavy paths —
+    preceded by sub-tasks for the relevant subtrees hanging off that path.
 
     Invariant (shared with :class:`~repro.algorithms.spf.SinglePathContext`):
     once a pair ``(v, w)`` is done, ``D[x][y]`` is final for every
-    ``x ∈ F_v, y ∈ G_w`` — exactly what an enclosing single-path run needs.
+    ``x ∈ F_v, y ∈ G_w`` — exactly what an enclosing single-path run needs,
+    regardless of the path kinds involved.
     """
 
     def __init__(
@@ -68,10 +80,15 @@ class StrategyExecutor:
         self.context = SinglePathContext(
             tree_f, tree_g, cost_model=cost_model, use_numpy=use_numpy
         )
-        self._cost_model = cost_model
-        self._fallback: Optional[DecompositionEngine] = None
-        #: Relevant subproblems evaluated (SPF table cells + fallback memo entries).
+        #: Relevant subproblems evaluated, in the paper's currency: keyroot
+        #: table cells for left/right steps, chain-steps × |A(other)| for
+        #: heavy steps (the terms of the cost formula of Figure 5).
         self.subproblems = 0
+        #: Heavy steps rerouted by the grid-overcount guard (see
+        #: :data:`GRID_OVERCOUNT_FACTOR`); non-zero only on path-degenerate
+        #: shapes, and a visible marker that the executed decomposition
+        #: deviated from the strategy's literal choice there.
+        self.rerouted_steps = 0
 
     def distance(self) -> float:
         """Tree edit distance between the two whole trees."""
@@ -91,12 +108,9 @@ class StrategyExecutor:
             if (v, w) in done or (v, w) in scheduled:
                 continue
 
-            choice = self.strategy.choose(tree_f, tree_g, v, w)
-            if choice.kind == HEAVY:
-                self._fallback_block(v, w)
-                done.add((v, w))
-                continue
-
+            choice = self._executable_choice(
+                self.strategy.choose(tree_f, tree_g, v, w), v, w
+            )
             scheduled.add((v, w))
             stack.append((v, w, choice))
             if choice.side == SIDE_F:
@@ -109,28 +123,62 @@ class StrategyExecutor:
                         stack.append((v, root, None))
 
         self.subproblems = self.context.cells
-        if self._fallback is not None:
-            self.subproblems += self._fallback.subproblems
         return float(self.context.D[tree_f.root][tree_g.root])
 
-    def _fallback_block(self, v: int, w: int) -> None:
-        """Fill the whole ``F_v × G_w`` distance block with the recursive engine.
+    def _executable_choice(self, choice: PathChoice, v: int, w: int) -> PathChoice:
+        """Guard heavy steps against pathological boundary-grid blowup.
 
-        Heavy paths have no iterative single-path function yet, and an
-        enclosing spine run may read any subtree pair of the block, so the
-        reference engine computes them all.  A single engine instance is kept
-        so its memo table is shared across fallback blocks.
+        See :data:`GRID_OVERCOUNT_FACTOR`.  Heavy steps whose grid cost is
+        within a small factor of the paper's cost model execute unchanged;
+        only steps whose other-side subtree is path-degenerate (tiny
+        ``|A|``) are rerouted to the cheaper of the two keyroot kinds on the
+        same side.
         """
-        if self._fallback is None:
-            self._fallback = DecompositionEngine(
-                self.tree_f, self.tree_g, self.strategy, cost_model=self._cost_model
-            )
-        engine = self._fallback
-        D = self.context.D
-        for x in self.tree_f.subtree_nodes(v):
-            row = D[x]
-            for y in self.tree_g.subtree_nodes(w):
-                row[y] = engine.subtree_distance(x, y)
+        if choice.kind != HEAVY:
+            return choice
+        if choice.side == SIDE_F:
+            dec_tree, dec_root = self.tree_f, v
+            oth_tree, oth_root = self.tree_g, w
+        else:
+            dec_tree, dec_root = self.tree_g, w
+            oth_tree, oth_root = self.tree_f, v
+        m = oth_tree.sizes[oth_root]
+        if (m + 1) ** 2 <= GRID_OVERCOUNT_FACTOR * oth_tree.full_decomposition_sizes()[oth_root]:
+            return choice
+        left_cost = (
+            dec_tree.left_decomposition_sizes()[dec_root]
+            * oth_tree.left_decomposition_sizes()[oth_root]
+        )
+        right_cost = (
+            dec_tree.right_decomposition_sizes()[dec_root]
+            * oth_tree.right_decomposition_sizes()[oth_root]
+        )
+        self.rerouted_steps += 1
+        return PathChoice(choice.side, LEFT if left_cost <= right_cost else RIGHT)
+
+
+def run_engine(
+    engine: str,
+    tree_f: Tree,
+    tree_g: Tree,
+    strategy: Strategy,
+    cost_model: Optional[CostModel],
+    extra: dict,
+) -> Tuple[float, int]:
+    """Execute a strategy on the resolved engine (shared by GTED and RTED).
+
+    Returns ``(distance, subproblems)`` and records engine diagnostics
+    (``rerouted_steps`` for the iterative executor) into ``extra``.
+    """
+    if engine == ENGINE_RECURSIVE:
+        from .forest_engine import DecompositionEngine
+
+        recursive = DecompositionEngine(tree_f, tree_g, strategy, cost_model=cost_model)
+        return recursive.distance(), recursive.subproblems
+    executor = StrategyExecutor(tree_f, tree_g, strategy, cost_model=cost_model)
+    distance = executor.distance()
+    extra["rerouted_steps"] = executor.rerouted_steps
+    return distance, executor.subproblems
 
 
 class GTED(TEDAlgorithm):
@@ -140,15 +188,20 @@ class GTED(TEDAlgorithm):
     ----------
     strategy:
         Any :class:`~repro.algorithms.strategies.Strategy`; fixed strategies
-        reproduce the published algorithms, a
-        :class:`~repro.algorithms.strategies.PrecomputedStrategy` from
-        Algorithm 2 reproduces RTED.
+        reproduce the published algorithms, a strategy produced by
+        Algorithm 2 reproduces RTED.  Note that on path-degenerate shapes the
+        ``spf`` executor may reroute individual heavy steps to an equivalent
+        left/right decomposition (reported as ``extra["rerouted_steps"]``,
+        see :data:`GRID_OVERCOUNT_FACTOR`); the distance is exact for every
+        strategy, but callers studying an algorithm's *work profile* should
+        use the exact counters in :mod:`repro.counting` or
+        ``engine="recursive"``, which always follows the literal strategy.
     name:
         Optional display name; defaults to ``"GTED(<strategy>)"``.
     engine:
-        Execution engine: ``"recursive"`` (the reference decomposition
-        engine, also the ``"auto"`` default) or ``"spf"`` (iterative
-        single-path executor, fastest for left/right-dominated strategies).
+        Execution engine: ``"spf"`` (iterative single-path executor, also the
+        ``"auto"`` default) or ``"recursive"`` (the reference decomposition
+        engine, kept as a cross-check oracle).
     """
 
     def __init__(
@@ -161,19 +214,13 @@ class GTED(TEDAlgorithm):
     def compute(
         self, tree_f: Tree, tree_g: Tree, cost_model: Optional[CostModel] = None
     ) -> TEDResult:
-        engine = ENGINE_RECURSIVE if self.engine == ENGINE_AUTO else self.engine
+        engine = ENGINE_SPF if self.engine == ENGINE_AUTO else self.engine
         watch = Stopwatch()
         watch.start()
-        if engine == ENGINE_SPF:
-            executor = StrategyExecutor(tree_f, tree_g, self.strategy, cost_model=cost_model)
-            distance = executor.distance()
-            subproblems = executor.subproblems
-        else:
-            recursive = DecompositionEngine(
-                tree_f, tree_g, self.strategy, cost_model=cost_model
-            )
-            distance = recursive.distance()
-            subproblems = recursive.subproblems
+        extra = {"engine": engine}
+        distance, subproblems = run_engine(
+            engine, tree_f, tree_g, self.strategy, cost_model, extra
+        )
         return TEDResult(
             distance=distance,
             algorithm=self.name,
@@ -181,5 +228,5 @@ class GTED(TEDAlgorithm):
             distance_time=watch.elapsed(),
             n_f=tree_f.n,
             n_g=tree_g.n,
-            extra={"engine": engine},
+            extra=extra,
         )

@@ -9,46 +9,67 @@ which brings the strategy computation down from ``O(n^3)`` (the baseline
 algorithm of Section 6.1, implemented in
 :mod:`repro.counting.cost_formula`) to ``O(n^2)``.
 
+The strategy matrix is stored as flat integers — entry ``(v, w)`` is an index
+into :data:`~repro.algorithms.strategies.ALL_FIXED_CHOICES` — and the cost
+matrix as flat ints, never as ``|F| × |G|`` objects.  Three implementations
+share that layout:
+
+* :func:`_optimal_strategy_numpy` — the production path: per-``v`` row
+  updates are NumPy vector operations, and the sequential child→parent cost
+  flow inside a row is batched by *height level* of ``G`` (all nodes of one
+  height are independent given the levels below).
+* :func:`_optimal_strategy_python` — the flat-int scalar fallback, used when
+  NumPy is unavailable or when ``G`` is so deep that level batching
+  degenerates.
+* :func:`optimal_strategy_objects` — the legacy object-matrix
+  implementation, kept verbatim as the cross-check oracle and the baseline
+  of ``benchmarks/bench_spf.py``'s Algorithm 2 comparison.
+
 The module exposes:
 
 * :func:`optimal_strategy` — the full Algorithm 2, returning an
-  :class:`OptimalStrategyResult` with the strategy matrix and the optimal
-  subproblem count;
-* :class:`OptimalStrategyResult.strategy` — a
-  :class:`~repro.algorithms.strategies.PrecomputedStrategy` ready to be passed
-  to GTED / the decomposition engine.
+  :class:`OptimalStrategyResult` with the encoded strategy matrix and the
+  optimal subproblem count;
+* :attr:`OptimalStrategyResult.strategy` — an
+  :class:`~repro.algorithms.strategies.EncodedStrategy` ready to be passed
+  to GTED / the executors.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List
+from typing import List, Sequence
 
 from ..trees.tree import HEAVY, LEFT, RIGHT, Tree
-from .strategies import SIDE_F, SIDE_G, PathChoice, PrecomputedStrategy
+from .strategies import ALL_FIXED_CHOICES, EncodedStrategy, PathChoice
+
+try:  # NumPy is an optional accelerator, mirroring the SPF kernel split.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised only without numpy
+    _np = None
 
 #: Candidate order used for tie-breaking; matches the listing order of the
 #: cost formula in Figure 5 (heavy-F, heavy-G, left-F, left-G, right-F,
-#: right-G).  The first candidate attaining the minimum wins.
-_CANDIDATE_CHOICES = (
-    PathChoice(SIDE_F, HEAVY),
-    PathChoice(SIDE_G, HEAVY),
-    PathChoice(SIDE_F, LEFT),
-    PathChoice(SIDE_G, LEFT),
-    PathChoice(SIDE_F, RIGHT),
-    PathChoice(SIDE_G, RIGHT),
-)
+#: right-G).  The first candidate attaining the minimum wins.  Identical to
+#: :data:`~repro.algorithms.strategies.ALL_FIXED_CHOICES`, whose positions
+#: are the integer codes stored in the strategy matrix.
+_CANDIDATE_CHOICES = tuple(ALL_FIXED_CHOICES)
+
+#: Per-block fixed overhead (ufunc dispatch, temporaries) of the vectorized
+#: implementation relative to per-pair scalar work: vectorize only when the
+#: level-pair block count is at least this many times smaller than the pair
+#: count, else fall back to the flat scalar loop (deep, path-like trees).
+_BLOCK_OVERHEAD_FACTOR = 64
 
 
-@dataclass
 class OptimalStrategyResult:
     """Result of Algorithm 2.
 
     Attributes
     ----------
-    choices:
-        ``|F| × |G|`` matrix of :class:`PathChoice`; entry ``(v, w)`` is the
-        optimal path for the subtree pair rooted at ``(v, w)``.
+    choice_codes:
+        ``|F| × |G|`` matrix of small ints; entry ``(v, w)`` indexes
+        :data:`~repro.algorithms.strategies.ALL_FIXED_CHOICES` and encodes
+        the optimal path for the subtree pair rooted at ``(v, w)``.
     cost:
         Number of relevant subproblems of the optimal strategy for the whole
         tree pair (the value of the cost formula at the roots).
@@ -56,41 +77,101 @@ class OptimalStrategyResult:
         ``|F| × |G|`` matrix with the optimal cost of every subtree pair.
     """
 
-    choices: List[List[PathChoice]]
-    cost: int
-    costs: List[List[int]]
+    __slots__ = ("choice_codes", "cost", "costs", "_choices")
+
+    def __init__(self, choice_codes, cost: int, costs, choices=None) -> None:
+        self.choice_codes = choice_codes
+        self.cost = int(cost)
+        self.costs = costs
+        self._choices = choices
 
     @property
-    def strategy(self) -> PrecomputedStrategy:
+    def choices(self) -> List[List[PathChoice]]:
+        """The decoded :class:`PathChoice` matrix, materialized on demand."""
+        if self._choices is None:
+            self._choices = [
+                [_CANDIDATE_CHOICES[code] for code in row] for row in self.choice_codes
+            ]
+        return self._choices
+
+    @property
+    def strategy(self) -> EncodedStrategy:
         """The strategy matrix wrapped for consumption by GTED."""
-        return PrecomputedStrategy(self.choices, name="optimal")
+        return EncodedStrategy(self.choice_codes, name="optimal")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"OptimalStrategyResult(cost={self.cost})"
+
+
+def _shared_factors(tree_f: Tree, tree_g: Tree):
+    """The per-node factors of the six products in the cost formula."""
+    return (
+        tree_f.full_decomposition_sizes(),
+        tree_g.full_decomposition_sizes(),
+        tree_f.left_decomposition_sizes(),
+        tree_g.left_decomposition_sizes(),
+        tree_f.right_decomposition_sizes(),
+        tree_g.right_decomposition_sizes(),
+    )
 
 
 def optimal_strategy(tree_f: Tree, tree_g: Tree) -> OptimalStrategyResult:
     """Compute the optimal LRH strategy for ``(tree_f, tree_g)`` (Algorithm 2).
 
-    Runs in ``O(|F| · |G|)`` time and space.
+    Runs in ``O(|F| · |G|)`` time and space; dispatches to the vectorized
+    NumPy implementation when available and worthwhile, and to the flat-int
+    pure-Python loop otherwise.  Both produce bit-identical results (the
+    test-suite cross-checks them and the legacy object-matrix oracle).
     """
+    if _np is not None and tree_f.n >= 2 and tree_g.n >= 2:
+        heights_f = _node_heights(tree_f)
+        heights_g = _node_heights(tree_g)
+        blocks = (max(heights_f) + 1) * (max(heights_g) + 1)
+        # Level-pair blocking degenerates on deep, path-like inputs (blocks
+        # shrink towards single pairs); the flat scalar loop wins there.
+        if blocks * _BLOCK_OVERHEAD_FACTOR <= tree_f.n * tree_g.n:
+            return _optimal_strategy_numpy(tree_f, tree_g, heights_f, heights_g)
+    return _optimal_strategy_python(tree_f, tree_g)
+
+
+def optimal_strategy_cost(tree_f: Tree, tree_g: Tree) -> int:
+    """Number of relevant subproblems of the optimal LRH strategy.
+
+    Convenience wrapper around :func:`optimal_strategy` for callers (counters,
+    experiments) that only need the cost value.
+    """
+    return optimal_strategy(tree_f, tree_g).cost
+
+
+def _node_heights(tree: Tree) -> List[int]:
+    """Height of every node (leaves are 0), in postorder."""
+    heights = [0] * tree.n
+    children = tree.children
+    for v in range(tree.n):
+        kids = children[v]
+        if kids:
+            heights[v] = 1 + max(heights[c] for c in kids)
+    return heights
+
+
+# --------------------------------------------------------------------------- #
+# Pure-Python flat-int implementation
+# --------------------------------------------------------------------------- #
+def _optimal_strategy_python(tree_f: Tree, tree_g: Tree) -> OptimalStrategyResult:
+    """Algorithm 2 over flat int rows — no PathChoice objects anywhere."""
     n_f, n_g = tree_f.n, tree_g.n
 
     sizes_f, sizes_g = tree_f.sizes, tree_g.sizes
     parents_f, parents_g = tree_f.parents, tree_g.parents
 
-    # Precomputed factors of the six products in the cost formula (Lemmas 1-3).
-    full_f = tree_f.full_decomposition_sizes()
-    full_g = tree_g.full_decomposition_sizes()
-    left_f = tree_f.left_decomposition_sizes()
-    left_g = tree_g.left_decomposition_sizes()
-    right_f = tree_f.right_decomposition_sizes()
-    right_g = tree_g.right_decomposition_sizes()
+    full_f, full_g, left_f, left_g, right_f, right_g = _shared_factors(tree_f, tree_g)
 
-    # Membership of a node in its parent's left / right / heavy path.
-    on_left_f = [tree_f.on_parent_path(v, LEFT) for v in range(n_f)]
-    on_right_f = [tree_f.on_parent_path(v, RIGHT) for v in range(n_f)]
-    on_heavy_f = [tree_f.on_parent_path(v, HEAVY) for v in range(n_f)]
-    on_left_g = [tree_g.on_parent_path(w, LEFT) for w in range(n_g)]
-    on_right_g = [tree_g.on_parent_path(w, RIGHT) for w in range(n_g)]
-    on_heavy_g = [tree_g.on_parent_path(w, HEAVY) for w in range(n_g)]
+    on_left_f = tree_f.on_parent_path_all(LEFT)
+    on_right_f = tree_f.on_parent_path_all(RIGHT)
+    on_heavy_f = tree_f.on_parent_path_all(HEAVY)
+    on_left_g = tree_g.on_parent_path_all(LEFT)
+    on_right_g = tree_g.on_parent_path_all(RIGHT)
+    on_heavy_g = tree_g.on_parent_path_all(HEAVY)
 
     # Cost sums over the relevant subtrees of F_v w.r.t. each path kind,
     # indexed [v][w]; and the symmetric per-v sums for G_w, indexed [w].
@@ -98,7 +179,7 @@ def optimal_strategy(tree_f: Tree, tree_g: Tree) -> OptimalStrategyResult:
     right_sums_f = [[0] * n_g for _ in range(n_f)]
     heavy_sums_f = [[0] * n_g for _ in range(n_f)]
 
-    choices: List[List[PathChoice]] = [[None] * n_g for _ in range(n_f)]  # type: ignore[list-item]
+    choice_codes: List[List[int]] = [[0] * n_g for _ in range(n_f)]
     costs: List[List[int]] = [[0] * n_g for _ in range(n_f)]
 
     for v in range(n_f):
@@ -110,7 +191,7 @@ def optimal_strategy(tree_f: Tree, tree_g: Tree) -> OptimalStrategyResult:
         row_left_v = left_sums_f[v]
         row_right_v = right_sums_f[v]
         row_heavy_v = heavy_sums_f[v]
-        row_choices = choices[v]
+        row_codes = choice_codes[v]
         row_costs = costs[v]
 
         # Per-v cost sums for the relevant subtrees of G's subtrees; children
@@ -122,22 +203,25 @@ def optimal_strategy(tree_f: Tree, tree_g: Tree) -> OptimalStrategyResult:
         for w in range(n_g):
             size_w = sizes_g[w]
 
-            candidates = (
-                size_v * full_g[w] + row_heavy_v[w],      # γ_H(F_v)
-                size_w * full_v + heavy_sums_g[w],        # γ_H(G_w)
-                size_v * left_g[w] + row_left_v[w],       # γ_L(F_v)
-                size_w * left_v + left_sums_g[w],         # γ_L(G_w)
-                size_v * right_g[w] + row_right_v[w],     # γ_R(F_v)
-                size_w * right_v + right_sums_g[w],       # γ_R(G_w)
-            )
+            best_cost = size_v * full_g[w] + row_heavy_v[w]  # γ_H(F_v)
             best_index = 0
-            best_cost = candidates[0]
-            for index in range(1, 6):
-                if candidates[index] < best_cost:
-                    best_cost = candidates[index]
-                    best_index = index
+            cand = size_w * full_v + heavy_sums_g[w]  # γ_H(G_w)
+            if cand < best_cost:
+                best_cost, best_index = cand, 1
+            cand = size_v * left_g[w] + row_left_v[w]  # γ_L(F_v)
+            if cand < best_cost:
+                best_cost, best_index = cand, 2
+            cand = size_w * left_v + left_sums_g[w]  # γ_L(G_w)
+            if cand < best_cost:
+                best_cost, best_index = cand, 3
+            cand = size_v * right_g[w] + row_right_v[w]  # γ_R(F_v)
+            if cand < best_cost:
+                best_cost, best_index = cand, 4
+            cand = size_w * right_v + right_sums_g[w]  # γ_R(G_w)
+            if cand < best_cost:
+                best_cost, best_index = cand, 5
 
-            row_choices[w] = _CANDIDATE_CHOICES[best_index]
+            row_codes[w] = best_index
             row_costs[w] = best_cost
 
             if parent_v != -1:
@@ -152,16 +236,229 @@ def optimal_strategy(tree_f: Tree, tree_g: Tree) -> OptimalStrategyResult:
                 heavy_sums_g[parent_w] += heavy_sums_g[w] if on_heavy_g[w] else best_cost
 
     return OptimalStrategyResult(
-        choices=choices,
+        choice_codes=choice_codes,
         cost=costs[n_f - 1][n_g - 1],
         costs=costs,
     )
 
 
-def optimal_strategy_cost(tree_f: Tree, tree_g: Tree) -> int:
-    """Number of relevant subproblems of the optimal LRH strategy.
+# --------------------------------------------------------------------------- #
+# Vectorized implementation
+# --------------------------------------------------------------------------- #
+def _optimal_strategy_numpy(
+    tree_f: Tree, tree_g: Tree, heights_f: Sequence[int], heights_g: Sequence[int]
+) -> OptimalStrategyResult:
+    """Algorithm 2 with 2D-blocked vectorized updates.
 
-    Convenience wrapper around :func:`optimal_strategy` for callers (counters,
-    experiments) that only need the cost value.
+    The sequential structure of Algorithm 2 is the child→parent flow of the
+    cost sums — within a row (over ``G``) *and* across rows (over ``F``).
+    Both flows cross *height levels* strictly upward, so pairs of levels
+    ``(level of F, level of G)`` can be processed as whole blocks: for each
+    block, the six candidate matrices are single vector expressions, the
+    winner is one ``argmin`` over the stacked block (first minimum = the
+    cost formula's tie-breaking order), and the block's contributions are
+    scatter-added onto the parent rows/columns of the six running-sum
+    matrices.  Block order (G level ascending, F level ascending inside)
+    guarantees every child pair is final before its parents read it.
     """
-    return optimal_strategy(tree_f, tree_g).cost
+    np = _np
+    n_f, n_g = tree_f.n, tree_g.n
+
+    sizes_f = np.asarray(tree_f.sizes, dtype=np.int64)
+    sizes_g = np.asarray(tree_g.sizes, dtype=np.int64)
+    full_f, full_g, left_f, left_g, right_f, right_g = _shared_factors(tree_f, tree_g)
+    full_f = np.asarray(full_f, dtype=np.int64)
+    full_g = np.asarray(full_g, dtype=np.int64)
+    left_f = np.asarray(left_f, dtype=np.int64)
+    left_g = np.asarray(left_g, dtype=np.int64)
+    right_f = np.asarray(right_f, dtype=np.int64)
+    right_g = np.asarray(right_g, dtype=np.int64)
+
+    on_left_f = np.asarray(tree_f.on_parent_path_all(LEFT))
+    on_right_f = np.asarray(tree_f.on_parent_path_all(RIGHT))
+    on_heavy_f = np.asarray(tree_f.on_parent_path_all(HEAVY))
+    on_left_g = np.asarray(tree_g.on_parent_path_all(LEFT))
+    on_right_g = np.asarray(tree_g.on_parent_path_all(RIGHT))
+    on_heavy_g = np.asarray(tree_g.on_parent_path_all(HEAVY))
+
+    hf = np.asarray(heights_f, dtype=np.intp)
+    hg = np.asarray(heights_g, dtype=np.intp)
+
+    on_f = (on_heavy_f, on_left_f, on_right_f)
+    on_g = (on_heavy_g, on_left_g, on_right_g)
+    factors_f = (full_f, left_f, right_f)
+    factors_g = (full_g, left_g, right_g)
+
+    def level_data(tree, heights, sizes, factors, on_path, axis):
+        """Everything a level contributes to every block it participates in.
+
+        Per level: node ids (broadcast-shaped for its axis), the stacked
+        per-kind factor/path-membership arrays, the node sizes, and the
+        concatenated child ids + reduceat offsets for gathering the
+        children's contributions (``None`` for the leaf level).
+        """
+        levels = []
+        for h in range(int(heights.max()) + 1):
+            idx = np.nonzero(heights == h)[0]
+            if axis == 0:  # F: rows
+                idx_b = idx[:, None]
+                fac = np.stack([f[idx] for f in factors])[:, :, None]
+                on = np.stack([f[idx] for f in on_path])[:, :, None]
+                size = sizes[idx][:, None]
+            else:  # G: columns
+                idx_b = idx[None, :]
+                fac = np.stack([f[idx] for f in factors])[:, None, :]
+                on = np.stack([f[idx] for f in on_path])[:, None, :]
+                size = sizes[idx][None, :]
+            kids_b = offsets = None
+            if h > 0:
+                kids = [tree.children[int(v)] for v in idx]
+                offsets = np.zeros(len(kids), dtype=np.intp)
+                np.cumsum([len(k) for k in kids[:-1]], out=offsets[1:])
+                flat = np.concatenate(kids).astype(np.intp)
+                kids_b = flat[:, None] if axis == 0 else flat[None, :]
+            levels.append((idx_b, size, fac, on, kids_b, offsets))
+        return levels
+
+    levels_f = level_data(tree_f, hf, sizes_f, factors_f, on_f, axis=0)
+    levels_g = level_data(tree_g, hg, sizes_g, factors_g, on_g, axis=1)
+
+    # Contribution stacks, indexed [kind][v][w] (kind = heavy/left/right):
+    # entry (v, w) is what the pair contributes to its parent's cost sum —
+    # its own sum when the node continues the parent's path, its optimal
+    # cost otherwise.  Parents *gather* these over their children (one
+    # reduceat per side), which replaces Algorithm 2's per-pair scatter
+    # updates.
+    contrib_f = np.zeros((3, n_f, n_g), dtype=np.int64)
+    contrib_g = np.zeros((3, n_f, n_g), dtype=np.int64)
+
+    choice_codes = np.zeros((n_f, n_g), dtype=np.int8)
+    costs = np.zeros((n_f, n_g), dtype=np.int64)
+    zero = np.zeros((3, 1, 1), dtype=np.int64)  # broadcastable leaf-level sums
+
+    for col, size_col, fac_col, on_col, kids_g, seg_g in levels_g:
+        for row, size_row, fac_row, on_row, kids_f, seg_f in levels_f:
+            # Cost sums over relevant subtrees, all three kinds at once:
+            # gathered from the children's contribution rows/columns.
+            if kids_f is None:
+                sums_f = zero
+            else:
+                sums_f = np.add.reduceat(contrib_f[:, kids_f, col], seg_f, axis=1)
+            if kids_g is None:
+                sums_g = zero
+            else:
+                sums_g = np.add.reduceat(contrib_g[:, row, kids_g], seg_g, axis=2)
+
+            # The six candidates, interleaved in the tie-breaking order of
+            # the cost formula (heavy-F, heavy-G, left-F, left-G, right-F,
+            # right-G); np.argmin keeps the first minimum.
+            shape = np.broadcast_shapes(size_row.shape, size_col.shape)
+            cand = np.empty((6,) + shape, dtype=np.int64)
+            np.add(size_row * fac_col, sums_f, out=cand[0::2])
+            np.add(size_col * fac_row, sums_g, out=cand[1::2])
+            codes = np.argmin(cand, axis=0)
+            best = np.min(cand, axis=0)
+
+            choice_codes[row, col] = codes
+            costs[row, col] = best
+
+            # Contributions this block hands up to both parents.
+            contrib_f[:, row, col] = np.where(on_row, sums_f, best)
+            contrib_g[:, row, col] = np.where(on_col, sums_g, best)
+
+    return OptimalStrategyResult(
+        choice_codes=choice_codes,
+        cost=int(costs[n_f - 1, n_g - 1]),
+        costs=costs,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Legacy object-matrix implementation (oracle / benchmark baseline)
+# --------------------------------------------------------------------------- #
+def optimal_strategy_objects(tree_f: Tree, tree_g: Tree) -> OptimalStrategyResult:
+    """Algorithm 2 building ``|F| × |G|`` matrices of :class:`PathChoice`.
+
+    This is the pre-vectorization implementation, preserved unchanged as the
+    cross-check oracle for the flat-array versions and as the baseline of the
+    Algorithm 2 benchmark — its per-pair tuple construction and object-matrix
+    stores are precisely the overhead the rewrite removes.
+    """
+    n_f, n_g = tree_f.n, tree_g.n
+
+    sizes_f, sizes_g = tree_f.sizes, tree_g.sizes
+    parents_f, parents_g = tree_f.parents, tree_g.parents
+
+    full_f, full_g, left_f, left_g, right_f, right_g = _shared_factors(tree_f, tree_g)
+
+    on_left_f = [tree_f.on_parent_path(v, LEFT) for v in range(n_f)]
+    on_right_f = [tree_f.on_parent_path(v, RIGHT) for v in range(n_f)]
+    on_heavy_f = [tree_f.on_parent_path(v, HEAVY) for v in range(n_f)]
+    on_left_g = [tree_g.on_parent_path(w, LEFT) for w in range(n_g)]
+    on_right_g = [tree_g.on_parent_path(w, RIGHT) for w in range(n_g)]
+    on_heavy_g = [tree_g.on_parent_path(w, HEAVY) for w in range(n_g)]
+
+    left_sums_f = [[0] * n_g for _ in range(n_f)]
+    right_sums_f = [[0] * n_g for _ in range(n_f)]
+    heavy_sums_f = [[0] * n_g for _ in range(n_f)]
+
+    choices: List[List[PathChoice]] = [[None] * n_g for _ in range(n_f)]  # type: ignore[list-item]
+    codes: List[List[int]] = [[0] * n_g for _ in range(n_f)]
+    costs: List[List[int]] = [[0] * n_g for _ in range(n_f)]
+
+    for v in range(n_f):
+        size_v = sizes_f[v]
+        full_v = full_f[v]
+        left_v = left_f[v]
+        right_v = right_f[v]
+        parent_v = parents_f[v]
+        row_left_v = left_sums_f[v]
+        row_right_v = right_sums_f[v]
+        row_heavy_v = heavy_sums_f[v]
+        row_choices = choices[v]
+        row_codes = codes[v]
+        row_costs = costs[v]
+
+        left_sums_g = [0] * n_g
+        right_sums_g = [0] * n_g
+        heavy_sums_g = [0] * n_g
+
+        for w in range(n_g):
+            size_w = sizes_g[w]
+
+            candidates = (
+                size_v * full_g[w] + row_heavy_v[w],  # γ_H(F_v)
+                size_w * full_v + heavy_sums_g[w],  # γ_H(G_w)
+                size_v * left_g[w] + row_left_v[w],  # γ_L(F_v)
+                size_w * left_v + left_sums_g[w],  # γ_L(G_w)
+                size_v * right_g[w] + row_right_v[w],  # γ_R(F_v)
+                size_w * right_v + right_sums_g[w],  # γ_R(G_w)
+            )
+            best_index = 0
+            best_cost = candidates[0]
+            for index in range(1, 6):
+                if candidates[index] < best_cost:
+                    best_cost = candidates[index]
+                    best_index = index
+
+            row_choices[w] = _CANDIDATE_CHOICES[best_index]
+            row_codes[w] = best_index
+            row_costs[w] = best_cost
+
+            if parent_v != -1:
+                left_sums_f[parent_v][w] += row_left_v[w] if on_left_f[v] else best_cost
+                right_sums_f[parent_v][w] += row_right_v[w] if on_right_f[v] else best_cost
+                heavy_sums_f[parent_v][w] += row_heavy_v[w] if on_heavy_f[v] else best_cost
+
+            parent_w = parents_g[w]
+            if parent_w != -1:
+                left_sums_g[parent_w] += left_sums_g[w] if on_left_g[w] else best_cost
+                right_sums_g[parent_w] += right_sums_g[w] if on_right_g[w] else best_cost
+                heavy_sums_g[parent_w] += heavy_sums_g[w] if on_heavy_g[w] else best_cost
+
+    return OptimalStrategyResult(
+        choice_codes=codes,
+        cost=costs[n_f - 1][n_g - 1],
+        costs=costs,
+        choices=choices,
+    )

@@ -7,11 +7,14 @@ in without touching the call sites.
 
 Factories may accept an ``engine`` keyword (see
 :func:`repro.algorithms.base.resolve_engine`) selecting the execution
-backend: with ``engine="auto"`` every name keeps its historical
-implementation, while ``engine="spf"`` / ``engine="recursive"`` force the
-iterative single-path executor or the recursive reference engine for the
-algorithm's strategy.  Names with a single implementation (e.g. ``simple``)
-reject explicit engine selection.
+backend: ``engine="auto"`` is each name's production default (the iterative
+``spf`` executor for every GTED/RTED variant, the dedicated Zhang–Shasha
+tables for ``zhang-l``/``zhang-r``), while ``engine="spf"`` /
+``engine="recursive"`` force the iterative single-path executor or the
+recursive cross-check oracle for the algorithm's strategy.  Unknown engine
+names raise :class:`~repro.exceptions.UnknownEngineError` — there is no
+silent fallback — and names with a single implementation (e.g. ``simple``)
+reject explicit engine selection the same way.
 """
 
 from __future__ import annotations
@@ -118,13 +121,16 @@ def make_algorithm(name: str, engine: Optional[str] = None) -> TEDAlgorithm:
         raise UnknownAlgorithmError(
             f"unknown algorithm {name!r}; available: {', '.join(available_algorithms())}"
         )
+    # Validate the engine *before* instantiating anything so an unknown
+    # selector always surfaces as UnknownEngineError, never as a silently
+    # ignored keyword.
     resolved = resolve_engine(engine)
     if "engine" in inspect.signature(factory).parameters:
         return factory(engine=resolved)
     if resolved != ENGINE_AUTO:
         raise UnknownEngineError(
             f"algorithm {name!r} has a single implementation; "
-            f"engine selection is not supported"
+            f"engine selection is not supported (got engine={engine!r})"
         )
     return factory()
 

@@ -8,10 +8,10 @@ computed by any of the fixed-strategy competitors (Zhang-L/R, Klein-H,
 Demaine-H).
 
 Like :class:`~repro.algorithms.gted.GTED`, the distance phase can run on
-either execution engine: the recursive reference engine (default) or the
-iterative ``spf`` executor, which evaluates the left/right steps of the
-optimal strategy with array-based single-path functions and falls back to
-the recursive engine only for heavy steps.
+either execution engine: the iterative ``spf`` executor (the default), which
+evaluates every step of the optimal strategy — left, right and heavy — with
+array-based single-path functions and never recurses, or the recursive
+reference engine kept as a cross-check oracle.
 """
 
 from __future__ import annotations
@@ -22,15 +22,13 @@ from ..costs import CostModel
 from ..trees.tree import Tree
 from .base import (
     ENGINE_AUTO,
-    ENGINE_RECURSIVE,
     ENGINE_SPF,
     Stopwatch,
     TEDAlgorithm,
     TEDResult,
     resolve_engine,
 )
-from .forest_engine import DecompositionEngine
-from .gted import StrategyExecutor
+from .gted import run_engine
 from .optimal_strategy import OptimalStrategyResult, optimal_strategy
 
 
@@ -40,9 +38,9 @@ class RTED(TEDAlgorithm):
     Parameters
     ----------
     engine:
-        Execution engine for the distance phase: ``"recursive"`` (the
-        reference decomposition engine, also the ``"auto"`` default) or
-        ``"spf"`` (iterative single-path executor).
+        Execution engine for the distance phase: ``"spf"`` (iterative
+        single-path executor, also the ``"auto"`` default) or ``"recursive"``
+        (the reference decomposition engine, kept as a cross-check oracle).
     """
 
     name = "RTED"
@@ -53,7 +51,7 @@ class RTED(TEDAlgorithm):
     def compute(
         self, tree_f: Tree, tree_g: Tree, cost_model: Optional[CostModel] = None
     ) -> TEDResult:
-        engine = ENGINE_RECURSIVE if self.engine == ENGINE_AUTO else self.engine
+        engine = ENGINE_SPF if self.engine == ENGINE_AUTO else self.engine
         strategy_watch = Stopwatch()
         strategy_watch.start()
         strategy_result: OptimalStrategyResult = optimal_strategy(tree_f, tree_g)
@@ -61,20 +59,13 @@ class RTED(TEDAlgorithm):
 
         distance_watch = Stopwatch()
         distance_watch.start()
-        if engine == ENGINE_SPF:
-            executor = StrategyExecutor(
-                tree_f, tree_g, strategy_result.strategy, cost_model=cost_model
-            )
-            distance = executor.distance()
-            subproblems = executor.subproblems
-        else:
-            recursive = DecompositionEngine(
-                tree_f, tree_g, strategy_result.strategy, cost_model=cost_model
-            )
-            distance = recursive.distance()
-            subproblems = recursive.subproblems
+        extra: dict = {"engine": engine}
+        distance, subproblems = run_engine(
+            engine, tree_f, tree_g, strategy_result.strategy, cost_model, extra
+        )
         distance_time = distance_watch.elapsed()
 
+        extra["optimal_strategy_cost"] = strategy_result.cost
         return TEDResult(
             distance=distance,
             algorithm=self.name,
@@ -83,10 +74,7 @@ class RTED(TEDAlgorithm):
             distance_time=distance_time,
             n_f=tree_f.n,
             n_g=tree_g.n,
-            extra={
-                "optimal_strategy_cost": strategy_result.cost,
-                "engine": engine,
-            },
+            extra=extra,
         )
 
     def compute_strategy(self, tree_f: Tree, tree_g: Tree) -> OptimalStrategyResult:

@@ -1,12 +1,21 @@
-"""Iterative single-path functions Δ_L and Δ_R over flat postorder arrays.
+"""Iterative single-path functions Δ_L, Δ_R and Δ_A over flat index arrays.
 
 This module is the hot execution core of the library: it evaluates the
-Zhang–Shasha-style forest-distance recurrence for *left-path* and *right-path*
-decompositions without recursion, without tuple forest keys, and with dense
-``O(n·m)`` subtree tables instead of hash-map memoization.  It realizes the
-paper's single-path functions ``Δ_L`` and ``Δ_R`` (Figure 6); heavy/inner
-paths stay with the recursive reference engine
-(:class:`~repro.algorithms.forest_engine.DecompositionEngine`), see
+forest-distance recurrence for *all three* path classes of the paper without
+recursion, without tuple forest keys, and with dense tables instead of
+hash-map memoization.
+
+* ``Δ_L`` / ``Δ_R`` (Figure 6) — the Zhang–Shasha-style keyroot programs for
+  left and right paths, over postorder / reverse-postorder coordinates.
+* ``Δ_A`` — the general *inner-path* program in the Demaine/Klein style, used
+  for heavy paths (and any other root-leaf path): the decomposed subtree's
+  relevant subforests form a single removal chain (:class:`_InnerChain`), the
+  other subtree's subforests form a boundary grid (:class:`_GridFrame`), and
+  each chain position is one grid-sweep row.
+
+The recursive reference engine
+(:class:`~repro.algorithms.forest_engine.DecompositionEngine`) is no longer
+on any execution path — it survives purely as the cross-check oracle; see
 ``DESIGN.md`` for the full architecture.
 
 Two interchangeable kernels fill each keyroot-pair table:
@@ -36,7 +45,7 @@ from math import nan
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..costs import CostModel
-from ..trees.tree import LEFT, RIGHT, Tree
+from ..trees.tree import HEAVY, LEFT, RIGHT, Tree
 from .base import resolve_cost_model
 from .strategies import SIDE_F, SIDE_G
 
@@ -104,6 +113,140 @@ class _Frame:
         return sorted(of_post[k] for k in keyroots)
 
 
+class _InnerChain:
+    """The relevant-subforest chain of a subtree along one root-leaf path.
+
+    The relevant subforests of ``F_v`` with respect to a root-leaf path γ form
+    a *single* deterministic sequence: Definition 3's direction rule (remove
+    the rightmost root while the leftmost root lies on γ, the leftmost root
+    otherwise) removes exactly one node per step, so the chain is fully
+    described by the removal order.  Concretely, walking γ from ``v`` down to
+    its leaf, each path node ``p`` contributes
+
+    1. ``p`` itself (the forest is exactly ``F_p`` at that point, a single
+       tree whose root is on the path, so the root is removed),
+    2. the subtrees of ``p``'s children left of the path child, consumed one
+       node at a time in *preorder* (left removals), then
+    3. the subtrees right of the path child, rightmost subtree first, each
+       consumed in *reverse postorder* (right removals).
+
+    ``jump[s] = s + |F_{u_s}|`` is the position at which the whole subtree of
+    the node removed at ``s`` is gone — the target of the forest-split term of
+    the recurrence.  For path nodes ``jump[s] == n`` (the empty forest), since
+    everything outside ``F_p`` is already gone when ``p`` is removed.
+    """
+
+    __slots__ = ("nodes", "remove_right", "on_path", "jump")
+
+    def __init__(self, tree: Tree, root: int, kind: str) -> None:
+        nodes: List[int] = []
+        remove_right: List[bool] = []
+        on_path: List[bool] = []
+        post_of_pre = tree.post_of_pre
+        pre_of_post = tree.pre_of_post
+        sizes = tree.sizes
+        children = tree.children
+        for p in tree.root_leaf_path(root, kind):
+            nodes.append(p)
+            remove_right.append(True)
+            on_path.append(True)
+            kids = children[p]
+            if not kids:
+                continue
+            path_child = tree.path_child(p, kind)
+            pos = kids.index(path_child)
+            for c in kids[:pos]:
+                first = pre_of_post[c]
+                for pre in range(first, first + sizes[c]):
+                    nodes.append(post_of_pre[pre])
+                    remove_right.append(False)
+                    on_path.append(False)
+            for c in reversed(kids[pos + 1 :]):
+                for u in range(c, c - sizes[c], -1):
+                    nodes.append(u)
+                    remove_right.append(True)
+                    on_path.append(False)
+        if len(nodes) != sizes[root]:  # pragma: no cover - structural invariant
+            raise AssertionError("single-path chain does not cover the subtree")
+        self.nodes = nodes
+        self.remove_right = remove_right
+        self.on_path = on_path
+        self.jump = [s + sizes[u] for s, u in enumerate(nodes)]
+
+
+class _GridFrame:
+    """The *non-decomposed* subtree viewed as a boundary grid.
+
+    Every subforest of ``G_w`` reachable by left/right root removals is the
+    node set ``{u : pre(u) ≥ x, post(u) ≤ y - 1}`` for subtree-local preorder
+    boundary ``x`` and (shifted) postorder boundary ``y``; left removals
+    advance ``x``, right removals lower ``y``.  Several ``(x, y)`` cells may
+    denote the same forest (when the boundary node itself is excluded by the
+    other boundary); the inner-path tables keep those duplicates and resolve
+    them with O(1) copies, which is what makes every lookup constant-time.
+
+    All arrays are subtree-local; ``o_lo`` maps local postorder ids back to
+    global ones (the subtree is postorder-contiguous).  ``ins_sum[x][y]`` is
+    the total removal cost of the forest at ``(x, y)`` — the value of every
+    subproblem whose decomposed-side forest is empty, and the jump row of the
+    path-node removal steps.
+    """
+
+    __slots__ = (
+        "m",
+        "o_lo",
+        "post_of_pre",
+        "pre_of_post",
+        "size_pre",
+        "size_post",
+        "cost_pre",
+        "cost_post",
+        "labels_post",
+        "ins_sum",
+        "relevant_cells",
+        "np_arrays",
+    )
+
+    def __init__(self, tree: Tree, root: int, removal_cost: Callable[[object], float]) -> None:
+        m = tree.sizes[root]
+        # Canonical cells — those whose two boundary nodes are both inside
+        # the forest — biject with the nonempty subforests of the full
+        # decomposition A(G_w), so their count is |A(G_w)| of Lemma 1: the
+        # per-chain-step subproblem measure of the paper's cost formula.
+        self.relevant_cells = tree.full_decomposition_sizes()[root]
+        o_lo = root - m + 1
+        pre_root = tree.pre_of_post[root]
+        global_post_of_pre = tree.post_of_pre
+        post_of_pre = [global_post_of_pre[pre_root + x] - o_lo for x in range(m)]
+        pre_of_post = [0] * m
+        for x, p in enumerate(post_of_pre):
+            pre_of_post[p] = x
+        self.m = m
+        self.o_lo = o_lo
+        self.post_of_pre = post_of_pre
+        self.pre_of_post = pre_of_post
+        self.size_post = [tree.sizes[o_lo + p] for p in range(m)]
+        self.size_pre = [self.size_post[p] for p in post_of_pre]
+        self.labels_post = [tree.labels[o_lo + p] for p in range(m)]
+        self.cost_post = [removal_cost(label) for label in self.labels_post]
+        self.cost_pre = [self.cost_post[p] for p in post_of_pre]
+
+        # ins_sum[x][y] = Σ cost over {pre ≥ x, post ≤ y-1}, built bottom-up
+        # over x: adding the node with preorder x contributes to every y past
+        # its postorder position.
+        width = m + 1
+        grid: List[List[float]] = [[0.0] * width for _ in range(width)]
+        for x in range(m - 1, -1, -1):
+            row = list(grid[x + 1])
+            cost = self.cost_pre[x]
+            for y in range(post_of_pre[x] + 1, width):
+                row[y] += cost
+            grid[x] = row
+        self.ins_sum = grid
+        #: Lazily built array mirrors, populated by the NumPy kernel.
+        self.np_arrays = None
+
+
 class SinglePathContext:
     """Shared state for running single-path functions over one tree pair.
 
@@ -140,6 +283,9 @@ class SinglePathContext:
         self._frames: Dict[Tuple[str, str], _Frame] = {}
         self._costs: Dict[Tuple[str, str, str], List[float]] = {}
         self._renames: Dict[Tuple[str, str], object] = {}
+        self._grids: Dict[Tuple[str, int], _GridFrame] = {}
+        self._node_cost_arrays: Dict[Tuple[str, str], List[float]] = {}
+        self._kind_equiv: Dict[str, Tuple[List[bool], List[bool]]] = {}
 
     # ------------------------------------------------------------------ #
     # Cached per-frame data
@@ -187,6 +333,64 @@ class SinglePathContext:
             self._renames[key] = matrix
         return matrix
 
+    def _node_costs(self, which: str, operation: str) -> List[float]:
+        """Per-node removal costs in plain postorder (used by inner paths)."""
+        key = (which, operation)
+        costs = self._node_cost_arrays.get(key)
+        if costs is None:
+            tree = self.tree_f if which == SIDE_F else self.tree_g
+            fn = self.cost_model.delete if operation == "delete" else self.cost_model.insert
+            costs = [fn(label) for label in tree.labels]
+            self._node_cost_arrays[key] = costs
+        return costs
+
+    #: Cached grid frames kept per context; each holds an ``O(m^2)`` grid, so
+    #: the cache is bounded (executor task batches reuse the same other-side
+    #: subtree many times in a row — see ``_run_fixed_inner``).
+    _MAX_GRID_FRAMES = 8
+
+    def _grid_frame(self, which: str, root: int) -> _GridFrame:
+        key = (which, root)
+        frame = self._grids.pop(key, None)
+        if frame is None:
+            tree = self.tree_f if which == SIDE_F else self.tree_g
+            # Removing a node of F is a delete, removing a node of G an
+            # insert — the same orientation rule as _node_costs.
+            removal = self.cost_model.insert if which == SIDE_G else self.cost_model.delete
+            frame = _GridFrame(tree, root, removal)
+            if len(self._grids) >= self._MAX_GRID_FRAMES:
+                self._grids.pop(next(iter(self._grids)))
+        # Re-insert on every access so eviction is least-recently-used.
+        self._grids[key] = frame
+        return frame
+
+    def _heavy_path_equivalences(self, which: str) -> Tuple[List[bool], List[bool]]:
+        """Per-node flags: does the heavy path of ``F_v`` equal its left
+        (resp. right) path?
+
+        True for every unary chain and for consistently left-/right-leaning
+        subtrees.  When it holds, the heavy single-path step *is* a left/right
+        step (same path γ, same relevant subtrees), so it can run through the
+        much tighter keyroot program instead of the boundary grid.
+        """
+        cached = self._kind_equiv.get(which)
+        if cached is None:
+            tree = self.tree_f if which == SIDE_F else self.tree_g
+            n = tree.n
+            eq_left = [True] * n
+            eq_right = [True] * n
+            heavy = tree.heavy_child
+            children = tree.children
+            for v in range(n):
+                kids = children[v]
+                if kids:
+                    h = heavy[v]
+                    eq_left[v] = h == kids[0] and eq_left[h]
+                    eq_right[v] = h == kids[-1] and eq_right[h]
+            cached = (eq_left, eq_right)
+            self._kind_equiv[which] = cached
+        return cached
+
     # ------------------------------------------------------------------ #
     # Execution
     # ------------------------------------------------------------------ #
@@ -209,8 +413,10 @@ class SinglePathContext:
 
         Returns the tree edit distance ``d(F_v, G_w)``.
         """
+        if kind == HEAVY:
+            return self.run_inner(side, kind, v, w, spine_only=spine_only)
         if kind not in (LEFT, RIGHT):
-            raise ValueError(f"single-path functions support left/right paths, not {kind!r}")
+            raise ValueError(f"single-path functions support left/right/heavy paths, not {kind!r}")
         if side == SIDE_F:
             dec_which, oth_which = SIDE_F, SIDE_G
             dec_root, oth_root = v, w
@@ -247,6 +453,271 @@ class SinglePathContext:
                     cells += kernel(kf, kg)
         self.cells += cells
         return float(self.D[v][w])
+
+    # ------------------------------------------------------------------ #
+    # Inner (heavy / arbitrary) paths
+    # ------------------------------------------------------------------ #
+    def run_inner(self, side: str, kind: str, v: int, w: int, spine_only: bool = False) -> float:
+        """Run the *inner-path* single-path function Δ_A for the pair ``(v, w)``.
+
+        Unlike :meth:`run`, which requires ``kind`` to be a left or right
+        path, this evaluates the chain/grid formulation that works for any
+        root-leaf path — in particular heavy paths, for which no keyroot
+        coordinate system exists.  With ``spine_only=True`` (executor mode)
+        the distance blocks of all off-path subtrees must already be final in
+        ``D``; with ``spine_only=False`` the off-path subtree pairs are
+        scheduled iteratively first (the recursion-free equivalent of running
+        GTED with the constant ``(side, kind)`` strategy).
+        """
+        if not spine_only:
+            return self._run_fixed_inner(side, kind, v, w)
+        if side == SIDE_F:
+            dec_tree, dec_root, oth_which, oth_root = self.tree_f, v, SIDE_G, w
+        else:
+            dec_tree, dec_root, oth_which, oth_root = self.tree_g, w, SIDE_F, v
+        if kind == HEAVY:
+            # When γ_H of the decomposed subtree coincides with its left or
+            # right path (unary chains, leaning trees), the spine is a
+            # left/right spine: same path, same relevant subtrees, but the
+            # keyroot program evaluates |Γ|-many prefix forests of the other
+            # tree instead of the full (m+1)² boundary grid.
+            eq_left, eq_right = self._heavy_path_equivalences(side)
+            if eq_left[dec_root]:
+                return self.run(side, LEFT, v, w, spine_only=True)
+            if eq_right[dec_root]:
+                return self.run(side, RIGHT, v, w, spine_only=True)
+        chain = _InnerChain(dec_tree, dec_root, kind)
+        frame = self._grid_frame(oth_which, oth_root)
+        dec_costs = self._node_costs(side, "delete" if side == SIDE_F else "insert")
+        if self.use_numpy and frame.m + 1 >= _np_kernel.MIN_INNER_VECTOR_WIDTH:
+            base = self.D if side == SIDE_F else self.D.T
+            rename = self.cost_model.rename
+            if side == SIDE_G:
+                cm_rename = rename
+                rename = lambda a, b: cm_rename(b, a)  # noqa: E731
+            _np_kernel.inner_spine(dec_tree, chain, frame, dec_costs, rename, base)
+        else:
+            self._inner_spine_py(side, dec_tree, chain, frame, dec_costs)
+        # Count subproblems in the paper's currency — one per (chain step,
+        # relevant subforest of the other subtree), i.e. the heavy term of
+        # the cost formula — not raw grid cells (which include O(1)
+        # duplicate copies and unreachable states).
+        self.cells += len(chain.nodes) * frame.relevant_cells
+        return float(self.D[v][w])
+
+    def _run_fixed_inner(self, side: str, kind: str, v: int, w: int) -> float:
+        """Iterative driver for a constant ``(side, kind)`` strategy.
+
+        Walks the decomposition tree of Algorithm 1 for the fixed strategy
+        with an explicit stack: the off-path subtrees of each decomposed
+        subtree become sub-tasks (the other-side subtree never changes), and
+        the spine run happens once every sub-task block is final.
+        """
+        dec_tree = self.tree_f if side == SIDE_F else self.tree_g
+        dec_root = v if side == SIDE_F else w
+        stack: List[Tuple[int, bool]] = [(dec_root, False)]
+        done: set = set()
+        while stack:
+            root, ready = stack.pop()
+            if ready:
+                pair = (root, w) if side == SIDE_F else (v, root)
+                self.run_inner(side, kind, pair[0], pair[1], spine_only=True)
+                done.add(root)
+                continue
+            if root in done:
+                continue
+            stack.append((root, True))
+            for sub in dec_tree.relevant_subtrees(root, kind):
+                if sub not in done:
+                    stack.append((sub, False))
+        return float(self.D[v][w])
+
+    def _inner_spine_py(
+        self,
+        side: str,
+        dec_tree: Tree,
+        chain: _InnerChain,
+        frame: _GridFrame,
+        dec_costs: List[float],
+    ) -> None:
+        """Pure-Python inner-path spine kernel.
+
+        Processes the relevant-subforest chain of the decomposed subtree from
+        the empty forest backwards; each chain position owns one boundary-grid
+        table over the other subtree's subforests.  Tables are freed as soon
+        as their last reader (the preceding position and any forest-split
+        jumps targeting them) has been processed, so live memory is
+        ``O(d · m²)`` for nesting depth ``d`` of the off-path subtrees.
+        """
+        D = self.D
+        o_lo = frame.o_lo
+        m = frame.m
+        width = m + 1
+        use_np_matrix = self.use_numpy
+
+        if side == SIDE_F:
+            def read_d_row(u: int) -> List[float]:
+                row = D[u]
+                if use_np_matrix:
+                    return row[o_lo : o_lo + m].tolist()
+                return row[o_lo : o_lo + m]
+
+            def write_d_row(u: int, values: List[float]) -> None:
+                # Slice assignment works for both the list and ndarray matrix.
+                D[u][o_lo : o_lo + m] = values
+
+            rename = self.cost_model.rename
+        else:
+            def read_d_row(u: int) -> List[float]:
+                if use_np_matrix:
+                    return D[o_lo : o_lo + m, u].tolist()
+                return [D[o_lo + p][u] for p in range(m)]
+
+            def write_d_row(u: int, values: List[float]) -> None:
+                if use_np_matrix:
+                    D[o_lo : o_lo + m, u] = values
+                else:
+                    for p in range(m):
+                        D[o_lo + p][u] = values[p]
+
+            cm_rename = self.cost_model.rename
+
+            def rename(a: object, b: object) -> float:
+                return cm_rename(b, a)
+
+        nodes = chain.nodes
+        remove_right = chain.remove_right
+        on_path = chain.on_path
+        jump = chain.jump
+        n = len(nodes)
+
+        chain_costs = [float(dec_costs[u]) for u in nodes]
+        del_sum = [0.0] * (n + 1)
+        for s in range(n - 1, -1, -1):
+            del_sum[s] = del_sum[s + 1] + chain_costs[s]
+
+        # Reference counts: row j is read by row j-1 (delete term) and by
+        # every chain position whose forest-split jump targets it.
+        readers = [0] * (n + 1)
+        for j in range(1, n):
+            readers[j] += 1
+        for s in range(n):
+            if jump[s] < n:
+                readers[jump[s]] += 1
+
+        post_of_pre = frame.post_of_pre
+        pre_of_post = frame.pre_of_post
+        size_pre = frame.size_pre
+        size_post = frame.size_post
+        cost_pre = frame.cost_pre
+        cost_post = frame.cost_post
+        labels_post = frame.labels_post
+
+        rows: Dict[int, List[List[float]]] = {n: frame.ins_sum}
+        for s in range(n - 1, -1, -1):
+            u = nodes[s]
+            del_u = chain_costs[s]
+            row_next = rows[s + 1]
+            base = del_sum[s]
+            table: List[List[float]] = [None] * width  # type: ignore[list-item]
+
+            if on_path[s]:
+                # F-side forest is the single tree rooted at the path node u:
+                # direction right, forest-split jumps to the empty forest
+                # (ins_sum), tree×tree cells write D and use the rename term.
+                ins_sum = frame.ins_sum
+                label_u = dec_tree.labels[u]
+                rename_row = [rename(label_u, labels_post[p]) for p in range(m)]
+                du_path = [nan] * m
+                for x in range(m, -1, -1):
+                    trow = [0.0] * width
+                    nrow = row_next[x]
+                    jrow = ins_sum[x]
+                    trow[0] = base
+                    for y in range(1, width):
+                        p = y - 1
+                        xp = pre_of_post[p]
+                        if xp >= x:
+                            best = nrow[y] + del_u
+                            cand = trow[y - 1] + cost_post[p]
+                            if cand < best:
+                                best = cand
+                            if xp == x:
+                                cand = nrow[y - 1] + rename_row[p]
+                            else:
+                                cand = du_path[p] + jrow[y - size_post[p]]
+                            if cand < best:
+                                best = cand
+                            trow[y] = best
+                            if xp == x:
+                                du_path[p] = best
+                        else:
+                            trow[y] = trow[y - 1]
+                    table[x] = trow
+                write_d_row(u, du_path)
+            elif remove_right[s]:
+                # Off-path node removed from the right: the other-side forest
+                # also sheds its rightmost root; subtree distances of u are
+                # final in D (executor contract).
+                du = read_d_row(u)
+                jump_row = rows[jump[s]]
+                for x in range(width):
+                    trow = [0.0] * width
+                    nrow = row_next[x]
+                    jrow = jump_row[x]
+                    trow[0] = base
+                    for y in range(1, width):
+                        p = y - 1
+                        if pre_of_post[p] >= x:
+                            best = nrow[y] + del_u
+                            cand = trow[y - 1] + cost_post[p]
+                            if cand < best:
+                                best = cand
+                            cand = du[p] + jrow[y - size_post[p]]
+                            if cand < best:
+                                best = cand
+                            trow[y] = best
+                        else:
+                            trow[y] = trow[y - 1]
+                    table[x] = trow
+            else:
+                # Off-path node removed from the left: both forests shed
+                # their leftmost root, so the coupling runs along the
+                # preorder boundary x instead of y.
+                du = read_d_row(u)
+                jump_row = rows[jump[s]]
+                table[m] = [base] * width
+                for x in range(m - 1, -1, -1):
+                    p = post_of_pre[x]
+                    cost_x = cost_pre[x]
+                    jrow = jump_row[x + size_pre[x]]
+                    nrow = row_next[x]
+                    below = table[x + 1]
+                    dval = du[p]
+                    trow = [0.0] * width
+                    for y in range(width):
+                        if y > p:
+                            best = nrow[y] + del_u
+                            cand = below[y] + cost_x
+                            if cand < best:
+                                best = cand
+                            cand = dval + jrow[y]
+                            if cand < best:
+                                best = cand
+                            trow[y] = best
+                        else:
+                            trow[y] = below[y]
+                    table[x] = trow
+
+            rows[s] = table
+            readers[s + 1] -= 1
+            if readers[s + 1] == 0 and s + 1 < n:
+                del rows[s + 1]
+            j = jump[s]
+            if j < n:
+                readers[j] -= 1
+                if readers[j] == 0:
+                    del rows[j]
 
     # ------------------------------------------------------------------ #
     # Pure-Python kernel
@@ -405,3 +876,46 @@ def spf_R(
     """
     context = SinglePathContext(tree_f, tree_g, cost_model=cost_model, use_numpy=use_numpy)
     return context.run(SIDE_F, RIGHT, tree_f.root if v is None else v, tree_g.root if w is None else w)
+
+
+def spf_H(
+    tree_f: Tree,
+    tree_g: Tree,
+    v: Optional[int] = None,
+    w: Optional[int] = None,
+    cost_model: Optional[CostModel] = None,
+    use_numpy: Optional[bool] = None,
+) -> float:
+    """Tree edit distance via the iterative heavy-path single-path function.
+
+    Computes ``d(F_v, G_w)`` by decomposing the left-hand tree along heavy
+    paths — the strategy of Klein — entirely iteratively: the off-path
+    subtree pairs are scheduled with an explicit stack and each spine runs
+    the chain/grid dynamic program of Δ_A, so no recursion is involved and
+    arbitrarily deep trees are handled without touching the interpreter
+    recursion limit.
+    """
+    return spf_A(tree_f, tree_g, HEAVY, v=v, w=w, cost_model=cost_model, use_numpy=use_numpy)
+
+
+def spf_A(
+    tree_f: Tree,
+    tree_g: Tree,
+    kind: str = HEAVY,
+    v: Optional[int] = None,
+    w: Optional[int] = None,
+    cost_model: Optional[CostModel] = None,
+    use_numpy: Optional[bool] = None,
+) -> float:
+    """Tree edit distance via the general inner-path single-path function.
+
+    ``kind`` may be any path kind (``left``, ``right`` or ``heavy``): the
+    chain/grid formulation does not depend on a keyroot coordinate system, so
+    the same code executes all three.  For left/right paths this is the
+    (slower, fully general) cross-check twin of :func:`spf_L` /
+    :func:`spf_R`; for heavy paths it is the production implementation.
+    """
+    context = SinglePathContext(tree_f, tree_g, cost_model=cost_model, use_numpy=use_numpy)
+    return context.run_inner(
+        SIDE_F, kind, tree_f.root if v is None else v, tree_g.root if w is None else w
+    )

@@ -205,3 +205,218 @@ def _region(
             base[row_posts[i - 1], write_cols] = row[1:][spans_g]
 
     return (rows - 1) * (cols - 1)
+
+
+# --------------------------------------------------------------------------- #
+# Inner (heavy / arbitrary) path kernel
+# --------------------------------------------------------------------------- #
+
+#: Minimum grid width (``m + 1``) for the vectorized inner-path kernel; below
+#: this the pure-Python kernel wins on ufunc-dispatch overhead.
+MIN_INNER_VECTOR_WIDTH = 12
+
+
+def _inner_frame_arrays(frame) -> Dict[str, np.ndarray]:
+    """Array mirrors of a :class:`~repro.algorithms.spf._GridFrame`, cached.
+
+    Alongside the raw index/cost arrays this caches the per-frame constants of
+    the two sweep directions: the canonical-cell masks, the cumulative removal
+    costs used by the prefix/suffix-minimum trick, and the jump-target index
+    vectors.  They depend only on the frame, so executor task batches that
+    decompose many subtrees against the same other-side subtree build them
+    once.
+    """
+    arrays = frame.np_arrays
+    if arrays is not None:
+        return arrays
+    m = frame.m
+    width = m + 1
+    post_of_pre = np.asarray(frame.post_of_pre, dtype=np.intp)
+    pre_of_post = np.asarray(frame.pre_of_post, dtype=np.intp)
+    size_pre = np.asarray(frame.size_pre, dtype=np.intp)
+    size_post = np.asarray(frame.size_post, dtype=np.intp)
+    cost_pre = np.asarray(frame.cost_pre, dtype=np.float64)
+    cost_post = np.asarray(frame.cost_post, dtype=np.float64)
+
+    y_range = np.arange(width)
+    x_range = np.arange(width)
+    # Left removals couple cells along the preorder boundary x: a cell is
+    # canonical when the boundary node (preorder x) is inside the forest.
+    mask_left = y_range[None, :] > post_of_pre[:, None]  # (m, width)
+    c_left = np.where(mask_left, cost_pre[:, None], 0.0)
+    suffix_left = np.zeros((width, width), dtype=np.float64)
+    suffix_left[:m] = np.cumsum(c_left[::-1], axis=0)[::-1]
+    # Right removals couple cells along the postorder boundary y.
+    mask_right = pre_of_post[None, :] >= x_range[:, None]  # (width, m)
+    d_right = np.where(mask_right, cost_post[None, :], 0.0)
+    prefix_right = np.zeros((width, width), dtype=np.float64)
+    np.cumsum(d_right, axis=1, out=prefix_right[:, 1:])
+
+    arrays = {
+        "post_of_pre": post_of_pre,
+        "pre_of_post": pre_of_post,
+        "size_pre": size_pre,
+        "size_post": size_post,
+        "cost_post": cost_post,
+        "ins_sum": np.asarray(frame.ins_sum, dtype=np.float64),
+        "mask_left": mask_left,
+        "suffix_left": suffix_left,
+        "mask_right": mask_right,
+        "prefix_right": prefix_right,
+        "jump_x": np.arange(m) + size_pre,  # x + |G_{y_L}|
+        "jump_y": np.arange(1, width) - size_post,  # y - |G_{y_R}|
+    }
+    frame.np_arrays = arrays
+    return arrays
+
+
+def inner_spine(
+    dec_tree,
+    chain,
+    frame,
+    dec_costs: Sequence[float],
+    rename: Callable[[object, object], float],
+    base: np.ndarray,
+) -> None:
+    """Vectorized inner-path spine kernel (Δ_A / Δ_H).
+
+    Mirrors :meth:`~repro.algorithms.spf.SinglePathContext._inner_spine_py`:
+    one boundary grid per chain position, swept with whole-grid vector
+    operations.  The insert coupling along the active boundary is resolved
+    with the same cumulative-cost prefix/suffix minimum used by the left/right
+    kernel; only path-node rows need a per-``x`` loop because their
+    forest-split term reads subtree distances produced by the same row.
+    """
+    g = _inner_frame_arrays(frame)
+    m = frame.m
+    width = m + 1
+    o_lo = frame.o_lo
+
+    nodes = chain.nodes
+    on_path = chain.on_path
+    remove_right = chain.remove_right
+    jump = chain.jump
+    n = len(nodes)
+
+    chain_costs = np.asarray([dec_costs[u] for u in nodes], dtype=np.float64)
+    del_sum = np.zeros(n + 1, dtype=np.float64)
+    del_sum[:n] = np.cumsum(chain_costs[::-1])[::-1]
+
+    readers = [0] * (n + 1)
+    for j in range(1, n):
+        readers[j] += 1
+    for s in range(n):
+        if jump[s] < n:
+            readers[jump[s]] += 1
+
+    path_nodes = [u for s, u in enumerate(nodes) if on_path[s]]
+    ren_rows = rename_matrix(
+        [dec_tree.labels[u] for u in path_nodes], frame.labels_post, rename
+    )
+    path_index = {u: i for i, u in enumerate(path_nodes)}
+
+    post_of_pre = g["post_of_pre"]
+    pre_of_post = g["pre_of_post"]
+    cost_post = g["cost_post"]
+    ins_sum = g["ins_sum"]
+    mask_left = g["mask_left"]
+    suffix_left = g["suffix_left"]
+    mask_right = g["mask_right"]
+    prefix_right = g["prefix_right"]
+    jump_x = g["jump_x"]
+    jump_y = g["jump_y"]
+
+    rows: Dict[int, np.ndarray] = {n: ins_sum}
+    for s in range(n - 1, -1, -1):
+        u = nodes[s]
+        del_u = chain_costs[s]
+        row_next = rows[s + 1]
+        base_val = del_sum[s]
+
+        if on_path[s]:
+            table = _inner_row_path(
+                u, del_u, base_val, row_next, base, o_lo, m, width,
+                post_of_pre, pre_of_post, cost_post, ins_sum, mask_right,
+                jump_y, ren_rows[path_index[u]],
+            )
+        elif remove_right[s]:
+            du = base[u, o_lo : o_lo + m]
+            jump_grid = rows[jump[s]][:, jump_y]  # (width, m)
+            match = np.where(mask_right, du[None, :] + jump_grid, np.inf)
+            table = row_next + del_u
+            np.minimum(table[:, 1:], match, out=table[:, 1:])
+            table[:, 0] = base_val
+            table -= prefix_right
+            np.minimum.accumulate(table, axis=1, out=table)
+            table += prefix_right
+        else:
+            du_pre = base[u, o_lo : o_lo + m][post_of_pre]
+            jump_grid = rows[jump[s]][jump_x, :]  # (m, width)
+            match = np.where(mask_left, du_pre[:, None] + jump_grid, np.inf)
+            table = np.empty((width, width), dtype=np.float64)
+            np.add(row_next[:m], del_u, out=table[:m])
+            np.minimum(table[:m], match, out=table[:m])
+            table[m] = base_val
+            table -= suffix_left
+            reversed_view = table[::-1]
+            np.minimum.accumulate(reversed_view, axis=0, out=reversed_view)
+            table += suffix_left
+
+        rows[s] = table
+        readers[s + 1] -= 1
+        if readers[s + 1] == 0 and s + 1 < n:
+            del rows[s + 1]
+        j = jump[s]
+        if j < n:
+            readers[j] -= 1
+            if readers[j] == 0:
+                del rows[j]
+
+
+def _inner_row_path(
+    u: int,
+    del_u: float,
+    base_val: float,
+    row_next: np.ndarray,
+    base: np.ndarray,
+    o_lo: int,
+    m: int,
+    width: int,
+    post_of_pre: np.ndarray,
+    pre_of_post: np.ndarray,
+    cost_post: np.ndarray,
+    ins_sum: np.ndarray,
+    mask_right: np.ndarray,
+    jump_y: np.ndarray,
+    ren_row: np.ndarray,
+) -> np.ndarray:
+    """One path-node row: fills the grid and writes ``D[u][·]`` for all pairs.
+
+    The decomposed forest is the single tree rooted at ``u``; its subtree
+    distances against every other-side subtree are produced *by this row* (at
+    the tree×tree cells), and the forest-split term of wider cells reads them
+    back, which forces the ``x``-descending loop.
+    """
+    table = np.empty((width, width), dtype=np.float64)
+    du_path = np.full(m, np.nan, dtype=np.float64)
+    cumulative = np.empty(width, dtype=np.float64)
+    for x in range(m, -1, -1):
+        next_row = row_next[x]
+        valid = mask_right[x]
+        match = np.where(valid, du_path + ins_sum[x][jump_y], np.inf)
+        if x < m:
+            pstar = post_of_pre[x]
+            match[pstar] = next_row[pstar] + ren_row[pstar]
+        indep = next_row + del_u
+        np.minimum(indep[1:], match, out=indep[1:])
+        indep[0] = base_val
+        cumulative[0] = 0.0
+        np.cumsum(np.where(valid, cost_post, 0.0), out=cumulative[1:])
+        indep -= cumulative
+        np.minimum.accumulate(indep, out=indep)
+        indep += cumulative
+        table[x] = indep
+        if x < m:
+            du_path[pstar] = indep[pstar + 1]
+    base[u, o_lo : o_lo + m] = du_path
+    return table

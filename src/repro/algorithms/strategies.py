@@ -146,7 +146,9 @@ class PrecomputedStrategy(Strategy):
 
 
 #: The six fixed single-path strategies, in the tie-breaking order used by the
-#: cost formula (heavy-F, heavy-G, left-F, left-G, right-F, right-G).
+#: cost formula (heavy-F, heavy-G, left-F, left-G, right-F, right-G).  The
+#: list position doubles as the integer *path-choice code* used by
+#: :class:`EncodedStrategy` and the flat-array Algorithm 2.
 ALL_FIXED_CHOICES: List[PathChoice] = [
     PathChoice(SIDE_F, HEAVY),
     PathChoice(SIDE_G, HEAVY),
@@ -155,6 +157,44 @@ ALL_FIXED_CHOICES: List[PathChoice] = [
     PathChoice(SIDE_F, RIGHT),
     PathChoice(SIDE_G, RIGHT),
 ]
+
+
+class EncodedStrategy(Strategy):
+    """A strategy backed by a flat ``|F| × |G|`` matrix of integer codes.
+
+    Entry ``(v, w)`` is an index into :data:`ALL_FIXED_CHOICES`.  This is the
+    form Algorithm 2 produces natively: one small int per subtree pair
+    instead of a :class:`PathChoice` object, which keeps the ``O(n^2)``
+    strategy matrix allocation-free under NumPy and cache-friendly in pure
+    Python.  ``choose`` decodes through the shared six-entry choice table, so
+    consumers still receive ordinary :class:`PathChoice` instances.
+    """
+
+    name = "encoded"
+
+    def __init__(self, codes: Sequence[Sequence[int]], name: str = "encoded") -> None:
+        self._codes = codes
+        self.name = name
+
+    def choose(self, tree_f: Tree, tree_g: Tree, v: int, w: int) -> PathChoice:
+        try:
+            code = self._codes[v][w]
+        except IndexError as exc:
+            raise StrategyError(f"no strategy entry for subtree pair ({v}, {w})") from exc
+        try:
+            return ALL_FIXED_CHOICES[code]
+        except (IndexError, TypeError) as exc:
+            raise StrategyError(
+                f"invalid path-choice code {code!r} for subtree pair ({v}, {w})"
+            ) from exc
+
+    def as_codes(self) -> Sequence[Sequence[int]]:
+        """The raw code matrix (row = node of F, column = node of G)."""
+        return self._codes
+
+    def as_matrix(self) -> List[List[PathChoice]]:
+        """The decoded :class:`PathChoice` matrix (materialized on demand)."""
+        return [[ALL_FIXED_CHOICES[code] for code in row] for row in self._codes]
 
 
 def fixed_strategy_for(choice: PathChoice) -> Strategy:

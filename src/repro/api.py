@@ -87,14 +87,14 @@ def tree_edit_distance(
     cost_model:
         Optional :class:`~repro.costs.CostModel`; defaults to unit costs.
     engine:
-        Execution engine: ``"auto"`` (default, the algorithm's historical
-        implementation), ``"recursive"`` (the strategy-driven reference
-        engine), or ``"spf"`` (iterative single-path executor).  ``"spf"``
-        is the fastest choice for left/right-dominated strategies
-        (``zhang-l``, ``zhang-r``, and most ``rted`` strategies) and, being
-        recursion-free on those paths, handles arbitrarily deep trees;
-        ``"recursive"`` executes every path kind natively and is preferred
-        for heavy-dominated strategies (``klein-h``, ``demaine-h``).
+        Execution engine: ``"auto"`` (default), ``"spf"`` (the iterative
+        single-path executor ``auto`` resolves to for every GTED/RTED
+        variant), or ``"recursive"`` (the strategy-driven reference oracle,
+        kept for cross-checking).  The ``spf`` engine evaluates *every*
+        strategy step — left, right and heavy paths — with array-based
+        single-path functions: it is the fastest choice across algorithms
+        and, being recursion-free, handles arbitrarily deep trees without
+        touching the interpreter recursion limit.
 
     Examples
     --------

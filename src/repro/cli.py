@@ -59,7 +59,9 @@ def _build_parser() -> argparse.ArgumentParser:
         "--engine",
         default=None,
         choices=list(ENGINES),
-        help="execution engine: auto (default), recursive, or spf (iterative single-path)",
+        help="execution engine: auto (default, resolves to the iterative spf "
+        "executor), spf (fully iterative single-path functions for all path "
+        "kinds), or recursive (the cross-check oracle)",
     )
     distance.add_argument("--format", dest="fmt", default=None, help="bracket | newick | xml")
     distance.add_argument("--verbose", action="store_true", help="print timings and subproblems")

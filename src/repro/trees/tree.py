@@ -82,6 +82,7 @@ class Tree:
         "_leaf_counts",
         "_rpost_of_post",
         "_post_of_rpost",
+        "_on_path_all",
     )
 
     def __init__(self, root: Node) -> None:
@@ -99,6 +100,7 @@ class Tree:
         self._leaf_counts: Optional[List[int]] = None
         self._rpost_of_post: Optional[List[int]] = None
         self._post_of_rpost: Optional[List[int]] = None
+        self._on_path_all: dict = {}
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -339,6 +341,23 @@ class Tree:
         if p == -1:
             return False
         return self.path_child(p, kind) == v
+
+    def on_parent_path_all(self, kind: str) -> List[bool]:
+        """:meth:`on_parent_path` evaluated for every node, cached per ``kind``.
+
+        ``on_parent_path_all(kind)[v]`` is ``True`` iff ``v`` continues the
+        ``kind`` path of its parent.  The flat boolean array is the form the
+        vectorized strategy computation (Algorithm 2) and the single-path
+        chain builder consume; for ``HEAVY`` it is the heavy-path membership
+        index of the whole tree.
+        """
+        if kind not in PATH_KINDS:
+            raise ValueError(f"unknown path kind {kind!r}")
+        cached = self._on_path_all.get(kind)
+        if cached is None:
+            cached = [self.on_parent_path(v, kind) for v in range(self.n)]
+            self._on_path_all[kind] = cached
+        return cached
 
     def relevant_subtrees(self, v: int, kind: str) -> List[int]:
         """Roots of the relevant subtrees ``F_v − γ_kind(F_v)`` (Definition 2).

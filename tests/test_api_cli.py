@@ -109,6 +109,33 @@ class TestRegistry:
         with pytest.raises(UnknownEngineError):
             make_algorithm("rted", engine="quantum")
 
+    @pytest.mark.parametrize(
+        "name", ["rted", "zhang-l", "zhang-r", "klein-h", "demaine-h", "gted-left-g"]
+    )
+    def test_unknown_engine_never_falls_back_silently(self, name):
+        """Every multi-engine name must reject a bogus selector loudly."""
+        with pytest.raises(UnknownEngineError, match="unknown engine"):
+            make_algorithm(name, engine="gpu")
+
+    def test_unknown_engine_through_api(self):
+        with pytest.raises(UnknownEngineError):
+            compute("{a}", "{b}", algorithm="rted", engine="warp")
+
+    def test_unknown_engine_direct_constructors(self):
+        from repro.algorithms import GTED, RTED, LeftFStrategy
+
+        with pytest.raises(UnknownEngineError):
+            RTED(engine="warp")
+        with pytest.raises(UnknownEngineError):
+            GTED(LeftFStrategy(), engine="warp")
+
+    def test_auto_engine_defaults_to_spf_for_strategy_algorithms(self):
+        for name in ("rted", "klein-h", "demaine-h"):
+            result = make_algorithm(name).compute(
+                parse_tree("{a{b{c}}{d}}"), parse_tree("{a{d{c}}{e}}")
+            )
+            assert result.extra["engine"] == "spf"
+
     def test_single_implementation_rejects_engine(self):
         with pytest.raises(UnknownEngineError):
             make_algorithm("simple", engine="spf")

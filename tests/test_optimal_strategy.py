@@ -5,11 +5,18 @@ from hypothesis import given, settings
 
 from repro.algorithms import (
     ALL_FIXED_CHOICES,
+    EncodedStrategy,
     PathChoice,
     SIDE_F,
     SIDE_G,
     optimal_strategy,
     optimal_strategy_cost,
+    optimal_strategy_objects,
+)
+from repro.algorithms.optimal_strategy import (
+    _node_heights,
+    _optimal_strategy_numpy,
+    _optimal_strategy_python,
 )
 from repro.counting import (
     count_subproblems,
@@ -109,6 +116,74 @@ class TestOptimalityAgainstFixedStrategies:
         optimal = optimal_strategy_cost(tree_f, tree_g)
         for algorithm in ["zhang-l", "zhang-r", "klein-h", "demaine-h"]:
             assert optimal <= count_subproblems(algorithm, tree_f, tree_g)
+
+
+class TestFlatArrayImplementationsAgree:
+    """The vectorized and flat-scalar Algorithm 2 must be bit-identical to
+    the legacy object-matrix implementation (codes, costs, and total)."""
+
+    @staticmethod
+    def _as_lists(matrix):
+        return [[int(value) for value in row] for row in matrix]
+
+    def _assert_same(self, result, oracle):
+        assert result.cost == oracle.cost
+        assert self._as_lists(result.choice_codes) == self._as_lists(oracle.choice_codes)
+        assert self._as_lists(result.costs) == self._as_lists(oracle.costs)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_trees(self, seed):
+        tree_f = random_tree(6 + 2 * seed, rng=seed, max_depth=7, max_fanout=5)
+        tree_g = random_tree(5 + 2 * seed, rng=seed + 77, max_depth=7, max_fanout=5)
+        oracle = optimal_strategy_objects(tree_f, tree_g)
+        self._assert_same(_optimal_strategy_python(tree_f, tree_g), oracle)
+        self._assert_same(
+            _optimal_strategy_numpy(
+                tree_f, tree_g, _node_heights(tree_f), _node_heights(tree_g)
+            ),
+            oracle,
+        )
+        self._assert_same(optimal_strategy(tree_f, tree_g), oracle)
+
+    @pytest.mark.parametrize(
+        "shape", ["left-branch", "right-branch", "full-binary", "zigzag", "mixed"]
+    )
+    def test_synthetic_shapes(self, shape):
+        tree = make_shape(shape, 33)
+        oracle = optimal_strategy_objects(tree, tree)
+        self._assert_same(_optimal_strategy_python(tree, tree), oracle)
+        self._assert_same(
+            _optimal_strategy_numpy(tree, tree, _node_heights(tree), _node_heights(tree)),
+            oracle,
+        )
+
+    @given(tree_pairs())
+    @settings(max_examples=25, deadline=None)
+    def test_property_based(self, pair):
+        tree_f, tree_g = pair
+        oracle = optimal_strategy_objects(tree_f, tree_g)
+        self._assert_same(
+            _optimal_strategy_numpy(
+                tree_f, tree_g, _node_heights(tree_f), _node_heights(tree_g)
+            ),
+            oracle,
+        )
+
+    def test_single_node_edge_cases(self):
+        one = random_tree(1, rng=0)
+        other = random_tree(6, rng=1)
+        for pair in ((one, one), (one, other), (other, one)):
+            self._assert_same(
+                _optimal_strategy_python(*pair), optimal_strategy_objects(*pair)
+            )
+
+    def test_strategy_is_encoded(self):
+        tree = random_tree(9, rng=2)
+        strategy = optimal_strategy(tree, tree).strategy
+        assert isinstance(strategy, EncodedStrategy)
+        decoded = strategy.as_matrix()
+        assert decoded[tree.root][tree.root] in ALL_FIXED_CHOICES
+        assert strategy.choose(tree, tree, 0, 0) is decoded[0][0]
 
 
 class TestStrategyChoicesMatchShapes:

@@ -19,6 +19,7 @@ from repro.algorithms import (
     RTED,
     DecompositionEngine,
     HeavyFStrategy,
+    HeavyGStrategy,
     HeavyLargerStrategy,
     LeftFStrategy,
     LeftGStrategy,
@@ -27,7 +28,10 @@ from repro.algorithms import (
     SinglePathContext,
     StrategyExecutor,
     ZhangShashaTED,
+    make_algorithm,
     optimal_strategy,
+    spf_A,
+    spf_H,
     spf_L,
     spf_R,
     zhang_shasha_distance,
@@ -35,7 +39,7 @@ from repro.algorithms import (
 from repro.algorithms.spf import numpy_available
 from repro.costs import UNIT_COST, StringRenameCostModel, WeightedCostModel
 from repro.datasets import random_tree
-from repro.trees import Node, Tree
+from repro.trees import HEAVY, LEFT, RIGHT, Node, Tree
 
 from conftest import random_tree_pairs, tree_pairs
 
@@ -131,12 +135,124 @@ class TestSinglePathFunctions:
         assert spf_R(tree_f, tree_g) == pytest.approx(expected)
 
 
+def _caterpillar(k: int, leaf_first: bool = False, label: object = "a") -> Tree:
+    """A caterpillar: a spine of ``k`` nodes, each with one leaf child.
+
+    With ``leaf_first=False`` the leaf hangs *after* the spine child, which
+    makes every spine subtree end at a distinct chain position — the worst
+    case for the inner-path row cache.
+    """
+    node = Node(label)
+    for _ in range(k):
+        if leaf_first:
+            node = Node(label, [Node(label), node])
+        else:
+            node = Node(label, [node, Node(label)])
+    return Tree(node)
+
+
+class TestInnerPathFunctions:
+    """The chain/grid single-path function Δ_A (heavy and arbitrary paths)."""
+
+    @pytest.mark.parametrize("use_numpy", KERNELS)
+    def test_spf_heavy_matches_recursive_engine(self, use_numpy):
+        # 100 pairs per kernel — together with the weighted/string-rename
+        # sweeps below this layer is cross-checked on well over 200 pairs.
+        for tree_f, tree_g in SPF_PAIRS:
+            expected = DecompositionEngine(tree_f, tree_g, HeavyFStrategy()).distance()
+            assert spf_H(tree_f, tree_g, use_numpy=use_numpy) == pytest.approx(expected)
+
+    def test_spf_heavy_matches_zhang_shasha(self):
+        for tree_f, tree_g in SPF_PAIRS[:40]:
+            expected = zhang_shasha_distance(tree_f, tree_g, UNIT_COST)[0]
+            assert spf_H(tree_f, tree_g) == pytest.approx(expected)
+
+    @pytest.mark.parametrize("use_numpy", KERNELS)
+    @pytest.mark.parametrize(
+        "cost_model", [WEIGHTED, StringRenameCostModel()], ids=["weighted", "string-rename"]
+    )
+    def test_non_unit_costs_match_recursive_engine(self, use_numpy, cost_model):
+        for tree_f, tree_g in SPF_PAIRS[:25]:
+            expected = DecompositionEngine(
+                tree_f, tree_g, HeavyFStrategy(), cost_model=cost_model
+            ).distance()
+            assert spf_H(
+                tree_f, tree_g, cost_model=cost_model, use_numpy=use_numpy
+            ) == pytest.approx(expected)
+
+    @pytest.mark.parametrize("use_numpy", KERNELS)
+    def test_heavy_g_side(self, use_numpy):
+        """Decomposing the right-hand tree exercises the transposed kernels."""
+        for tree_f, tree_g in SPF_PAIRS[:25]:
+            expected = DecompositionEngine(tree_f, tree_g, HeavyGStrategy()).distance()
+            context = SinglePathContext(tree_f, tree_g, use_numpy=use_numpy)
+            got = context.run_inner("G", HEAVY, tree_f.root, tree_g.root)
+            assert got == pytest.approx(expected)
+
+    @pytest.mark.parametrize("use_numpy", KERNELS)
+    @pytest.mark.parametrize("kind", [LEFT, RIGHT])
+    def test_inner_left_right_agree_with_keyroot_spfs(self, use_numpy, kind):
+        """Δ_A with a left/right path must equal the dedicated Δ_L / Δ_R."""
+        keyroot = spf_L if kind == LEFT else spf_R
+        for tree_f, tree_g in SPF_PAIRS[:30]:
+            assert spf_A(tree_f, tree_g, kind, use_numpy=use_numpy) == pytest.approx(
+                keyroot(tree_f, tree_g)
+            )
+
+    @pytest.mark.parametrize("use_numpy", KERNELS)
+    def test_single_node_edge_cases(self, use_numpy):
+        single = Tree(Node("x"))
+        bigger = random_tree(9, rng=13)
+        assert spf_H(single, single, use_numpy=use_numpy) == 0.0
+        assert spf_H(single, Tree(Node("y")), use_numpy=use_numpy) == 1.0
+        expected = DecompositionEngine(single, bigger, HeavyFStrategy()).distance()
+        assert spf_H(single, bigger, use_numpy=use_numpy) == pytest.approx(expected)
+        expected = DecompositionEngine(bigger, single, HeavyFStrategy()).distance()
+        assert spf_H(bigger, single, use_numpy=use_numpy) == pytest.approx(expected)
+
+    @pytest.mark.parametrize("use_numpy", KERNELS)
+    @pytest.mark.parametrize("leaf_first", [False, True], ids=["leaf-after", "leaf-before"])
+    def test_caterpillar_edge_cases(self, use_numpy, leaf_first):
+        """Caterpillars maximize distinct forest-split targets per chain."""
+        cat = _caterpillar(9, leaf_first=leaf_first)
+        other = random_tree(15, rng=4)
+        for tree_f, tree_g in ((cat, other), (other, cat), (cat, _caterpillar(7, label="b"))):
+            expected = DecompositionEngine(tree_f, tree_g, HeavyFStrategy()).distance()
+            assert spf_H(tree_f, tree_g, use_numpy=use_numpy) == pytest.approx(expected)
+
+    def test_subtree_pair_distances(self):
+        """run_inner() on inner subtree roots matches the engine's values."""
+        gen = random.Random(6)
+        tree_f = random_tree(17, rng=gen)
+        tree_g = random_tree(15, rng=gen)
+        engine = DecompositionEngine(tree_f, tree_g, HeavyFStrategy())
+        for v in range(0, tree_f.n, 3):
+            for w in range(0, tree_g.n, 3):
+                context = SinglePathContext(tree_f, tree_g)
+                got = context.run_inner("F", HEAVY, v, w)
+                assert got == pytest.approx(engine.subtree_distance(v, w))
+
+    def test_counts_cells(self):
+        tree_f, tree_g = SPF_PAIRS[0]
+        context = SinglePathContext(tree_f, tree_g)
+        context.run_inner("F", HEAVY, tree_f.root, tree_g.root)
+        assert context.cells > 0
+
+    @given(tree_pairs())
+    @settings(max_examples=40, deadline=None)
+    def test_property_spf_heavy_matches_zhang_shasha(self, pair):
+        tree_f, tree_g = pair
+        expected = zhang_shasha_distance(tree_f, tree_g, UNIT_COST)[0]
+        assert spf_H(tree_f, tree_g) == pytest.approx(expected)
+
+
 EXECUTOR_STRATEGIES = [
     LeftFStrategy(),
     RightFStrategy(),
     LeftGStrategy(),
     RightGStrategy(),
     HeavyFStrategy(),
+    HeavyGStrategy(),
     HeavyLargerStrategy(),
 ]
 
@@ -179,6 +295,48 @@ class TestStrategyExecutor:
             iterative = RTED(engine="spf").compute(tree_f, tree_g)
             assert iterative.distance == pytest.approx(recursive.distance)
 
+    def test_auto_engine_is_spf(self):
+        tree_f, tree_g = SPF_PAIRS[2]
+        assert RTED().compute(tree_f, tree_g).extra["engine"] == "spf"
+        assert GTED(HeavyFStrategy()).compute(tree_f, tree_g).extra["engine"] == "spf"
+
+
+class TestNoRecursiveEngineOnDefaultPath:
+    """The recursive engine is a pure oracle: the default (``auto``) and the
+    ``spf`` engine must never instantiate it, for any strategy step kind."""
+
+    @pytest.fixture
+    def forbidden_recursive_engine(self, monkeypatch):
+        def forbidden(self, *args, **kwargs):  # pragma: no cover - failure path
+            raise AssertionError("DecompositionEngine must not run on the default path")
+
+        monkeypatch.setattr(DecompositionEngine, "__init__", forbidden)
+
+    def test_rted_auto_never_uses_recursive_engine(self, forbidden_recursive_engine):
+        for tree_f, tree_g in SPF_PAIRS[:20]:
+            expected = zhang_shasha_distance(tree_f, tree_g, UNIT_COST)[0]
+            assert RTED().distance(tree_f, tree_g) == pytest.approx(expected)
+            assert RTED(engine="spf").distance(tree_f, tree_g) == pytest.approx(expected)
+
+    @pytest.mark.parametrize("strategy", EXECUTOR_STRATEGIES, ids=lambda s: s.name)
+    def test_gted_spf_never_uses_recursive_engine(self, forbidden_recursive_engine, strategy):
+        for tree_f, tree_g in SPF_PAIRS[:10]:
+            expected = zhang_shasha_distance(tree_f, tree_g, UNIT_COST)[0]
+            assert GTED(strategy, engine="spf").distance(tree_f, tree_g) == (
+                pytest.approx(expected)
+            )
+
+    @pytest.mark.parametrize("name", ["rted", "klein-h", "demaine-h", "zhang-l", "zhang-r"])
+    def test_registry_auto_never_uses_recursive_engine(self, forbidden_recursive_engine, name):
+        tree_f, tree_g = SPF_PAIRS[3]
+        expected = zhang_shasha_distance(tree_f, tree_g, UNIT_COST)[0]
+        assert make_algorithm(name).distance(tree_f, tree_g) == pytest.approx(expected)
+
+    def test_recursive_engine_still_selectable(self):
+        tree_f, tree_g = SPF_PAIRS[4]
+        result = RTED(engine="recursive").compute(tree_f, tree_g)
+        assert result.extra["engine"] == "recursive"
+
 
 class TestDeepTrees:
     """Path-shaped inputs beyond any reasonable recursion limit."""
@@ -217,6 +375,41 @@ class TestDeepTrees:
         assert GTED(RightFStrategy(), engine="spf").distance(deep, bushy) == (
             pytest.approx(expected)
         )
+
+    def test_5000_deep_heavy_and_rted_without_recursion_limit(self, monkeypatch):
+        """Acceptance: heavy strategies and full RTED on a 5000-deep path
+        tree, with the interpreter recursion limit left at its default and
+        sys.setrecursionlimit forbidden end-to-end."""
+        deep = _path_tree(5000)
+        bushy = random_tree(30, rng=7)
+        expected = zhang_shasha_distance(deep, bushy, UNIT_COST)[0]
+
+        def forbidden(limit):  # pragma: no cover - would fail the test
+            raise AssertionError("sys.setrecursionlimit must not be touched")
+
+        monkeypatch.setattr(sys, "setrecursionlimit", forbidden)
+        from repro.api import compute
+
+        assert spf_H(deep, bushy) == pytest.approx(expected)
+        assert GTED(HeavyFStrategy(), engine="spf").distance(deep, bushy) == (
+            pytest.approx(expected)
+        )
+        # Full RTED (auto engine): Algorithm 2 plus the iterative executor,
+        # whatever mix of paths the optimal strategy picks.
+        assert compute(deep, bushy, algorithm="rted").distance == pytest.approx(expected)
+        assert compute(bushy, deep, algorithm="klein-h").distance == pytest.approx(expected)
+
+    def test_deep_heavy_both_directions(self):
+        """Heavy spine runs on deep × deep caterpillar pairs.
+
+        Caterpillars are the worst case for the boundary grid (|A| is
+        genuinely quadratic, so no keyroot shortcut applies) — kept at a
+        moderate size for runtime, the point is depth × depth correctness.
+        """
+        left_cat = _caterpillar(130)
+        right_cat = _caterpillar(120, leaf_first=True, label="b")
+        expected = zhang_shasha_distance(left_cat, right_cat, UNIT_COST)[0]
+        assert spf_H(left_cat, right_cat) == pytest.approx(expected)
 
     def test_fallback_engine_still_bumps_recursion_limit_capped(self):
         from repro.algorithms.forest_engine import MAX_RECURSION_LIMIT, _recursion_headroom
