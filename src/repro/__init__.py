@@ -24,6 +24,7 @@ from .api import (
     edit_mapping,
     edit_script,
     parse_tree,
+    similarity_join,
     tree_edit_distance,
     tree_to_bracket,
 )
@@ -57,6 +58,7 @@ from .exceptions import (
     TreeConstructionError,
     UnknownAlgorithmError,
 )
+from .join import BatchJoinResult, JoinStats, TreeCorpus, batch_distances
 from .trees import Node, Tree, tree_from_nested, tree_from_parent_array
 
 __version__ = "1.0.0"
@@ -71,6 +73,12 @@ __all__ = [
     "compare_algorithms",
     "parse_tree",
     "tree_to_bracket",
+    # Batch joins
+    "similarity_join",
+    "TreeCorpus",
+    "BatchJoinResult",
+    "JoinStats",
+    "batch_distances",
     # Trees
     "Node",
     "Tree",

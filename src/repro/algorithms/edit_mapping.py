@@ -144,7 +144,14 @@ def compute_edit_mapping(
     matched_f = set()
     matched_g = set()
 
-    _backtrace_subtrees(tree_f, tree_g, cm, tree_dist, tree_f.root, tree_g.root, mapping)
+    # Subtree pairs are backtraced from an explicit worklist (not recursion):
+    # each composite cell discovered while walking a forest table schedules
+    # the corresponding subtree pair, so arbitrarily deep trees are handled
+    # at the default interpreter recursion limit.
+    pending: List[Tuple[int, int]] = [(tree_f.root, tree_g.root)]
+    while pending:
+        root_f, root_g = pending.pop()
+        _backtrace_subtrees(tree_f, tree_g, cm, tree_dist, root_f, root_g, mapping, pending)
 
     for v, _ in mapping.matches:
         matched_f.add(v)
@@ -163,8 +170,14 @@ def _backtrace_subtrees(
     root_f: int,
     root_g: int,
     mapping: EditMapping,
+    pending: List[Tuple[int, int]],
 ) -> None:
-    """Re-run the forest DP for the subtree pair and walk it backwards."""
+    """Re-run the forest DP for the subtree pair and walk it backwards.
+
+    Composite cells (a subtree distance composed with the surrounding forest)
+    are appended to ``pending`` for the caller's worklist instead of being
+    followed recursively.
+    """
     lml_f, lml_g = tree_f.lml, tree_g.lml
     labels_f, labels_g = tree_f.labels, tree_g.labels
     lf, lg = lml_f[root_f], lml_g[root_g]
@@ -215,9 +228,9 @@ def _backtrace_subtrees(
             j -= 1
         else:
             # The cell was obtained by composing the subtree distance of
-            # (node_f, node_g) with the remaining forest: recurse into that
-            # subtree pair and jump over it.
-            _backtrace_subtrees(tree_f, tree_g, cost_model, tree_dist, node_f, node_g, mapping)
+            # (node_f, node_g) with the remaining forest: schedule that
+            # subtree pair for backtracing and jump over it.
+            pending.append((node_f, node_g))
             i = lml_f[node_f] - lf
             j = lml_g[node_g] - lg
 

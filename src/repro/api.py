@@ -15,7 +15,7 @@ from the package root.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from .algorithms.base import TEDResult
 from .algorithms.edit_mapping import EditMapping, EditOperation, compute_edit_mapping
@@ -25,6 +25,8 @@ from .exceptions import ParseError
 from .io.bracket import parse_bracket, to_bracket
 from .io.newick import parse_newick
 from .io.xml import xml_to_tree
+from .join.batch import BatchJoinResult, batch_similarity_join
+from .join.cascade import JoinStats
 from .trees.node import Node
 from .trees.tree import Tree
 
@@ -127,7 +129,12 @@ def compute(
 def edit_mapping(
     tree_f: TreeLike, tree_g: TreeLike, cost_model: Optional[CostModel] = None
 ) -> EditMapping:
-    """An optimal node alignment between the two trees."""
+    """An optimal node alignment between the two trees.
+
+    Both the distance tables and the backtrace are evaluated iteratively, so
+    arbitrarily deep trees are handled at the default recursion limit — this
+    is a production API path, like ``engine="auto"`` distances.
+    """
     return compute_edit_mapping(parse_tree(tree_f), parse_tree(tree_g), cost_model=cost_model)
 
 
@@ -163,6 +170,55 @@ def compare_algorithms(
     for name in names:
         results[name] = make_algorithm(name).compute(f, g, cost_model=cost_model)
     return results
+
+
+def similarity_join(
+    collection_a: Sequence[TreeLike],
+    threshold: float,
+    collection_b: Optional[Sequence[TreeLike]] = None,
+    algorithm: str = "rted",
+    cost_model: Optional[CostModel] = None,
+    engine: Optional[str] = None,
+    use_cascade: bool = True,
+    workers: int = 1,
+    progress: Optional[Callable[[JoinStats], None]] = None,
+    **kwargs,
+) -> BatchJoinResult:
+    """Corpus-indexed similarity join: all pairs with ``TED < threshold``.
+
+    ``collection_b=None`` performs a self join over ``collection_a`` (pairs
+    ``i < j``).  Elements may be trees or parseable tree descriptions (see
+    :func:`parse_tree`).  The join computes per-tree filter artifacts once,
+    generates candidates from a binary-branch inverted index, prunes with
+    cost-model-scaled lower bounds, accepts early via the top-down upper
+    bound, and verifies the survivors exactly — optionally fanned out over
+    ``workers`` processes.  Returns a
+    :class:`~repro.join.batch.BatchJoinResult` whose ``stats`` field carries
+    the per-stage :class:`~repro.join.cascade.JoinStats`.
+
+    Examples
+    --------
+    >>> from repro import similarity_join
+    >>> result = similarity_join(["{a{b}{c}}", "{a{b}{d}}", "{x{y{z}}}"], threshold=2.0)
+    >>> result.match_set
+    {(0, 1)}
+    """
+    trees_a = [parse_tree(tree) for tree in collection_a]
+    trees_b = (
+        [parse_tree(tree) for tree in collection_b] if collection_b is not None else None
+    )
+    return batch_similarity_join(
+        trees_a,
+        threshold,
+        corpus_b=trees_b,
+        algorithm=algorithm,
+        cost_model=cost_model,
+        engine=engine,
+        use_cascade=use_cascade,
+        workers=workers,
+        progress=progress,
+        **kwargs,
+    )
 
 
 def tree_to_bracket(tree: TreeLike) -> str:

@@ -31,31 +31,30 @@ def pq_gram_profile(tree: Tree, p: int = 2, q: int = 3) -> CounterType[Tuple[obj
 
     profile: CounterType[Tuple[object, ...]] = Counter()
 
-    def visit(v: int, stem: List[object]) -> None:
-        # ``stem`` holds the labels of the p-1 nearest ancestors (padded).
-        current_stem = (stem + [tree.labels[v]])[-p:]
-        padded_stem = [NULL_LABEL] * (p - len(current_stem)) + current_stem
+    # Iterative preorder walk (recursion-free so arbitrarily deep trees work at
+    # the default interpreter limit).  Each stack entry carries the stem of the
+    # node — the labels of its ≤ p-1 nearest ancestors plus its own label.
+    null_stem: Tuple[object, ...] = (NULL_LABEL,) * (p - 1)
+    stack: List[Tuple[int, Tuple[object, ...]]] = [(tree.root, null_stem)]
+    while stack:
+        v, ancestor_stem = stack.pop()
+        current_stem = (ancestor_stem + (tree.labels[v],))[-p:]
+        padded_stem = (NULL_LABEL,) * (p - len(current_stem)) + current_stem
 
         children = tree.children[v]
         if not children:
-            base = [NULL_LABEL] * q
-            profile[tuple(padded_stem + base)] += 1
-            return
+            profile[padded_stem + (NULL_LABEL,) * q] += 1
+            continue
 
-        extended = [NULL_LABEL] * (q - 1) + [tree.labels[c] for c in children] + [NULL_LABEL] * (q - 1)
+        extended = (
+            [NULL_LABEL] * (q - 1)
+            + [tree.labels[c] for c in children]
+            + [NULL_LABEL] * (q - 1)
+        )
         for start in range(len(extended) - q + 1):
-            profile[tuple(padded_stem + extended[start : start + q])] += 1
-        for child in children:
-            visit(child, current_stem)
-
-    import sys
-
-    old_limit = sys.getrecursionlimit()
-    sys.setrecursionlimit(max(old_limit, 10000 + 10 * tree.n))
-    try:
-        visit(tree.root, [])
-    finally:
-        sys.setrecursionlimit(old_limit)
+            profile[padded_stem + tuple(extended[start : start + q])] += 1
+        for child in reversed(children):
+            stack.append((child, current_stem))
     return profile
 
 

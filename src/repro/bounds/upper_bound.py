@@ -19,8 +19,7 @@ similarity join uses for pruning.
 
 from __future__ import annotations
 
-import sys
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..costs import CostModel
 from ..algorithms.base import resolve_cost_model
@@ -56,40 +55,53 @@ def top_down_upper_bound(
 
     memo: Dict[Tuple[int, int], float] = {}
 
-    def aligned(v: int, w: int) -> float:
-        """Cost of the best top-down mapping that maps ``v`` to ``w``."""
-        key = (v, w)
-        cached = memo.get(key)
-        if cached is not None:
-            return cached
+    def solve(v: int, w: int) -> float:
+        """``aligned(v, w)``: cost of the best top-down mapping sending v to w.
 
-        children_f = tree_f.children[v]
-        children_g = tree_g.children[w]
-        rows = len(children_f) + 1
-        cols = len(children_g) + 1
+        Evaluated with an explicit dependency stack instead of recursion so
+        that arbitrarily deep trees work at the default recursion limit: a
+        pair is expanded once to enqueue its missing child pairs, and computed
+        on the second visit when all of them are memoized.
+        """
+        stack: List[Tuple[int, int]] = [(v, w)]
+        while stack:
+            a, b = stack[-1]
+            if (a, b) in memo:
+                stack.pop()
+                continue
+            children_f = tree_f.children[a]
+            children_g = tree_g.children[b]
+            missing = [
+                (cf, cg)
+                for cf in children_f
+                for cg in children_g
+                if (cf, cg) not in memo
+            ]
+            if missing:
+                stack.extend(missing)
+                continue
+            stack.pop()
 
-        # Sequence alignment of the children: gaps cost whole-subtree
-        # deletion/insertion, matches cost the recursive aligned distance.
-        table = [[0.0] * cols for _ in range(rows)]
-        for i in range(1, rows):
-            table[i][0] = table[i - 1][0] + delete_subtree[children_f[i - 1]]
-        for j in range(1, cols):
-            table[0][j] = table[0][j - 1] + insert_subtree[children_g[j - 1]]
-        for i in range(1, rows):
+            rows = len(children_f) + 1
+            cols = len(children_g) + 1
+            # Sequence alignment of the children: gaps cost whole-subtree
+            # deletion/insertion, matches cost the aligned child distance.
+            table = [[0.0] * cols for _ in range(rows)]
+            for i in range(1, rows):
+                table[i][0] = table[i - 1][0] + delete_subtree[children_f[i - 1]]
             for j in range(1, cols):
-                table[i][j] = min(
-                    table[i - 1][j] + delete_subtree[children_f[i - 1]],
-                    table[i][j - 1] + insert_subtree[children_g[j - 1]],
-                    table[i - 1][j - 1] + aligned(children_f[i - 1], children_g[j - 1]),
-                )
+                table[0][j] = table[0][j - 1] + insert_subtree[children_g[j - 1]]
+            for i in range(1, rows):
+                for j in range(1, cols):
+                    table[i][j] = min(
+                        table[i - 1][j] + delete_subtree[children_f[i - 1]],
+                        table[i][j - 1] + insert_subtree[children_g[j - 1]],
+                        table[i - 1][j - 1] + memo[(children_f[i - 1], children_g[j - 1])],
+                    )
 
-        value = cm.rename(tree_f.labels[v], tree_g.labels[w]) + table[rows - 1][cols - 1]
-        memo[key] = value
-        return value
+            memo[(a, b)] = (
+                cm.rename(tree_f.labels[a], tree_g.labels[b]) + table[rows - 1][cols - 1]
+            )
+        return memo[(v, w)]
 
-    old_limit = sys.getrecursionlimit()
-    sys.setrecursionlimit(max(old_limit, 10000 + 10 * (tree_f.n + tree_g.n)))
-    try:
-        return aligned(tree_f.root, tree_g.root)
-    finally:
-        sys.setrecursionlimit(old_limit)
+    return solve(tree_f.root, tree_g.root)

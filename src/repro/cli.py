@@ -7,6 +7,9 @@ Installed as the ``rted`` console script.  Sub-commands:
 * ``rted mapping   TREE1 TREE2`` — optimal edit script;
 * ``rted compare   TREE1 TREE2`` — all paper algorithms on one pair;
 * ``rted generate  --shape zigzag --size 31`` — emit a synthetic tree;
+* ``rted join @collection.txt --threshold 3`` — corpus-indexed similarity
+  self join (or ``--other @b.txt`` for a cross join) with the filter cascade
+  and optional multiprocessing fan-out;
 * ``rted experiment fig8|fig9|fig10|table1|table2|ablation`` — run one of the
   paper's experiments and print its table(s).
 """
@@ -30,7 +33,8 @@ from .experiments import (
     table1_join,
     table2_treefam,
 )
-from .io.bracket import to_bracket
+from .api import similarity_join
+from .io.bracket import parse_bracket_collection, to_bracket
 from .visualize import render_tree
 
 
@@ -40,6 +44,16 @@ def _load_tree_argument(argument: str, fmt: Optional[str]):
         with open(argument[1:], "r", encoding="utf-8") as handle:
             argument = handle.read()
     return parse_tree(argument, fmt=fmt)
+
+
+def _load_collection_argument(argument: str):
+    """A collection argument is ``@path`` to a bracket-per-line file."""
+    if not argument.startswith("@"):
+        raise SystemExit(
+            f"collection arguments must be @path files, got {argument!r}"
+        )
+    with open(argument[1:], "r", encoding="utf-8") as handle:
+        return parse_bracket_collection(handle.read())
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -83,6 +97,37 @@ def _build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--size", type=int, default=31)
     generate.add_argument("--seed", type=int, default=42)
     generate.add_argument("--render", action="store_true", help="also print an ASCII rendering")
+
+    join = subparsers.add_parser(
+        "join", help="similarity join over a collection of trees (TED < threshold)"
+    )
+    join.add_argument(
+        "collection",
+        help="collection file as @path (one bracket-notation tree per line, "
+        "blank lines and # comments ignored)",
+    )
+    join.add_argument(
+        "--other",
+        default=None,
+        help="second collection (@path) for a cross join; omitted = self join",
+    )
+    join.add_argument("--threshold", type=float, required=True, help="match when TED < τ")
+    join.add_argument(
+        "--algorithm", default="rted", choices=available_algorithms(), help="exact verifier"
+    )
+    join.add_argument("--engine", default=None, choices=list(ENGINES))
+    join.add_argument(
+        "--no-cascade",
+        action="store_true",
+        help="disable the filter cascade (verify every pair exactly)",
+    )
+    join.add_argument(
+        "--approximate",
+        action="store_true",
+        help="add the pq-gram heuristic filter (may drop matches; faster)",
+    )
+    join.add_argument("--workers", type=int, default=1, help="verification processes")
+    join.add_argument("--stats", action="store_true", help="print per-stage join statistics")
 
     experiment = subparsers.add_parser("experiment", help="run one of the paper's experiments")
     experiment.add_argument(
@@ -138,6 +183,34 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(to_bracket(tree))
         if args.render:
             print(render_tree(tree, max_nodes=200))
+        return 0
+
+    if args.command == "join":
+        collection = _load_collection_argument(args.collection)
+        other = _load_collection_argument(args.other) if args.other else None
+        result = similarity_join(
+            collection,
+            args.threshold,
+            collection_b=other,
+            algorithm=args.algorithm,
+            engine=args.engine,
+            use_cascade=not args.no_cascade,
+            approximate=args.approximate,
+            workers=args.workers,
+        )
+        for i, j, distance in result.matches:
+            print(f"{i}\t{j}\t{distance:g}")
+        if args.stats:
+            stats = result.stats
+            print(f"# pairs total:      {stats.pairs_total}")
+            print(f"# candidates:       {stats.candidate_pairs} (index pruned {stats.index_pruned})")
+            for stage, count in stats.stage_pruned.items():
+                print(f"# pruned by {stage}: {count}")
+            print(f"# accepted early:   {stats.accepted_early}")
+            print(f"# exact TED runs:   {stats.exact_computed}")
+            print(f"# matches:          {stats.matches}")
+            print(f"# filter rate:      {stats.filter_rate:.3f}")
+            print(f"# total time:       {stats.total_time:.4f}s")
         return 0
 
     if args.command == "experiment":

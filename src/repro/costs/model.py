@@ -39,6 +39,20 @@ class CostModel:
         """Cost of renaming ``label_from`` into ``label_to``."""
         raise NotImplementedError
 
+    def min_operation_cost(self) -> Optional[float]:
+        """A proven lower bound on the cost of any single edit operation.
+
+        Returns a value ``c ≥ 0`` such that *every* delete, insert and
+        non-identity rename under this model costs at least ``c``, or ``None``
+        when no such bound is known.  Unit-cost filters (the lower bounds in
+        :mod:`repro.bounds` count edit *operations*) are scaled by this value
+        to stay sound under arbitrary cost models: ``c · ops_bound ≤ TED``.
+        A model that cannot prove a positive bound must return ``None`` (or
+        ``0.0``), which disables lower-bound pruning rather than risking
+        dropped matches — see the soundness rule in ``DESIGN.md``.
+        """
+        return None
+
     # ------------------------------------------------------------------ #
     def validate(self, sample_labels: Tuple[object, ...] = ("a", "b", "")) -> None:
         """Raise :class:`CostModelError` if the model breaks basic invariants."""
@@ -64,6 +78,9 @@ class UnitCostModel(CostModel):
     def rename(self, label_from: object, label_to: object) -> float:
         return 0.0 if label_from == label_to else 1.0
 
+    def min_operation_cost(self) -> Optional[float]:
+        return 1.0
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "UnitCostModel()"
 
@@ -88,6 +105,9 @@ class WeightedCostModel(CostModel):
 
     def rename(self, label_from: object, label_to: object) -> float:
         return 0.0 if label_from == label_to else self._rename
+
+    def min_operation_cost(self) -> Optional[float]:
+        return min(self._delete, self._insert, self._rename)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -133,6 +153,13 @@ class PerLabelCostModel(CostModel):
     def rename(self, label_from: object, label_to: object) -> float:
         return 0.0 if label_from == label_to else self._rename
 
+    def min_operation_cost(self) -> Optional[float]:
+        return min(
+            [self._default_delete, self._default_insert, self._rename]
+            + list(self._delete_costs.values())
+            + list(self._insert_costs.values())
+        )
+
 
 class StringRenameCostModel(CostModel):
     """Rename cost proportional to the normalized edit distance of the labels.
@@ -157,6 +184,12 @@ class StringRenameCostModel(CostModel):
         if longest == 0:
             return 0.0
         return _levenshtein(a, b) / longest
+
+    def min_operation_cost(self) -> Optional[float]:
+        # Renames can be arbitrarily cheap (1 / max label length), so the only
+        # provable per-operation infimum is 0 — which correctly disables
+        # operation-count lower-bound pruning for this model.
+        return 0.0
 
 
 class CallableCostModel(CostModel):

@@ -25,6 +25,7 @@ from .realworld import (
     treefam_like_tree,
 )
 from .workloads import (
+    clustered_corpus,
     identical_pair,
     join_workload,
     pairs_at_size_intervals,
@@ -53,6 +54,7 @@ __all__ = [
     "treebank_like_tree",
     "treefam_like_tree",
     "generate_collection",
+    "clustered_corpus",
     "identical_pair",
     "shape_size_sweep",
     "pairs_at_size_intervals",

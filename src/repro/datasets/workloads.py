@@ -12,8 +12,9 @@ from __future__ import annotations
 import random
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..trees.node import Node
 from ..trees.tree import Tree
-from .random_trees import RngLike, _resolve_rng, random_tree
+from .random_trees import RngLike, _resolve_rng, perturb_tree, random_tree
 from .realworld import generate_collection
 from .shapes import make_shape
 
@@ -88,6 +89,60 @@ def join_workload(
         else:
             trees.append(make_shape(shape, node_count))
     return trees
+
+
+def _relabel(tree: Tree, alphabet: Sequence[str], rng: RngLike = None) -> Tree:
+    """Copy of ``tree`` with every label redrawn from ``alphabet``."""
+    generator = _resolve_rng(rng)
+    root = tree.to_node()
+    stack: List[Node] = [root]
+    while stack:
+        node = stack.pop()
+        node.label = generator.choice(list(alphabet))
+        stack.extend(node.children)
+    return Tree(root)
+
+
+def clustered_corpus(
+    num_clusters: int = 10,
+    cluster_size: int = 10,
+    tree_size: int = 12,
+    num_edits: int = 2,
+    labels_per_cluster: int = 6,
+    shapes: Optional[Sequence[str]] = None,
+    shared_labels: bool = False,
+    rng: RngLike = None,
+) -> List[Tree]:
+    """A corpus of tree clusters for similarity-join workloads.
+
+    Every cluster consists of one seed tree (its shape cycling through
+    ``shapes`` so the corpus mixes shape families, as the Table 1 workload
+    does) plus ``cluster_size − 1`` perturbed copies at most ``num_edits``
+    edits away, so a selective join threshold matches (mostly) within
+    clusters.  By default each cluster draws labels from its own alphabet
+    (``"c<cluster>:<i>"``), which keeps cross-cluster pairs far apart and
+    exercises index-based candidate generation; ``shared_labels=True`` makes
+    all clusters share one alphabet instead, for dense-corpus scenarios.
+    """
+    generator = _resolve_rng(rng)
+    if shapes is None:
+        shapes = ["random", "left-branch", "right-branch", "full-binary", "zigzag", "mixed"]
+    corpus: List[Tree] = []
+    for cluster in range(num_clusters):
+        if shared_labels:
+            alphabet = [f"l{i}" for i in range(labels_per_cluster)]
+        else:
+            alphabet = [f"c{cluster}:{i}" for i in range(labels_per_cluster)]
+        shape = shapes[cluster % len(shapes)]
+        if shape == "random":
+            seed = random_tree(tree_size, alphabet=alphabet, rng=generator)
+        else:
+            seed = _relabel(make_shape(shape, tree_size), alphabet, rng=generator)
+        corpus.append(seed)
+        for _ in range(cluster_size - 1):
+            edits = generator.randint(0, num_edits)
+            corpus.append(perturb_tree(seed, edits, alphabet=alphabet, rng=generator))
+    return corpus
 
 
 def partition_by_size(

@@ -11,7 +11,6 @@ escaped with a backslash.
 
 from __future__ import annotations
 
-import sys
 from typing import List, Tuple
 
 from ..exceptions import ParseError
@@ -58,14 +57,7 @@ def parse_bracket_node(text: str) -> Node:
     text = text.strip()
     if not text:
         raise ParseError("empty input", position=0)
-    # The parser recurses once per nesting level; allow arbitrarily deep trees
-    # (e.g. branch/chain shapes) by widening the recursion limit temporarily.
-    old_limit = sys.getrecursionlimit()
-    sys.setrecursionlimit(max(old_limit, 2000 + 5 * text.count(_OPEN)))
-    try:
-        node, end = _parse_subtree(text, 0)
-    finally:
-        sys.setrecursionlimit(old_limit)
+    node, end = _parse_subtree(text, 0)
     if text[end:].strip():
         raise ParseError(f"trailing characters after tree: {text[end:]!r}", position=end)
     return node
@@ -76,10 +68,8 @@ def parse_bracket(text: str) -> Tree:
     return Tree(parse_bracket_node(text))
 
 
-def _parse_subtree(text: str, pos: int) -> Tuple[Node, int]:
-    if pos >= len(text) or text[pos] != _OPEN:
-        raise ParseError(f"expected '{{' at position {pos}", position=pos)
-    pos += 1
+def _parse_label(text: str, pos: int) -> Tuple[str, int]:
+    """Consume a (possibly escaped) label starting at ``pos``."""
     label_chars: List[str] = []
     while pos < len(text):
         ch = text[pos]
@@ -91,13 +81,36 @@ def _parse_subtree(text: str, pos: int) -> Tuple[Node, int]:
             break
         label_chars.append(ch)
         pos += 1
-    node = Node("".join(label_chars))
-    while pos < len(text) and text[pos] == _OPEN:
-        child, pos = _parse_subtree(text, pos)
-        node.add_child(child)
-    if pos >= len(text) or text[pos] != _CLOSE:
-        raise ParseError(f"expected '}}' at position {pos}", position=pos)
-    return node, pos + 1
+    return "".join(label_chars), pos
+
+
+def _parse_subtree(text: str, pos: int) -> Tuple[Node, int]:
+    """Parse one ``{label{child}...}`` subtree iteratively.
+
+    A stack of currently open nodes replaces recursion so that arbitrarily
+    deep trees (e.g. branch/chain shapes) parse at the default interpreter
+    recursion limit.
+    """
+    if pos >= len(text) or text[pos] != _OPEN:
+        raise ParseError(f"expected '{{' at position {pos}", position=pos)
+    open_nodes: List[Node] = []
+    while True:
+        if text[pos] == _OPEN:
+            label, pos = _parse_label(text, pos + 1)
+            node = Node(label)
+            if open_nodes:
+                open_nodes[-1].add_child(node)
+            open_nodes.append(node)
+        elif text[pos] == _CLOSE:
+            closed = open_nodes.pop()
+            pos += 1
+            if not open_nodes:
+                return closed, pos
+        else:
+            # Only '{' (next child) or '}' (close) may follow a closed child.
+            raise ParseError(f"expected '}}' at position {pos}", position=pos)
+        if pos >= len(text):
+            raise ParseError(f"expected '}}' at position {pos}", position=pos)
 
 
 def to_bracket(tree: Tree | Node) -> str:

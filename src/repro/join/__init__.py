@@ -1,5 +1,36 @@
-"""Similarity joins over tree collections."""
+"""Similarity joins over tree collections.
 
+Two layers:
+
+* the **batch subsystem** (v2) — :class:`TreeCorpus` per-tree artifacts, the
+  ordered filter cascade with inverted-index candidate generation, and the
+  chunked/multiprocessing exact verifier (:func:`batch_similarity_join`,
+  :func:`batch_distances`);
+* the **legacy pairwise API** (:func:`similarity_self_join`,
+  :func:`similarity_join`) kept for the Table 1 experiment and small
+  collections.
+"""
+
+from .batch import (
+    BatchJoinResult,
+    batch_distances,
+    batch_self_join,
+    batch_similarity_join,
+)
+from .cascade import (
+    BinaryBranchFilter,
+    CascadeContext,
+    FilterStage,
+    JoinStats,
+    LabelFilter,
+    PQGramFilter,
+    SizeFilter,
+    TraversalStringFilter,
+    UpperBoundAccept,
+    default_cascade,
+    operations_threshold,
+)
+from .corpus import TreeCorpus, TreeProfile, branch_candidate_pairs
 from .similarity_join import (
     JoinResult,
     similarity_join,
@@ -8,6 +39,26 @@ from .similarity_join import (
 )
 
 __all__ = [
+    # Batch subsystem (v2)
+    "TreeCorpus",
+    "TreeProfile",
+    "branch_candidate_pairs",
+    "BatchJoinResult",
+    "batch_distances",
+    "batch_self_join",
+    "batch_similarity_join",
+    "JoinStats",
+    "FilterStage",
+    "CascadeContext",
+    "SizeFilter",
+    "LabelFilter",
+    "TraversalStringFilter",
+    "BinaryBranchFilter",
+    "PQGramFilter",
+    "UpperBoundAccept",
+    "default_cascade",
+    "operations_threshold",
+    # Legacy pairwise API
     "JoinResult",
     "similarity_self_join",
     "similarity_join",

@@ -1,0 +1,331 @@
+"""Corpus-scale batch distance computation and the v2 similarity join.
+
+The v2 join pipeline (see ``DESIGN.md``, *Batch joins*):
+
+1. **Profile** — build/reuse the per-tree artifacts of the
+   :class:`~repro.join.corpus.TreeCorpus` (computed once per tree, not per
+   pair).
+2. **Candidate generation** — the binary-branch inverted index materializes
+   only the pairs that can still match (sound for any cost model with a
+   positive :meth:`~repro.costs.CostModel.min_operation_cost`).
+3. **Filter cascade** — ordered per-pair stages prune with scaled lower
+   bounds and accept early with the top-down upper bound.
+4. **Exact verification** — surviving pairs run exact TED with any registry
+   algorithm/engine, optionally fanned out over a ``multiprocessing`` pool in
+   chunks, with the streaming :class:`~repro.join.cascade.JoinStats` updated
+   after every chunk.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..algorithms.base import TEDAlgorithm, resolve_cost_model
+from ..algorithms.registry import make_algorithm
+from ..costs import CostModel
+from ..trees.tree import Tree
+from .cascade import (
+    ACCEPT,
+    CascadeContext,
+    FilterStage,
+    JoinStats,
+    PQGramFilter,
+    PRUNE,
+    default_cascade,
+    operations_threshold,
+    run_cascade,
+)
+from .corpus import TreeCorpus, branch_candidate_pairs
+
+CorpusLike = Union[TreeCorpus, Sequence[Tree]]
+
+#: Default number of pairs per multiprocessing work item (and per streaming
+#: stats update in serial mode).
+DEFAULT_CHUNK_SIZE = 256
+
+
+def as_corpus(trees: CorpusLike) -> TreeCorpus:
+    """Wrap a tree sequence in a :class:`TreeCorpus` (no-op for corpora)."""
+    if isinstance(trees, TreeCorpus):
+        return trees
+    return TreeCorpus(trees)
+
+
+# --------------------------------------------------------------------------- #
+# Batch exact distances (serial or multiprocessing fan-out)
+# --------------------------------------------------------------------------- #
+# Worker-process globals, set once per worker by _init_worker so that trees
+# and the algorithm are shipped to each worker exactly once instead of once
+# per pair.
+_WORKER_STATE: dict = {}
+
+
+def _init_worker(trees_a, trees_b, algorithm, engine, cost_model) -> None:
+    _WORKER_STATE["trees_a"] = trees_a
+    _WORKER_STATE["trees_b"] = trees_b if trees_b is not None else trees_a
+    _WORKER_STATE["algorithm"] = _resolve_algorithm(algorithm, engine)
+    _WORKER_STATE["cost_model"] = cost_model
+
+
+def _worker_chunk(pairs: List[Tuple[int, int]]) -> List[Tuple[int, int, float, int]]:
+    trees_a = _WORKER_STATE["trees_a"]
+    trees_b = _WORKER_STATE["trees_b"]
+    algo = _WORKER_STATE["algorithm"]
+    cost_model = _WORKER_STATE["cost_model"]
+    out = []
+    for i, j in pairs:
+        result = algo.compute(trees_a[i], trees_b[j], cost_model=cost_model)
+        out.append((i, j, result.distance, result.subproblems))
+    return out
+
+
+def _resolve_algorithm(
+    algorithm: Union[str, TEDAlgorithm], engine: Optional[str]
+) -> TEDAlgorithm:
+    if isinstance(algorithm, TEDAlgorithm):
+        return algorithm
+    return make_algorithm(algorithm, engine=engine)
+
+
+def _chunked(pairs: List[Tuple[int, int]], size: int) -> Iterable[List[Tuple[int, int]]]:
+    for start in range(0, len(pairs), size):
+        yield pairs[start : start + size]
+
+
+def batch_distances(
+    trees_a: CorpusLike,
+    trees_b: Optional[CorpusLike],
+    pairs: Iterable[Tuple[int, int]],
+    algorithm: Union[str, TEDAlgorithm] = "rted",
+    cost_model: Optional[CostModel] = None,
+    engine: Optional[str] = None,
+    workers: int = 1,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    on_chunk: Optional[Callable[[List[Tuple[int, int, float, int]]], None]] = None,
+    collect_results: bool = True,
+) -> List[Tuple[int, int, float, int]]:
+    """Exact TED for many index pairs: ``(i, j) → (i, j, distance, subproblems)``.
+
+    ``trees_b=None`` interprets pairs within ``trees_a`` (self-join indexing).
+    ``workers > 1`` fans chunks of pairs out to a ``multiprocessing`` pool —
+    trees, algorithm and cost model are pickled once per worker, so the
+    per-pair overhead stays small; pass a registry *name* for ``algorithm``
+    (instances and custom cost models must be picklable to cross the process
+    boundary).  ``on_chunk`` is invoked with every completed chunk in
+    completion order, enabling streaming consumption of a long batch;
+    ``collect_results=False`` then skips accumulating the full result list —
+    at millions of pairs the tuples dominate memory — and returns ``[]``.
+    """
+    corpus_a = as_corpus(trees_a)
+    corpus_b = as_corpus(trees_b) if trees_b is not None else None
+    pair_list = list(pairs)
+    results: List[Tuple[int, int, float, int]] = []
+
+    if workers <= 1 or len(pair_list) <= chunk_size:
+        algo = _resolve_algorithm(algorithm, engine)
+        lookup_b = corpus_b.trees if corpus_b is not None else corpus_a.trees
+        for chunk in _chunked(pair_list, chunk_size):
+            chunk_results = [
+                (i, j, result.distance, result.subproblems)
+                for i, j in chunk
+                for result in (
+                    algo.compute(corpus_a.trees[i], lookup_b[j], cost_model=cost_model),
+                )
+            ]
+            if collect_results:
+                results.extend(chunk_results)
+            if on_chunk is not None:
+                on_chunk(chunk_results)
+        return results
+
+    import multiprocessing
+
+    context = multiprocessing.get_context()
+    with context.Pool(
+        processes=workers,
+        initializer=_init_worker,
+        initargs=(
+            corpus_a.trees,
+            corpus_b.trees if corpus_b is not None else None,
+            algorithm,
+            engine,
+            cost_model,
+        ),
+    ) as pool:
+        for chunk_results in pool.imap_unordered(
+            _worker_chunk, _chunked(pair_list, chunk_size)
+        ):
+            if collect_results:
+                results.extend(chunk_results)
+            if on_chunk is not None:
+                on_chunk(chunk_results)
+    return results
+
+
+# --------------------------------------------------------------------------- #
+# The v2 similarity join
+# --------------------------------------------------------------------------- #
+@dataclass
+class BatchJoinResult:
+    """Outcome of a v2 batch similarity join."""
+
+    algorithm: str
+    threshold: float
+    matches: List[Tuple[int, int, float]] = field(default_factory=list)
+    """Matched pairs as ``(index_a, index_b, distance)`` triples.
+
+    For pairs accepted early by the upper-bound stage the distance is the
+    top-down upper bound (a valid mapping cost below ``τ``), not the exact
+    TED; disable ``early_accept`` to force exact distances everywhere.
+    """
+
+    stats: JoinStats = field(default_factory=JoinStats)
+
+    @property
+    def match_set(self) -> set:
+        """The matched index pairs as a set (distances stripped)."""
+        return {(i, j) for i, j, _ in self.matches}
+
+
+def batch_similarity_join(
+    corpus_a: CorpusLike,
+    threshold: float,
+    corpus_b: Optional[CorpusLike] = None,
+    algorithm: Union[str, TEDAlgorithm] = "rted",
+    cost_model: Optional[CostModel] = None,
+    engine: Optional[str] = None,
+    use_cascade: bool = True,
+    cascade: Optional[Sequence[FilterStage]] = None,
+    use_candidate_index: bool = True,
+    early_accept: bool = True,
+    approximate: bool = False,
+    pq_gram_cutoff: float = 0.8,
+    workers: int = 1,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    progress: Optional[Callable[[JoinStats], None]] = None,
+) -> BatchJoinResult:
+    """The corpus-indexed batch similarity join (``TED < threshold``).
+
+    ``corpus_b=None`` performs a self join over ``corpus_a`` (pairs ``i < j``);
+    otherwise all cross pairs are joined.  ``use_cascade=False`` disables both
+    candidate generation and the filter stages (every pair is verified
+    exactly) — the match set is identical either way, which the test suite
+    asserts.  ``approximate=True`` appends the pq-gram heuristic stage, which
+    may drop matches in exchange for speed (see the soundness rule in
+    ``DESIGN.md``).  ``progress``, when given, receives the streaming
+    :class:`JoinStats` after candidate generation, after the cascade, and
+    after every verified chunk.
+
+    Parameters mirror :func:`batch_distances` for the verification stage
+    (``workers``, ``chunk_size``); filtering always runs in the parent
+    process because it is cheap relative to exact TED.
+    """
+    stats = JoinStats()
+    started = time.perf_counter()
+
+    a = as_corpus(corpus_a)
+    b = as_corpus(corpus_b) if corpus_b is not None else None
+    cm = resolve_cost_model(cost_model)
+    algo = _resolve_algorithm(algorithm, engine)
+
+    if b is None:
+        stats.pairs_total = len(a) * (len(a) - 1) // 2
+    else:
+        stats.pairs_total = len(a) * len(b)
+
+    ctx = CascadeContext(
+        threshold=threshold,
+        ops_threshold=operations_threshold(threshold, cm),
+        cost_model=cm,
+    )
+
+    # ---- stage 1+2: profiles and candidate generation ------------------- #
+    tick = time.perf_counter()
+    if use_cascade and use_candidate_index:
+        candidates, skipped = branch_candidate_pairs(a, b, ctx.ops_threshold)
+        candidate_pairs = sorted(candidates)
+        stats.index_pruned = skipped
+    else:
+        if b is None:
+            candidate_pairs = [
+                (i, j) for i in range(len(a)) for j in range(i + 1, len(a))
+            ]
+        else:
+            candidate_pairs = [(i, j) for i in range(len(a)) for j in range(len(b))]
+    stats.candidate_pairs = len(candidate_pairs)
+    stats.candidate_time = time.perf_counter() - tick
+    if progress is not None:
+        progress(stats)
+
+    # ---- stage 3: per-pair filter cascade ------------------------------- #
+    matches: List[Tuple[int, int, float]] = []
+    tick = time.perf_counter()
+    if use_cascade:
+        stages = list(cascade) if cascade is not None else default_cascade()
+        if approximate:
+            stages.insert(-1, PQGramFilter(a, b, cutoff=pq_gram_cutoff))
+        if not early_accept:
+            stages = [s for s in stages if not s.is_accept_stage]
+        profiles_b = b if b is not None else a
+        survivors: List[Tuple[int, int]] = []
+        for i, j in candidate_pairs:
+            decision = run_cascade(stages, a.profile(i), profiles_b.profile(j), ctx, stats)
+            if decision == ACCEPT:
+                # The accepting stage certified a mapping below τ and left its
+                # cost in ctx.accept_value; report that as the distance.
+                matches.append((i, j, ctx.accept_value))
+            elif decision != PRUNE:
+                survivors.append((i, j))
+    else:
+        survivors = candidate_pairs
+    stats.cascade_time = time.perf_counter() - tick
+    if progress is not None:
+        progress(stats)
+
+    # ---- stage 4: exact verification ------------------------------------ #
+    tick = time.perf_counter()
+
+    def on_chunk(chunk_results: List[Tuple[int, int, float, int]]) -> None:
+        for i, j, distance, subproblems in chunk_results:
+            stats.exact_computed += 1
+            stats.total_subproblems += subproblems
+            if distance < threshold:
+                stats.exact_matched += 1
+                matches.append((i, j, distance))
+        stats.matches = len(matches)
+        stats.verify_time = time.perf_counter() - tick
+        stats.total_time = time.perf_counter() - started
+        if progress is not None:
+            progress(stats)
+
+    batch_distances(
+        a,
+        b,
+        survivors,
+        algorithm=algorithm,
+        cost_model=cost_model,
+        engine=engine,
+        workers=workers,
+        chunk_size=chunk_size,
+        on_chunk=on_chunk,
+        collect_results=False,
+    )
+
+    matches.sort()
+    stats.matches = len(matches)
+    stats.verify_time = time.perf_counter() - tick
+    stats.total_time = time.perf_counter() - started
+    return BatchJoinResult(
+        algorithm=algo.name, threshold=threshold, matches=matches, stats=stats
+    )
+
+
+def batch_self_join(
+    trees: CorpusLike,
+    threshold: float,
+    **kwargs,
+) -> BatchJoinResult:
+    """Convenience alias: v2 self join over one collection."""
+    return batch_similarity_join(trees, threshold, corpus_b=None, **kwargs)

@@ -1,0 +1,249 @@
+"""Corpus-indexed filter artifacts for batch similarity joins.
+
+A join over ``N`` trees evaluates up to ``N·(N−1)/2`` pairs, but every filter
+in the bound cascade only consumes *per-tree* quantities: sizes, label
+multisets, traversal label strings, binary-branch profiles and pq-gram
+profiles.  :class:`TreeCorpus` computes each of these artifacts **once per
+tree** and reuses them across all pairs — the per-pair work of the cheap
+stages drops to a multiset intersection.
+
+On top of the per-tree profiles the corpus maintains *inverted indexes*
+(binary-branch → tree ids, pq-gram → tree ids).  For a selective threshold
+the binary-branch index generates candidate pairs directly: the branch
+distance satisfies ``BBD(F, G) ≤ 5 · TED_ops(F, G)``, and two trees sharing
+no branch have ``BBD = |F| + |G|``, so any pair with
+``(|F| + |G|) / 5 ≥ τ_ops`` and an empty branch intersection is pruned
+*without ever being materialized*.  The pq-gram index plays the same role for
+approximate joins (pq-grams do not lower-bound the TED — see the soundness
+rule in ``DESIGN.md``).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Counter as CounterType, Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..bounds.binary_branch import binary_branch_profile
+from ..bounds.pq_gram import pq_gram_profile
+from ..trees.tree import Tree
+
+
+@dataclass
+class TreeProfile:
+    """Per-tree filter artifacts, computed once and shared by every pair."""
+
+    index: int
+    tree: Tree
+    size: int
+    label_histogram: CounterType[object]
+    preorder_labels: List[object]
+    postorder_labels: List[object]
+    branch_profile: CounterType[Tuple[object, object, object]]
+    pq_profile: Optional[CounterType[Tuple[object, ...]]] = field(default=None, repr=False)
+
+
+class TreeCorpus:
+    """A collection of trees with per-tree join artifacts and inverted indexes.
+
+    Parameters
+    ----------
+    trees:
+        The trees of the collection (kept in order; pair indices returned by
+        the join refer to positions in this sequence).
+    p, q:
+        pq-gram shape parameters used when the pq-gram artifacts are
+        requested (approximate joins only).
+
+    A corpus is cheap to construct: a tree's profile (sizes, label multiset,
+    traversal strings and binary-branch profile — all ``O(n)``) is built on
+    its first :meth:`profile` access and cached; only the pq-gram artifacts,
+    which no sound stage consumes, are deferred further until
+    :meth:`pq_profile` / :meth:`pq_index` is called.
+    """
+
+    def __init__(self, trees: Sequence[Tree], p: int = 2, q: int = 3) -> None:
+        self.trees: List[Tree] = list(trees)
+        self.p = p
+        self.q = q
+        self._profiles: List[Optional[TreeProfile]] = [None] * len(self.trees)
+        self._branch_index: Optional[Dict[object, List[int]]] = None
+        self._pq_index: Optional[Dict[object, List[int]]] = None
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.trees)
+
+    def __getitem__(self, index: int) -> Tree:
+        return self.trees[index]
+
+    def __iter__(self) -> Iterator[Tree]:
+        return iter(self.trees)
+
+    # ------------------------------------------------------------------ #
+    def profile(self, index: int) -> TreeProfile:
+        """The (cached) filter artifacts of tree ``index``."""
+        cached = self._profiles[index]
+        if cached is None:
+            tree = self.trees[index]
+            cached = TreeProfile(
+                index=index,
+                tree=tree,
+                size=tree.n,
+                label_histogram=Counter(tree.labels),
+                preorder_labels=tree.labels_preorder(),
+                postorder_labels=tree.labels_postorder(),
+                branch_profile=binary_branch_profile(tree),
+            )
+            self._profiles[index] = cached
+        return cached
+
+    def profiles(self) -> List[TreeProfile]:
+        """Artifacts for every tree (computing any that are still missing)."""
+        return [self.profile(i) for i in range(len(self.trees))]
+
+    def pq_profile(self, index: int) -> CounterType[Tuple[object, ...]]:
+        """The (cached) pq-gram profile of tree ``index``."""
+        prof = self.profile(index)
+        if prof.pq_profile is None:
+            prof.pq_profile = pq_gram_profile(prof.tree, p=self.p, q=self.q)
+        return prof.pq_profile
+
+    # ------------------------------------------------------------------ #
+    # Inverted indexes
+    # ------------------------------------------------------------------ #
+    def branch_index(self) -> Dict[object, List[int]]:
+        """Inverted index: binary branch → sorted list of tree indices."""
+        if self._branch_index is None:
+            index: Dict[object, List[int]] = defaultdict(list)
+            for prof in self.profiles():
+                for branch in prof.branch_profile:
+                    index[branch].append(prof.index)
+            self._branch_index = dict(index)
+        return self._branch_index
+
+    def pq_index(self) -> Dict[object, List[int]]:
+        """Inverted index: pq-gram → sorted list of tree indices."""
+        if self._pq_index is None:
+            index: Dict[object, List[int]] = defaultdict(list)
+            for i in range(len(self.trees)):
+                for gram in self.pq_profile(i):
+                    index[gram].append(i)
+            self._pq_index = dict(index)
+        return self._pq_index
+
+
+def _small_pairs(
+    sizes_a: Sequence[int],
+    sizes_b: Optional[Sequence[int]],
+    size_budget: float,
+) -> Iterator[Tuple[int, int]]:
+    """All pairs whose combined size stays below ``size_budget``.
+
+    These are the pairs that can beat the threshold *without* sharing a single
+    binary branch (``BBD = |F| + |G| < 5·τ_ops``), so index-based candidate
+    generation must keep them even when their posting lists never meet.
+    Enumerated via a sorted-size sweep, so the cost is proportional to the
+    number of qualifying pairs, not to all pairs.
+    """
+    if size_budget <= 0:
+        return
+    if sizes_b is None:
+        order = sorted(range(len(sizes_a)), key=lambda i: sizes_a[i])
+        ordered = [sizes_a[i] for i in order]
+        for pos, i in enumerate(order):
+            # partners after `pos` in size order with size < budget - size_i
+            limit = bisect_left(ordered, size_budget - ordered[pos], lo=pos + 1)
+            for other in range(pos + 1, limit):
+                j = order[other]
+                yield (min(i, j), max(i, j))
+    else:
+        order_b = sorted(range(len(sizes_b)), key=lambda j: sizes_b[j])
+        ordered_b = [sizes_b[j] for j in order_b]
+        for i, size_a in enumerate(sizes_a):
+            limit = bisect_left(ordered_b, size_budget - size_a)
+            for pos in range(limit):
+                yield (i, order_b[pos])
+
+
+def branch_candidate_pairs(
+    corpus_a: TreeCorpus,
+    corpus_b: Optional[TreeCorpus],
+    ops_threshold: float,
+) -> Tuple[Set[Tuple[int, int]], int]:
+    """Sound candidate generation from the binary-branch inverted index.
+
+    Returns ``(candidates, pairs_skipped)`` where ``candidates`` is the set of
+    pairs that may still satisfy ``TED < τ`` — pairs sharing at least one
+    binary branch, plus pairs small enough to pass with a disjoint profile —
+    and ``pairs_skipped`` counts the pairs eliminated without being
+    materialized.  ``ops_threshold`` is the threshold converted to
+    operation-count space (``τ / min_operation_cost``); pass ``inf`` to
+    disable pruning (every pair is a candidate).
+
+    Soundness: ``BBD(F, G) ≤ 5 · TED_ops`` (Yang et al., SIGMOD 2005) and
+    disjoint profiles force ``BBD = |F| + |G|``.
+    """
+    if corpus_b is None:
+        total = len(corpus_a) * (len(corpus_a) - 1) // 2
+    else:
+        total = len(corpus_a) * len(corpus_b)
+
+    if ops_threshold == float("inf"):
+        if corpus_b is None:
+            candidates = {
+                (i, j) for i in range(len(corpus_a)) for j in range(i + 1, len(corpus_a))
+            }
+        else:
+            candidates = {
+                (i, j) for i in range(len(corpus_a)) for j in range(len(corpus_b))
+            }
+        return candidates, 0
+
+    candidates: Set[Tuple[int, int]] = set()
+
+    if corpus_b is None:
+        index = corpus_a.branch_index()
+        # Posting-list self-products cost Σ |postings|²; when the corpus shares
+        # branches so widely that this far exceeds the all-pairs count, the
+        # index cannot prune enough to pay for itself — fall back to all pairs
+        # (the per-pair cascade stages still run).
+        if sum(len(p) * len(p) for p in index.values()) > 8 * max(total, 1):
+            return (
+                {(i, j) for i in range(len(corpus_a)) for j in range(i + 1, len(corpus_a))},
+                0,
+            )
+        for postings in index.values():
+            for ai in range(len(postings)):
+                for bi in range(ai + 1, len(postings)):
+                    candidates.add((postings[ai], postings[bi]))
+        sizes = [tree.n for tree in corpus_a.trees]
+        candidates.update(_small_pairs(sizes, None, 5.0 * ops_threshold))
+    else:
+        index_a = corpus_a.branch_index()
+        index_b = corpus_b.branch_index()
+        # Same blowup guard as the self-join branch: posting-list products
+        # cost Σ |postings_a|·|postings_b| over shared branches; when that far
+        # exceeds the all-pairs count the index cannot pay for itself.
+        product_work = sum(
+            len(postings_a) * len(index_b.get(branch, ()))
+            for branch, postings_a in index_a.items()
+        )
+        if product_work > 8 * max(total, 1):
+            return (
+                {(i, j) for i in range(len(corpus_a)) for j in range(len(corpus_b))},
+                0,
+            )
+        for branch, postings_a in index_a.items():
+            postings_b = index_b.get(branch)
+            if not postings_b:
+                continue
+            for i in postings_a:
+                for j in postings_b:
+                    candidates.add((i, j))
+        sizes_a = [tree.n for tree in corpus_a.trees]
+        sizes_b = [tree.n for tree in corpus_b.trees]
+        candidates.update(_small_pairs(sizes_a, sizes_b, 5.0 * ops_threshold))
+
+    return candidates, total - len(candidates)

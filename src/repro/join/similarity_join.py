@@ -22,11 +22,12 @@ import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
-from ..algorithms.base import TEDAlgorithm
+from ..algorithms.base import TEDAlgorithm, resolve_cost_model
 from ..algorithms.registry import make_algorithm
 from ..bounds import combined_lower_bound, cheap_lower_bound
 from ..costs import CostModel
 from ..trees.tree import Tree
+from .cascade import operations_threshold
 
 
 @dataclass
@@ -109,14 +110,22 @@ def _run_join(
     algo = _resolve_algorithm(algorithm)
     result = JoinResult(algorithm=algo.name, threshold=threshold, pairs_total=len(pairs))
 
+    # The lower bounds count edit *operations* (unit costs), so the threshold
+    # must be converted into operation-count space before comparing: a model
+    # with operations cheaper than 1 would otherwise prune true matches.
+    # Models without a provable positive per-operation minimum disable the
+    # filter entirely (ops_threshold = inf) — see the soundness rule in
+    # DESIGN.md.
+    ops_threshold = operations_threshold(threshold, resolve_cost_model(cost_model))
+
     start = time.perf_counter()
     for index_a, index_b, tree_a, tree_b in pairs:
-        if use_lower_bound_filter:
+        if use_lower_bound_filter and ops_threshold != float("inf"):
             if cheap_filter_only:
                 bound = float(cheap_lower_bound(tree_a, tree_b))
             else:
                 bound = combined_lower_bound(tree_a, tree_b)
-            if bound >= threshold:
+            if bound >= ops_threshold:
                 result.pairs_filtered += 1
                 continue
 

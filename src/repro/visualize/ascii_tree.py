@@ -8,10 +8,39 @@ it.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..algorithms.edit_mapping import EditMapping
 from ..trees.tree import Tree
+
+
+def _connector_lines(
+    tree: Tree, describe: Callable[[int], str], max_nodes: Optional[int] = None
+) -> Tuple[List[str], bool]:
+    """Box-drawing lines for every node, depth-first and recursion-free.
+
+    The explicit stack carries the indentation prefix of each pending node, so
+    arbitrarily deep trees render at the default interpreter recursion limit.
+    Returns ``(lines, truncated)``.
+    """
+    lines: List[str] = []
+    # stack entries: (node, prefix, is_last, is_root)
+    stack: List[Tuple[int, str, bool, bool]] = [(tree.root, "", True, True)]
+    while stack:
+        if max_nodes is not None and len(lines) >= max_nodes:
+            return lines, True
+        v, prefix, is_last, is_root = stack.pop()
+        if is_root:
+            lines.append(describe(v))
+            child_prefix = ""
+        else:
+            connector = "└── " if is_last else "├── "
+            lines.append(prefix + connector + describe(v))
+            child_prefix = prefix + ("    " if is_last else "│   ")
+        children = tree.children[v]
+        for index in range(len(children) - 1, -1, -1):
+            stack.append((children[index], child_prefix, index == len(children) - 1, False))
+    return lines, False
 
 
 def render_tree(tree: Tree, max_nodes: Optional[int] = None) -> str:
@@ -20,34 +49,9 @@ def render_tree(tree: Tree, max_nodes: Optional[int] = None) -> str:
     ``max_nodes`` truncates the output for very large trees (an ellipsis line
     is appended when truncation happens).
     """
-    lines: List[str] = []
-    truncated = False
-
-    def visit(v: int, prefix: str, is_last: bool, is_root: bool) -> None:
-        nonlocal truncated
-        if max_nodes is not None and len(lines) >= max_nodes:
-            truncated = True
-            return
-        if is_root:
-            lines.append(str(tree.labels[v]))
-            child_prefix = ""
-        else:
-            connector = "└── " if is_last else "├── "
-            lines.append(prefix + connector + str(tree.labels[v]))
-            child_prefix = prefix + ("    " if is_last else "│   ")
-        children = tree.children[v]
-        for index, child in enumerate(children):
-            visit(child, child_prefix, index == len(children) - 1, False)
-
-    import sys
-
-    old_limit = sys.getrecursionlimit()
-    sys.setrecursionlimit(max(old_limit, 10000 + 10 * tree.n))
-    try:
-        visit(tree.root, "", True, True)
-    finally:
-        sys.setrecursionlimit(old_limit)
-
+    lines, truncated = _connector_lines(
+        tree, lambda v: str(tree.labels[v]), max_nodes=max_nodes
+    )
     if truncated:
         lines.append("…")
     return "\n".join(lines)
@@ -56,26 +60,24 @@ def render_tree(tree: Tree, max_nodes: Optional[int] = None) -> str:
 def render_outline(tree: Tree) -> str:
     """Compact one-line outline, e.g. ``a(b, c(d))``."""
     pieces: List[str] = []
-
-    def visit(v: int) -> None:
-        pieces.append(str(tree.labels[v]))
-        children = tree.children[v]
+    # stack entries are node ids to emit, or literal strings to append.
+    stack: List[object] = [tree.root]
+    while stack:
+        item = stack.pop()
+        if isinstance(item, str):
+            pieces.append(item)
+            continue
+        pieces.append(str(tree.labels[item]))
+        children = tree.children[item]
         if children:
             pieces.append("(")
-            for index, child in enumerate(children):
+            stack.append(")")
+            for index in range(len(children) - 1, -1, -1):
                 if index:
-                    pieces.append(", ")
-                visit(child)
-            pieces.append(")")
-
-    import sys
-
-    old_limit = sys.getrecursionlimit()
-    sys.setrecursionlimit(max(old_limit, 10000 + 10 * tree.n))
-    try:
-        visit(tree.root)
-    finally:
-        sys.setrecursionlimit(old_limit)
+                    stack.append(children[index])
+                    stack.append(", ")
+                else:
+                    stack.append(children[index])
     return "".join(pieces)
 
 
@@ -88,8 +90,6 @@ def render_mapping(tree_f: Tree, tree_g: Tree, mapping: EditMapping) -> str:
     match_of: Dict[int, int] = {v: w for v, w in mapping.matches}
     deletions = set(mapping.deletions)
 
-    lines: List[str] = []
-
     def annotate(v: int) -> str:
         if v in deletions:
             return f"{tree_f.labels[v]}  [- delete]"
@@ -100,19 +100,7 @@ def render_mapping(tree_f: Tree, tree_g: Tree, mapping: EditMapping) -> str:
             return f"{tree_f.labels[v]}  [=]"
         return f"{tree_f.labels[v]}  [~ rename to {tree_g.labels[w]!r}]"
 
-    def visit(v: int, prefix: str, is_last: bool, is_root: bool) -> None:
-        if is_root:
-            lines.append(annotate(v))
-            child_prefix = ""
-        else:
-            connector = "└── " if is_last else "├── "
-            lines.append(prefix + connector + annotate(v))
-            child_prefix = prefix + ("    " if is_last else "│   ")
-        children = tree_f.children[v]
-        for index, child in enumerate(children):
-            visit(child, child_prefix, index == len(children) - 1, False)
-
-    visit(tree_f.root, "", True, True)
+    lines, _ = _connector_lines(tree_f, annotate)
 
     if mapping.insertions:
         lines.append("")

@@ -190,3 +190,27 @@ class TestCli:
     def test_generate_random_with_render(self, capsys):
         assert cli_main(["generate", "--shape", "random", "--size", "7", "--render"]) == 0
         assert "{" in capsys.readouterr().out
+
+    def test_join_command(self, tmp_path, capsys):
+        path = tmp_path / "collection.txt"
+        path.write_text("{a{b}{c}}\n{a{b}{d}}\n{x{y{z{w{v}}}}}\n")
+        assert cli_main(["join", f"@{path}", "--threshold", "2", "--stats"]) == 0
+        output = capsys.readouterr().out
+        assert output.splitlines()[0].split("\t")[:2] == ["0", "1"]
+        assert "# matches:" in output and "# pairs total:      3" in output
+
+    def test_join_command_cross_and_no_cascade(self, tmp_path, capsys):
+        path_a = tmp_path / "a.txt"
+        path_b = tmp_path / "b.txt"
+        path_a.write_text("{a{b}}\n")
+        path_b.write_text("{a{c}}\n{a{b}}\n")
+        assert cli_main(
+            ["join", f"@{path_a}", "--other", f"@{path_b}", "--threshold", "1.5",
+             "--no-cascade", "--algorithm", "zhang-l"]
+        ) == 0
+        lines = [line.split("\t") for line in capsys.readouterr().out.splitlines()]
+        assert [line[:2] for line in lines] == [["0", "0"], ["0", "1"]]
+
+    def test_join_requires_file_argument(self):
+        with pytest.raises(SystemExit):
+            cli_main(["join", "{a{b}}", "--threshold", "1"])

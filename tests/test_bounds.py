@@ -20,6 +20,14 @@ from repro.bounds import (
     traversal_string_lower_bound,
     trivial_upper_bound,
 )
+from repro.costs import (
+    CallableCostModel,
+    CostModel,
+    PerLabelCostModel,
+    StringRenameCostModel,
+    UnitCostModel,
+    WeightedCostModel,
+)
 from repro.io import parse_bracket
 from repro.datasets import perturb_tree, random_tree
 
@@ -142,3 +150,52 @@ class TestSandwich:
         # A small perturbation keeps the exact distance small; the upper bound
         # must not be wildly larger than delete-all/insert-all would suggest.
         assert top_down_upper_bound(base, perturbed) < trivial_upper_bound(base, perturbed)
+
+
+class TestSandwichCustomCostModels:
+    """The bound sandwich under non-unit cost models.
+
+    The lower bounds count edit operations, so under a model with cheapest
+    operation ``c = min_operation_cost()`` the sound statement is
+    ``c · ops_bound ≤ exact ≤ upper bound``, with the upper bounds evaluated
+    under the actual model (they are costs of explicit mappings).
+    """
+
+    COST_MODELS = [
+        WeightedCostModel(0.4, 0.4, 0.4),
+        WeightedCostModel(0.25, 1.0, 0.5),
+        WeightedCostModel(2.0, 3.0, 1.5),
+        PerLabelCostModel(
+            delete_costs={"a": 0.2}, default_delete=0.7, default_insert=0.9, rename_cost=0.6
+        ),
+        StringRenameCostModel(),
+    ]
+
+    @pytest.mark.parametrize("cost_model", COST_MODELS, ids=lambda cm: repr(cm)[:40])
+    def test_scaled_sandwich_on_random_pairs(self, cost_model):
+        scale = cost_model.min_operation_cost()
+        assert scale is not None and scale >= 0
+        for tree_f, tree_g in random_tree_pairs(count=20, max_size=14, seed=53):
+            exact = EXACT.distance(tree_f, tree_g, cost_model=cost_model)
+            ops_bound = max(
+                float(cheap_lower_bound(tree_f, tree_g)),
+                combined_lower_bound(tree_f, tree_g),
+            )
+            assert scale * ops_bound <= exact + 1e-9
+            assert exact <= top_down_upper_bound(tree_f, tree_g, cost_model) + 1e-9
+            assert exact <= trivial_upper_bound(tree_f, tree_g, cost_model) + 1e-9
+
+    def test_min_operation_cost_values(self):
+        assert UnitCostModel().min_operation_cost() == 1.0
+        assert WeightedCostModel(0.4, 0.7, 0.9).min_operation_cost() == pytest.approx(0.4)
+        assert (
+            PerLabelCostModel(
+                insert_costs={"x": 0.1}, default_delete=2.0, default_insert=2.0
+            ).min_operation_cost()
+            == pytest.approx(0.1)
+        )
+        assert StringRenameCostModel().min_operation_cost() == 0.0
+        assert CostModel().min_operation_cost() is None
+        assert CallableCostModel(
+            lambda _: 1.0, lambda _: 1.0, lambda a, b: 1.0
+        ).min_operation_cost() is None

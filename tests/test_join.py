@@ -3,6 +3,8 @@
 import pytest
 
 from repro.algorithms import ZhangShashaTED
+from repro.bounds import cheap_lower_bound
+from repro.costs import WeightedCostModel
 from repro.datasets import perturb_tree, random_tree
 from repro.join import similarity_join, similarity_self_join, top_k_closest_pairs
 from repro.io import parse_bracket
@@ -77,6 +79,58 @@ class TestSelfJoin:
     def test_algorithm_instance_accepted(self, collection):
         result = similarity_self_join(collection, threshold=2.0, algorithm=ZhangShashaTED())
         assert result.algorithm == "Zhang-L"
+
+
+class TestFilterCostModelSoundness:
+    """Regression for the headline bug: the lower-bound filter used to compare
+    *unit-cost* bounds against the threshold regardless of the cost model, so
+    with operation costs below 1 it pruned pairs whose true distance beats τ."""
+
+    def test_fractional_costs_do_not_lose_matches(self):
+        tree_a = parse_bracket("{a{b}{c}}")
+        tree_b = parse_bracket("{a}")
+        cm = WeightedCostModel(0.4, 0.4, 0.4)
+        threshold = 1.0
+        # The scenario the pre-fix code provably got wrong: the unit-cost
+        # bound reaches τ, but the true distance under the model is below it.
+        assert cheap_lower_bound(tree_a, tree_b) >= threshold
+        exact = ZhangShashaTED().distance(tree_a, tree_b, cost_model=cm)
+        assert exact == pytest.approx(0.8)
+        assert exact < threshold
+
+        filtered = similarity_self_join(
+            [tree_a, tree_b],
+            threshold=threshold,
+            algorithm="zhang-l",
+            cost_model=cm,
+            use_lower_bound_filter=True,
+        )
+        assert {(i, j) for i, j, _ in filtered.matches} == {(0, 1)}
+
+    def test_fractional_costs_combined_filter(self, collection):
+        cm = WeightedCostModel(0.5, 0.5, 0.5)
+        baseline = similarity_self_join(
+            collection, threshold=2.0, algorithm="zhang-l", cost_model=cm
+        )
+        for cheap_only in (True, False):
+            filtered = similarity_self_join(
+                collection,
+                threshold=2.0,
+                algorithm="zhang-l",
+                cost_model=cm,
+                use_lower_bound_filter=True,
+                cheap_filter_only=cheap_only,
+            )
+            assert {(i, j) for i, j, _ in filtered.matches} == {
+                (i, j) for i, j, _ in baseline.matches
+            }
+
+    def test_unit_costs_still_filter(self):
+        trees = [parse_bracket("{a{b}{c}}"), parse_bracket("{x{y{z{w{v}}}}}")]
+        result = similarity_self_join(
+            trees, threshold=1.0, algorithm="zhang-l", use_lower_bound_filter=True
+        )
+        assert result.pairs_filtered == 1
 
 
 class TestCrossJoin:

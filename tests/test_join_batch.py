@@ -1,0 +1,269 @@
+"""Tests for the corpus-indexed batch join: TreeCorpus, cascade, soundness."""
+
+import itertools
+
+import pytest
+
+from repro.algorithms import ZhangShashaTED
+from repro.bounds import binary_branch_profile
+from repro.costs import (
+    PerLabelCostModel,
+    StringRenameCostModel,
+    UnitCostModel,
+    WeightedCostModel,
+)
+from repro.datasets import clustered_corpus, perturb_tree, random_tree
+from repro.io import parse_bracket
+from repro.join import (
+    TreeCorpus,
+    batch_distances,
+    batch_self_join,
+    batch_similarity_join,
+    branch_candidate_pairs,
+    default_cascade,
+    operations_threshold,
+)
+
+EXACT = ZhangShashaTED()
+
+
+def small_corpus(num=8, size=14, seed=11):
+    trees = []
+    for index in range(num // 2):
+        base = random_tree(size, rng=seed + index)
+        trees.append(base)
+        trees.append(perturb_tree(base, 1 + index % 3, rng=seed + 100 + index))
+    return trees
+
+
+def brute_force_matches(trees_a, threshold, trees_b=None, cost_model=None):
+    if trees_b is None:
+        pairs = itertools.combinations(range(len(trees_a)), 2)
+        lookup = trees_a
+    else:
+        pairs = itertools.product(range(len(trees_a)), range(len(trees_b)))
+        lookup = trees_b
+    return {
+        (i, j)
+        for i, j in pairs
+        if EXACT.distance(trees_a[i], lookup[j], cost_model=cost_model) < threshold
+    }
+
+
+class TestTreeCorpus:
+    def test_profiles_cached_and_correct(self):
+        trees = small_corpus()
+        corpus = TreeCorpus(trees)
+        prof = corpus.profile(0)
+        assert prof.size == trees[0].n
+        assert prof.branch_profile == binary_branch_profile(trees[0])
+        assert sum(prof.label_histogram.values()) == trees[0].n
+        assert corpus.profile(0) is prof  # cached
+
+    def test_container_protocol(self):
+        trees = small_corpus(num=4)
+        corpus = TreeCorpus(trees)
+        assert len(corpus) == 4
+        assert corpus[2] is trees[2]
+        assert list(corpus) == trees
+
+    def test_branch_index_covers_all_profiles(self):
+        corpus = TreeCorpus(small_corpus())
+        index = corpus.branch_index()
+        for prof in corpus.profiles():
+            for branch in prof.branch_profile:
+                assert prof.index in index[branch]
+
+    def test_pq_index_built_lazily(self):
+        corpus = TreeCorpus(small_corpus(num=4))
+        assert corpus.profile(0).pq_profile is None
+        corpus.pq_index()
+        assert corpus.profile(0).pq_profile is not None
+
+
+class TestCandidateGeneration:
+    def test_candidates_are_sound(self):
+        """Every true match must survive index-based candidate generation."""
+        trees = clustered_corpus(num_clusters=5, cluster_size=4, tree_size=10, rng=3)
+        corpus = TreeCorpus(trees)
+        threshold = 4.0
+        candidates, skipped = branch_candidate_pairs(corpus, None, threshold)
+        total = len(trees) * (len(trees) - 1) // 2
+        assert len(candidates) + skipped == total
+        assert brute_force_matches(trees, threshold) <= candidates
+
+    def test_infinite_threshold_yields_all_pairs(self):
+        corpus = TreeCorpus(small_corpus(num=6))
+        candidates, skipped = branch_candidate_pairs(corpus, None, float("inf"))
+        assert skipped == 0
+        assert len(candidates) == 15
+
+    def test_cross_corpus_candidates_sound(self):
+        trees = clustered_corpus(num_clusters=4, cluster_size=4, tree_size=10, rng=9)
+        corpus_a = TreeCorpus(trees[:8])
+        corpus_b = TreeCorpus(trees[8:])
+        threshold = 4.0
+        candidates, _ = branch_candidate_pairs(corpus_a, corpus_b, threshold)
+        assert brute_force_matches(trees[:8], threshold, trees[8:]) <= candidates
+
+    def test_tiny_trees_survive_without_shared_branches(self):
+        # Disjoint profiles, but |F| + |G| < 5·τ_ops: must stay candidates.
+        trees = [parse_bracket("{a}"), parse_bracket("{b{c}}")]
+        candidates, _ = branch_candidate_pairs(TreeCorpus(trees), None, 2.0)
+        assert (0, 1) in candidates
+
+    def test_dense_corpus_blowup_guard_falls_back_to_all_pairs(self):
+        # A tiny shared alphabet makes every posting list nearly full, so the
+        # posting-product guard must fall back to all pairs (still sound).
+        trees = [random_tree(40, alphabet=["x", "y"], rng=i) for i in range(40)]
+        corpus_a, corpus_b = TreeCorpus(trees[:20]), TreeCorpus(trees[20:])
+        index_a, index_b = corpus_a.branch_index(), corpus_b.branch_index()
+        product_work = sum(
+            len(postings) * len(index_b.get(branch, ()))
+            for branch, postings in index_a.items()
+        )
+        assert product_work > 8 * 400  # the guard's trigger condition holds
+        candidates, skipped = branch_candidate_pairs(corpus_a, corpus_b, 3.0)
+        assert len(candidates) == 400 and skipped == 0
+        self_candidates, self_skipped = branch_candidate_pairs(
+            TreeCorpus(trees), None, 3.0
+        )
+        assert len(self_candidates) == 40 * 39 // 2 and self_skipped == 0
+
+
+class TestBatchJoinEquivalence:
+    @pytest.mark.parametrize(
+        "algorithm,engine",
+        [("zhang-l", None), ("zhang-l", "spf"), ("rted", None), ("rted", "spf")],
+    )
+    def test_cascade_on_off_identical_matches(self, algorithm, engine):
+        """Cascade on/off must produce identical match sets for every
+        algorithm/engine combination."""
+        trees = small_corpus()
+        for threshold in (2.0, 4.0, 8.0):
+            on = batch_self_join(trees, threshold, algorithm=algorithm, engine=engine)
+            off = batch_self_join(
+                trees, threshold, algorithm=algorithm, engine=engine, use_cascade=False
+            )
+            assert on.match_set == off.match_set
+            assert on.match_set == brute_force_matches(trees, threshold)
+
+    def test_cross_join_matches_brute_force(self):
+        trees = small_corpus()
+        result = batch_similarity_join(
+            trees[:4], 5.0, corpus_b=trees[4:], algorithm="zhang-l"
+        )
+        assert result.match_set == brute_force_matches(trees[:4], 5.0, trees[4:])
+
+    def test_early_accept_off_reports_exact_distances(self):
+        trees = small_corpus()
+        result = batch_self_join(trees, 6.0, algorithm="zhang-l", early_accept=False)
+        for i, j, distance in result.matches:
+            assert distance == pytest.approx(EXACT.distance(trees[i], trees[j]))
+
+    def test_early_accept_distances_are_valid_upper_bounds(self):
+        trees = small_corpus()
+        result = batch_self_join(trees, 6.0, algorithm="zhang-l")
+        for i, j, distance in result.matches:
+            exact = EXACT.distance(trees[i], trees[j])
+            assert exact <= distance + 1e-9
+            assert distance < 6.0
+
+    def test_stats_accounting(self):
+        trees = small_corpus()
+        result = batch_self_join(trees, 4.0, algorithm="zhang-l")
+        stats = result.stats
+        assert stats.pairs_total == len(trees) * (len(trees) - 1) // 2
+        assert stats.candidate_pairs + stats.index_pruned == stats.pairs_total
+        routed = sum(stats.stage_pruned.values()) + stats.accepted_early + stats.exact_computed
+        assert routed == stats.candidate_pairs
+        assert stats.matches == len(result.matches)
+        assert stats.accepted_early + stats.exact_matched == stats.matches
+        assert 0.0 <= stats.filter_rate <= 1.0
+        assert isinstance(stats.as_dict()["stage_pruned"], dict)
+
+    def test_streaming_progress_callback(self):
+        trees = small_corpus()
+        snapshots = []
+        batch_self_join(
+            trees, 4.0, algorithm="zhang-l", chunk_size=2,
+            progress=lambda stats: snapshots.append(stats.exact_computed),
+        )
+        assert snapshots  # called at least once
+        assert snapshots == sorted(snapshots)  # counters only grow
+
+    def test_approximate_mode_is_subset(self):
+        trees = small_corpus()
+        exact = batch_self_join(trees, 4.0, algorithm="zhang-l")
+        approx = batch_self_join(
+            trees, 4.0, algorithm="zhang-l", approximate=True, pq_gram_cutoff=0.05
+        )
+        assert approx.match_set <= exact.match_set
+
+
+class TestCostModelSoundness:
+    """Acceptance: over ≥200 random pairs the cascade never drops a pair whose
+    exact distance is below τ, for unit and fractional-cost models."""
+
+    COST_MODELS = [
+        UnitCostModel(),
+        WeightedCostModel(0.4, 0.4, 0.4),
+        WeightedCostModel(0.25, 1.0, 0.5),
+        PerLabelCostModel(default_delete=0.3, default_insert=0.3, rename_cost=0.6),
+        StringRenameCostModel(),
+    ]
+
+    @pytest.mark.parametrize("cost_model", COST_MODELS, ids=lambda cm: type(cm).__name__)
+    def test_cascade_never_drops_matches(self, cost_model):
+        trees = [random_tree(4 + (i % 12), rng=1000 + i) for i in range(24)]
+        # 24 trees → 276 pairs ≥ 200, joined at several selectivities.
+        assert len(trees) * (len(trees) - 1) // 2 >= 200
+        for threshold in (1.5, 3.0):
+            expected = brute_force_matches(trees, threshold, cost_model=cost_model)
+            result = batch_self_join(
+                trees, threshold, algorithm="zhang-l", cost_model=cost_model
+            )
+            assert result.match_set == expected
+
+    def test_fractional_model_disables_unscaled_pruning(self):
+        # τ_ops must be τ / min_op_cost, not τ.
+        assert operations_threshold(2.0, WeightedCostModel(0.5, 0.5, 0.5)) == 4.0
+        assert operations_threshold(2.0, UnitCostModel()) == 2.0
+        # No provable positive minimum → filters disabled, not unsound.
+        assert operations_threshold(2.0, StringRenameCostModel()) == float("inf")
+
+    def test_lower_bound_stages_skipped_without_sound_scale(self):
+        trees = small_corpus(num=6)
+        result = batch_self_join(
+            trees, 3.0, algorithm="zhang-l", cost_model=StringRenameCostModel()
+        )
+        for stage in ("size", "label", "traversal-string", "binary-branch"):
+            assert stage not in result.stats.stage_pruned
+
+
+class TestBatchDistances:
+    def test_matches_direct_computation(self):
+        trees = small_corpus(num=6)
+        pairs = [(0, 1), (2, 3), (4, 5), (1, 4)]
+        rows = batch_distances(trees, None, pairs, algorithm="zhang-l")
+        assert [(i, j) for i, j, _, _ in rows] == pairs
+        for i, j, distance, subproblems in rows:
+            assert distance == pytest.approx(EXACT.distance(trees[i], trees[j]))
+            assert subproblems > 0
+
+    def test_multiprocessing_workers_agree_with_serial(self):
+        trees = small_corpus(num=10)
+        pairs = list(itertools.combinations(range(len(trees)), 2))
+        serial = batch_distances(trees, None, pairs, algorithm="zhang-l")
+        fanned = batch_distances(
+            trees, None, pairs, algorithm="zhang-l", workers=2, chunk_size=5
+        )
+        assert sorted(serial) == sorted(fanned)
+
+    def test_join_with_workers_matches_serial(self):
+        trees = clustered_corpus(num_clusters=4, cluster_size=5, tree_size=10, rng=7)
+        serial = batch_self_join(trees, 4.0, algorithm="zhang-l", early_accept=False)
+        fanned = batch_self_join(
+            trees, 4.0, algorithm="zhang-l", early_accept=False, workers=2, chunk_size=3
+        )
+        assert serial.match_set == fanned.match_set
