@@ -42,6 +42,7 @@ from .algorithms import (
     make_algorithm,
     optimal_strategy,
 )
+from .algorithms.workspace import LabelInterner, TedWorkspace
 from .costs import (
     CostModel,
     PerLabelCostModel,
@@ -79,6 +80,8 @@ __all__ = [
     "BatchJoinResult",
     "JoinStats",
     "batch_distances",
+    "TedWorkspace",
+    "LabelInterner",
     # Trees
     "Node",
     "Tree",

@@ -37,6 +37,7 @@ from .optimal_strategy import (
 )
 from .forest_engine import DecompositionEngine
 from .spf import SinglePathContext, spf_A, spf_H, spf_L, spf_R
+from .workspace import LabelInterner, TedWorkspace, WorkspaceTED
 from .gted import GTED, StrategyExecutor
 from .rted import RTED, rted
 from .klein import KleinTED
@@ -89,6 +90,9 @@ __all__ = [
     "spf_H",
     "spf_L",
     "spf_R",
+    "LabelInterner",
+    "TedWorkspace",
+    "WorkspaceTED",
     "GTED",
     "StrategyExecutor",
     "RTED",

@@ -73,12 +73,13 @@ class StrategyExecutor:
         strategy: Strategy,
         cost_model: Optional[CostModel] = None,
         use_numpy: Optional[bool] = None,
+        workspace=None,
     ) -> None:
         self.tree_f = tree_f
         self.tree_g = tree_g
         self.strategy = strategy
         self.context = SinglePathContext(
-            tree_f, tree_g, cost_model=cost_model, use_numpy=use_numpy
+            tree_f, tree_g, cost_model=cost_model, use_numpy=use_numpy, workspace=workspace
         )
         #: Relevant subproblems evaluated, in the paper's currency: keyroot
         #: table cells for left/right steps, chain-steps × |A(other)| for
@@ -164,19 +165,27 @@ def run_engine(
     strategy: Strategy,
     cost_model: Optional[CostModel],
     extra: dict,
+    workspace=None,
 ) -> Tuple[float, int]:
     """Execute a strategy on the resolved engine (shared by GTED and RTED).
 
     Returns ``(distance, subproblems)`` and records engine diagnostics
-    (``rerouted_steps`` for the iterative executor) into ``extra``.
+    (``rerouted_steps`` for the iterative executor) into ``extra``.  The
+    optional :class:`~repro.algorithms.workspace.TedWorkspace` feeds the
+    iterative executor's context from cross-pair caches (the recursive
+    oracle never uses it); its pooled distance matrix is released once the
+    final distance has been read.
     """
     if engine == ENGINE_RECURSIVE:
         from .forest_engine import DecompositionEngine
 
         recursive = DecompositionEngine(tree_f, tree_g, strategy, cost_model=cost_model)
         return recursive.distance(), recursive.subproblems
-    executor = StrategyExecutor(tree_f, tree_g, strategy, cost_model=cost_model)
+    executor = StrategyExecutor(
+        tree_f, tree_g, strategy, cost_model=cost_model, workspace=workspace
+    )
     distance = executor.distance()
+    executor.context.release()
     extra["rerouted_steps"] = executor.rerouted_steps
     return distance, executor.subproblems
 
@@ -202,13 +211,24 @@ class GTED(TEDAlgorithm):
         Execution engine: ``"spf"`` (iterative single-path executor, also the
         ``"auto"`` default) or ``"recursive"`` (the reference decomposition
         engine, kept as a cross-check oracle).
+    workspace:
+        Optional :class:`~repro.algorithms.workspace.TedWorkspace` whose
+        cross-pair caches (frames, cost arrays, interned rename tables,
+        pooled matrices) feed the ``spf`` engine's contexts.  Ignored by the
+        recursive oracle, and bypassed per call when the supplied cost model
+        does not match the workspace's.
     """
 
     def __init__(
-        self, strategy: Strategy, name: Optional[str] = None, engine: str = ENGINE_AUTO
+        self,
+        strategy: Strategy,
+        name: Optional[str] = None,
+        engine: str = ENGINE_AUTO,
+        workspace=None,
     ) -> None:
         self.strategy = strategy
         self.engine = resolve_engine(engine)
+        self.workspace = workspace
         self.name = name if name is not None else f"GTED({strategy.name})"
 
     def compute(
@@ -219,7 +239,8 @@ class GTED(TEDAlgorithm):
         watch.start()
         extra = {"engine": engine}
         distance, subproblems = run_engine(
-            engine, tree_f, tree_g, self.strategy, cost_model, extra
+            engine, tree_f, tree_g, self.strategy, cost_model, extra,
+            workspace=self.workspace,
         )
         return TEDResult(
             distance=distance,

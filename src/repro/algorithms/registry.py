@@ -23,7 +23,8 @@ import inspect
 from typing import Callable, Dict, List, Optional
 
 from ..exceptions import UnknownAlgorithmError, UnknownEngineError
-from .base import ENGINE_AUTO, TEDAlgorithm, resolve_engine
+from .base import ENGINE_AUTO, ENGINE_RECURSIVE, TEDAlgorithm, resolve_engine
+from .workspace import WorkspaceTED
 from .demaine import DemaineTED
 from .gted import GTED
 from .klein import KleinTED
@@ -41,32 +42,36 @@ from .strategies import (
 from .zhang_shasha import ZhangShashaRightTED, ZhangShashaTED
 
 
-def _zhang_l(engine: str = ENGINE_AUTO) -> TEDAlgorithm:
+def _zhang_l(engine: str = ENGINE_AUTO, workspace=None) -> TEDAlgorithm:
     if engine == ENGINE_AUTO:
         return ZhangShashaTED()
-    return GTED(LeftFStrategy(), name=f"Zhang-L[{engine}]", engine=engine)
+    return GTED(LeftFStrategy(), name=f"Zhang-L[{engine}]", engine=engine, workspace=workspace)
 
 
-def _zhang_r(engine: str = ENGINE_AUTO) -> TEDAlgorithm:
+def _zhang_r(engine: str = ENGINE_AUTO, workspace=None) -> TEDAlgorithm:
     if engine == ENGINE_AUTO:
         return ZhangShashaRightTED()
-    return GTED(RightFStrategy(), name=f"Zhang-R[{engine}]", engine=engine)
+    return GTED(RightFStrategy(), name=f"Zhang-R[{engine}]", engine=engine, workspace=workspace)
 
 
-def _klein(engine: str = ENGINE_AUTO) -> TEDAlgorithm:
+def _klein(engine: str = ENGINE_AUTO, workspace=None) -> TEDAlgorithm:
     if engine == ENGINE_AUTO:
         return KleinTED()
-    return GTED(HeavyFStrategy(), name=f"Klein-H[{engine}]", engine=engine)
+    return GTED(HeavyFStrategy(), name=f"Klein-H[{engine}]", engine=engine, workspace=workspace)
 
 
-def _demaine(engine: str = ENGINE_AUTO) -> TEDAlgorithm:
+def _demaine(engine: str = ENGINE_AUTO, workspace=None) -> TEDAlgorithm:
     if engine == ENGINE_AUTO:
         return DemaineTED()
-    return GTED(HeavyLargerStrategy(), name=f"Demaine-H[{engine}]", engine=engine)
+    return GTED(
+        HeavyLargerStrategy(), name=f"Demaine-H[{engine}]", engine=engine, workspace=workspace
+    )
 
 
 _FACTORIES: Dict[str, Callable[..., TEDAlgorithm]] = {
-    "rted": lambda engine=ENGINE_AUTO: RTED(engine=engine),
+    "rted": lambda engine=ENGINE_AUTO, workspace=None: RTED(
+        engine=engine, workspace=workspace
+    ),
     "zhang-l": _zhang_l,
     "zhang-r": _zhang_r,
     "klein-h": _klein,
@@ -74,14 +79,14 @@ _FACTORIES: Dict[str, Callable[..., TEDAlgorithm]] = {
     "simple": SimpleTED,
     # GTED variants that decompose the right-hand tree; mostly of interest for
     # experimentation with the strategy space.
-    "gted-left-g": lambda engine=ENGINE_AUTO: GTED(
-        LeftGStrategy(), name="GTED(left-G)", engine=engine
+    "gted-left-g": lambda engine=ENGINE_AUTO, workspace=None: GTED(
+        LeftGStrategy(), name="GTED(left-G)", engine=engine, workspace=workspace
     ),
-    "gted-right-g": lambda engine=ENGINE_AUTO: GTED(
-        RightGStrategy(), name="GTED(right-G)", engine=engine
+    "gted-right-g": lambda engine=ENGINE_AUTO, workspace=None: GTED(
+        RightGStrategy(), name="GTED(right-G)", engine=engine, workspace=workspace
     ),
-    "gted-heavy-g": lambda engine=ENGINE_AUTO: GTED(
-        HeavyGStrategy(), name="GTED(heavy-G)", engine=engine
+    "gted-heavy-g": lambda engine=ENGINE_AUTO, workspace=None: GTED(
+        HeavyGStrategy(), name="GTED(heavy-G)", engine=engine, workspace=workspace
     ),
 }
 
@@ -107,12 +112,22 @@ def available_algorithms() -> List[str]:
     return sorted(_FACTORIES)
 
 
-def make_algorithm(name: str, engine: Optional[str] = None) -> TEDAlgorithm:
+def make_algorithm(
+    name: str, engine: Optional[str] = None, workspace=None
+) -> TEDAlgorithm:
     """Instantiate an algorithm by (case-insensitive) name or alias.
 
     ``engine`` selects the execution backend for names that support several
     (``"auto"``, ``"recursive"``, ``"spf"``); ``None`` is equivalent to
     ``"auto"`` and always valid.
+
+    ``workspace`` (a :class:`~repro.algorithms.workspace.TedWorkspace`)
+    enables the amortized batch path: factories that support it receive the
+    workspace for their ``spf`` contexts, and the returned algorithm is
+    wrapped in :class:`~repro.algorithms.workspace.WorkspaceTED`, whose
+    unit-cost small-pair fast path short-circuits matching pairs.  The
+    ``recursive`` engine and the ``simple`` oracle are exempt — they stay
+    pure reference implementations.
     """
     key = name.strip().lower()
     key = _ALIASES.get(key, key)
@@ -125,14 +140,24 @@ def make_algorithm(name: str, engine: Optional[str] = None) -> TEDAlgorithm:
     # selector always surfaces as UnknownEngineError, never as a silently
     # ignored keyword.
     resolved = resolve_engine(engine)
-    if "engine" in inspect.signature(factory).parameters:
-        return factory(engine=resolved)
-    if resolved != ENGINE_AUTO:
-        raise UnknownEngineError(
-            f"algorithm {name!r} has a single implementation; "
-            f"engine selection is not supported (got engine={engine!r})"
-        )
-    return factory()
+    parameters = inspect.signature(factory).parameters
+    if resolved == ENGINE_RECURSIVE or key == "simple":
+        workspace = None  # oracles never run amortized
+    if "engine" in parameters:
+        if workspace is not None and "workspace" in parameters:
+            algorithm = factory(engine=resolved, workspace=workspace)
+        else:
+            algorithm = factory(engine=resolved)
+    else:
+        if resolved != ENGINE_AUTO:
+            raise UnknownEngineError(
+                f"algorithm {name!r} has a single implementation; "
+                f"engine selection is not supported (got engine={engine!r})"
+            )
+        algorithm = factory()
+    if workspace is not None:
+        algorithm = WorkspaceTED(algorithm, workspace)
+    return algorithm
 
 
 def register_algorithm(name: str, factory: Callable[..., TEDAlgorithm]) -> None:

@@ -41,12 +41,18 @@ class RTED(TEDAlgorithm):
         Execution engine for the distance phase: ``"spf"`` (iterative
         single-path executor, also the ``"auto"`` default) or ``"recursive"``
         (the reference decomposition engine, kept as a cross-check oracle).
+    workspace:
+        Optional :class:`~repro.algorithms.workspace.TedWorkspace` feeding
+        the ``spf`` engine's contexts from cross-pair caches (batch usage);
+        ignored by the recursive oracle and bypassed for non-matching cost
+        models.
     """
 
     name = "RTED"
 
-    def __init__(self, engine: str = ENGINE_AUTO) -> None:
+    def __init__(self, engine: str = ENGINE_AUTO, workspace=None) -> None:
         self.engine = resolve_engine(engine)
+        self.workspace = workspace
 
     def compute(
         self, tree_f: Tree, tree_g: Tree, cost_model: Optional[CostModel] = None
@@ -61,7 +67,8 @@ class RTED(TEDAlgorithm):
         distance_watch.start()
         extra: dict = {"engine": engine}
         distance, subproblems = run_engine(
-            engine, tree_f, tree_g, strategy_result.strategy, cost_model, extra
+            engine, tree_f, tree_g, strategy_result.strategy, cost_model, extra,
+            workspace=self.workspace,
         )
         distance_time = distance_watch.elapsed()
 

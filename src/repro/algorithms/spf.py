@@ -259,6 +259,16 @@ class SinglePathContext:
     A context is used directly by :func:`spf_L` / :func:`spf_R` for whole
     subtree pairs, and incrementally by the GTED executor which calls
     :meth:`run` once per strategy step with ``spine_only=True``.
+
+    When a :class:`~repro.algorithms.workspace.TedWorkspace` is supplied the
+    per-call setup is delegated to its cross-pair caches: coordinate frames,
+    cost arrays, grid frames and heavy-path equivalences come from the
+    workspace's per-tree caches, the distance matrix is a pooled buffer
+    (returned via :meth:`release`), rename matrices become integer-code
+    gathers from the workspace's alphabet table, and unit-cost workspaces
+    skip rename matrices entirely (the kernels compare code arrays).  A
+    workspace bound to a *different* cost model is ignored — the context
+    falls back to fresh per-call state, which is always correct.
     """
 
     def __init__(
@@ -267,16 +277,25 @@ class SinglePathContext:
         tree_g: Tree,
         cost_model: Optional[CostModel] = None,
         use_numpy: Optional[bool] = None,
+        workspace=None,
     ) -> None:
         self.tree_f = tree_f
         self.tree_g = tree_g
         self.cost_model = resolve_cost_model(cost_model)
+        if workspace is not None and not workspace.matches(self.cost_model):
+            # Silent fallback to fresh per-call state; the bypass is counted
+            # once at the WorkspaceTED layer, not per context.
+            workspace = None
+        self.workspace = workspace
         self.use_numpy = _resolve_use_numpy(use_numpy)
         #: Number of forest-distance cells evaluated (the relevant subproblems).
         self.cells = 0
 
         if self.use_numpy:
-            self.D = _np_kernel.allocate_matrix(tree_f.n, tree_g.n)
+            if workspace is not None:
+                self.D = workspace.acquire_matrix(tree_f.n, tree_g.n)
+            else:
+                self.D = _np_kernel.allocate_matrix(tree_f.n, tree_g.n)
         else:
             self.D = [[nan] * tree_g.n for _ in range(tree_f.n)]
 
@@ -287,6 +306,17 @@ class SinglePathContext:
         self._node_cost_arrays: Dict[Tuple[str, str], List[float]] = {}
         self._kind_equiv: Dict[str, Tuple[List[bool], List[bool]]] = {}
 
+    def release(self) -> None:
+        """Return the pooled distance matrix to the workspace (if any).
+
+        After release the matrix must not be read again — the executor calls
+        this once the final distance has been extracted.  A no-op for
+        contexts without a workspace or without the NumPy matrix.
+        """
+        if self.workspace is not None and self.use_numpy and self.D is not None:
+            self.workspace.release_matrix(self.D)
+            self.D = None
+
     # ------------------------------------------------------------------ #
     # Cached per-frame data
     # ------------------------------------------------------------------ #
@@ -295,7 +325,10 @@ class SinglePathContext:
         frame = self._frames.get(key)
         if frame is None:
             tree = self.tree_f if which == SIDE_F else self.tree_g
-            frame = _Frame(tree, kind)
+            if self.workspace is not None:
+                frame = self.workspace.frame(tree, kind)
+            else:
+                frame = _Frame(tree, kind)
             self._frames[key] = frame
         return frame
 
@@ -304,11 +337,15 @@ class SinglePathContext:
         key = (which, kind, operation)
         costs = self._costs.get(key)
         if costs is None:
-            frame = self._frame(which, kind)
-            fn = self.cost_model.delete if operation == "delete" else self.cost_model.insert
-            costs = [fn(label) for label in frame.labels]
-            if self.use_numpy:
-                costs = _np_kernel.as_array(costs)
+            tree = self.tree_f if which == SIDE_F else self.tree_g
+            if self.workspace is not None:
+                costs = self.workspace.frame_cost_array(tree, kind, operation, self.use_numpy)
+            else:
+                frame = self._frame(which, kind)
+                fn = self.cost_model.delete if operation == "delete" else self.cost_model.insert
+                costs = [fn(label) for label in frame.labels]
+                if self.use_numpy:
+                    costs = _np_kernel.as_array(costs)
             self._costs[key] = costs
         return costs
 
@@ -323,15 +360,39 @@ class SinglePathContext:
         key = (side, kind)
         matrix = self._renames.get(key)
         if matrix is None:
-            if side == SIDE_F:
-                rows, cols = self._frame(SIDE_F, kind), self._frame(SIDE_G, kind)
-                rename = self.cost_model.rename
-            else:
-                rows, cols = self._frame(SIDE_G, kind), self._frame(SIDE_F, kind)
-                rename = lambda a, b: self.cost_model.rename(b, a)  # noqa: E731
-            matrix = _np_kernel.rename_matrix(rows.labels, cols.labels, rename)
+            matrix = self._workspace_rename_matrix(side, kind)
+            if matrix is None:
+                if side == SIDE_F:
+                    rows, cols = self._frame(SIDE_F, kind), self._frame(SIDE_G, kind)
+                    rename = self.cost_model.rename
+                else:
+                    rows, cols = self._frame(SIDE_G, kind), self._frame(SIDE_F, kind)
+                    rename = lambda a, b: self.cost_model.rename(b, a)  # noqa: E731
+                matrix = _np_kernel.rename_matrix(rows.labels, cols.labels, rename)
             self._renames[key] = matrix
         return matrix
+
+    def _workspace_rename_matrix(self, side: str, kind: str):
+        """Rename matrix as an integer-code gather from the workspace's
+        alphabet table (``None`` when interning is unavailable) — the same
+        values :func:`repro.algorithms.spf_numpy.rename_matrix` would produce
+        by calling the cost model, without the per-pair Python calls."""
+        workspace = self.workspace
+        if workspace is None:
+            return None
+        # Intern both trees before sizing the table, so the alphabet covers
+        # every code about to be gathered.
+        codes_f = workspace.frame_codes(self.tree_f, kind, as_numpy=True)
+        codes_g = workspace.frame_codes(self.tree_g, kind, as_numpy=True)
+        if codes_f is None or codes_g is None:
+            return None
+        table = workspace.rename_table()
+        if table is None:
+            return None
+        if side == SIDE_F:
+            return table[codes_f[:, None], codes_g[None, :]]
+        # Swapped orientation: matrix[i, j] = rename(label_F[j], label_G[i]).
+        return table[codes_f[None, :], codes_g[:, None]]
 
     def _node_costs(self, which: str, operation: str) -> List[float]:
         """Per-node removal costs in plain postorder (used by inner paths)."""
@@ -339,8 +400,11 @@ class SinglePathContext:
         costs = self._node_cost_arrays.get(key)
         if costs is None:
             tree = self.tree_f if which == SIDE_F else self.tree_g
-            fn = self.cost_model.delete if operation == "delete" else self.cost_model.insert
-            costs = [fn(label) for label in tree.labels]
+            if self.workspace is not None:
+                costs = self.workspace.node_costs(tree, operation)
+            else:
+                fn = self.cost_model.delete if operation == "delete" else self.cost_model.insert
+                costs = [fn(label) for label in tree.labels]
             self._node_cost_arrays[key] = costs
         return costs
 
@@ -350,12 +414,15 @@ class SinglePathContext:
     _MAX_GRID_FRAMES = 8
 
     def _grid_frame(self, which: str, root: int) -> _GridFrame:
+        # Removing a node of F is a delete, removing a node of G an
+        # insert — the same orientation rule as _node_costs.
+        tree = self.tree_f if which == SIDE_F else self.tree_g
+        if self.workspace is not None:
+            operation = "insert" if which == SIDE_G else "delete"
+            return self.workspace.grid_frame(tree, root, operation)
         key = (which, root)
         frame = self._grids.pop(key, None)
         if frame is None:
-            tree = self.tree_f if which == SIDE_F else self.tree_g
-            # Removing a node of F is a delete, removing a node of G an
-            # insert — the same orientation rule as _node_costs.
             removal = self.cost_model.insert if which == SIDE_G else self.cost_model.delete
             frame = _GridFrame(tree, root, removal)
             if len(self._grids) >= self._MAX_GRID_FRAMES:
@@ -376,6 +443,10 @@ class SinglePathContext:
         cached = self._kind_equiv.get(which)
         if cached is None:
             tree = self.tree_f if which == SIDE_F else self.tree_g
+            if self.workspace is not None:
+                cached = self.workspace.kind_equivalences(tree)
+                self._kind_equiv[which] = cached
+                return cached
             n = tree.n
             eq_left = [True] * n
             eq_right = [True] * n
@@ -440,19 +511,44 @@ class SinglePathContext:
 
         if self.use_numpy:
             base = self.D if side == SIDE_F else self.D.T
-            rename = self._rename_matrix(side, kind)
+            unit_codes = self._unit_codes(dec_which, oth_which, kind, as_numpy=True)
+            rename = None if unit_codes is not None else self._rename_matrix(side, kind)
+            fallback_codes = self._unit_codes(dec_which, oth_which, kind, as_numpy=False)
             cells = _np_kernel.run_regions(
                 dec, oth, dec_keyroots, oth_keyroots, del_costs, ins_costs, rename, base,
-                fallback=self._region_kernel_py(side, dec, oth, del_costs, ins_costs),
+                fallback=self._region_kernel_py(
+                    side, dec, oth, del_costs, ins_costs, fallback_codes
+                ),
+                unit_codes=unit_codes,
             )
         else:
-            kernel = self._region_kernel_py(side, dec, oth, del_costs, ins_costs)
+            unit_codes = self._unit_codes(dec_which, oth_which, kind, as_numpy=False)
+            kernel = self._region_kernel_py(side, dec, oth, del_costs, ins_costs, unit_codes)
             cells = 0
             for kf in dec_keyroots:
                 for kg in oth_keyroots:
                     cells += kernel(kf, kg)
         self.cells += cells
         return float(self.D[v][w])
+
+    def _unit_codes(self, dec_which: str, oth_which: str, kind: str, as_numpy: bool):
+        """Interned frame-order code arrays for the unit-cost kernel paths.
+
+        Only unit-cost workspaces qualify (the specialization folds delete /
+        insert costs to 1 and replaces the rename term with a code equality
+        compare); returns ``None`` otherwise, which selects the general
+        kernels.
+        """
+        workspace = self.workspace
+        if workspace is None or not workspace.unit_cost:
+            return None
+        dec_tree = self.tree_f if dec_which == SIDE_F else self.tree_g
+        oth_tree = self.tree_f if oth_which == SIDE_F else self.tree_g
+        dec_codes = workspace.frame_codes(dec_tree, kind, as_numpy=as_numpy)
+        oth_codes = workspace.frame_codes(oth_tree, kind, as_numpy=as_numpy)
+        if dec_codes is None or oth_codes is None:
+            return None
+        return (dec_codes, oth_codes)
 
     # ------------------------------------------------------------------ #
     # Inner (heavy / arbitrary) paths
@@ -729,13 +825,17 @@ class SinglePathContext:
         oth: _Frame,
         del_costs: List[float],
         ins_costs: List[float],
+        unit_codes=None,
     ) -> Callable[[int, int], int]:
         """Bind the pure-Python region kernel to one orientation.
 
         The returned callable fills a single keyroot-pair table; it is both
         the pure-Python execution path and the small-region fallback of the
         NumPy kernel (whose per-region setup overhead would dominate the many
-        tiny tables produced by branchy trees).
+        tiny tables produced by branchy trees).  With ``unit_codes`` (a pair
+        of frame-order code lists, unit-cost workspaces only) the bound
+        kernel is the unit specialization: delete/insert constant-folded to
+        1 and the rename term a code equality compare.
         """
         D = self.D
         to_post_dec = dec.to_post
@@ -761,6 +861,17 @@ class SinglePathContext:
 
             def write(node_post: int, col_post: int, value: float) -> None:
                 D[col_post][node_post] = value
+
+        if unit_codes is not None:
+            codes_dec, codes_oth = unit_codes
+
+            def kernel(kf: int, kg: int) -> int:
+                return _region_py_unit(
+                    dec, oth, kf, kg, codes_dec, codes_oth,
+                    to_post_dec, to_post_oth, read_row, write,
+                )
+
+            return kernel
 
         def kernel(kf: int, kg: int) -> int:
             return _region_py(
@@ -839,6 +950,72 @@ def _region_py(
     return (rows - 1) * (cols - 1)
 
 
+def _region_py_unit(
+    dec: _Frame,
+    oth: _Frame,
+    kf: int,
+    kg: int,
+    codes_dec: List[int],
+    codes_oth: List[int],
+    to_post_dec: List[int],
+    to_post_oth: List[int],
+    read_row: Callable[[int, List[int]], List[float]],
+    write: Callable[[int, int, float], None],
+) -> int:
+    """Unit-cost specialization of :func:`_region_py`.
+
+    Delete and insert costs are constant-folded to 1 (so the table borders
+    are plain index counts) and the rename term is an integer code equality
+    compare instead of a cost-model call.  Every intermediate value is an
+    integer-valued float64, evaluated exactly, so the produced distances are
+    bit-identical to the general kernels under the unit cost model.
+    """
+    lml_f, lml_g = dec.lml, oth.lml
+    lf, lg = lml_f[kf], lml_g[kg]
+    rows = kf - lf + 2
+    cols = kg - lg + 2
+
+    col_posts = to_post_oth[lg : kg + 1]
+
+    fd: List[List[float]] = [[0.0] * cols for _ in range(rows)]
+    for i in range(1, rows):
+        fd[i][0] = float(i)
+    first_row = fd[0]
+    for j in range(1, cols):
+        first_row[j] = float(j)
+
+    for i in range(1, rows):
+        node_f = lf + i - 1
+        spans_f = lml_f[node_f] == lf
+        code_f = codes_dec[node_f]
+        node_f_post = to_post_dec[node_f]
+        prev = fd[i - 1]
+        row = fd[i]
+        split_row = fd[lml_f[node_f] - lf]
+        dist_row = None if spans_f else read_row(node_f_post, col_posts)
+        for j in range(1, cols):
+            node_g = lg + j - 1
+            best = prev[j] + 1.0
+            candidate = row[j - 1] + 1.0
+            if candidate < best:
+                best = candidate
+            if spans_f and lml_g[node_g] == lg:
+                candidate = prev[j - 1] + (0.0 if code_f == codes_oth[node_g] else 1.0)
+                if candidate < best:
+                    best = candidate
+                row[j] = best
+                write(node_f_post, col_posts[j - 1], best)
+            else:
+                if dist_row is None:
+                    dist_row = read_row(node_f_post, col_posts)
+                candidate = split_row[lml_g[node_g] - lg] + dist_row[j - 1]
+                if candidate < best:
+                    best = candidate
+                row[j] = best
+
+    return (rows - 1) * (cols - 1)
+
+
 # --------------------------------------------------------------------------- #
 # Public single-path functions
 # --------------------------------------------------------------------------- #
@@ -849,6 +1026,7 @@ def spf_L(
     w: Optional[int] = None,
     cost_model: Optional[CostModel] = None,
     use_numpy: Optional[bool] = None,
+    workspace=None,
 ) -> float:
     """Tree edit distance via the iterative left-path single-path function.
 
@@ -857,8 +1035,14 @@ def spf_L(
     iterative keyroot tables: no recursion is involved, so arbitrarily deep
     trees are handled without touching the interpreter recursion limit.
     """
-    context = SinglePathContext(tree_f, tree_g, cost_model=cost_model, use_numpy=use_numpy)
-    return context.run(SIDE_F, LEFT, tree_f.root if v is None else v, tree_g.root if w is None else w)
+    context = SinglePathContext(
+        tree_f, tree_g, cost_model=cost_model, use_numpy=use_numpy, workspace=workspace
+    )
+    distance = context.run(
+        SIDE_F, LEFT, tree_f.root if v is None else v, tree_g.root if w is None else w
+    )
+    context.release()
+    return distance
 
 
 def spf_R(
@@ -868,14 +1052,21 @@ def spf_R(
     w: Optional[int] = None,
     cost_model: Optional[CostModel] = None,
     use_numpy: Optional[bool] = None,
+    workspace=None,
 ) -> float:
     """Tree edit distance via the iterative right-path single-path function.
 
     The mirror image of :func:`spf_L` (the strategy of Zhang-R), executed in
     reverse-postorder coordinates instead of on mirrored tree copies.
     """
-    context = SinglePathContext(tree_f, tree_g, cost_model=cost_model, use_numpy=use_numpy)
-    return context.run(SIDE_F, RIGHT, tree_f.root if v is None else v, tree_g.root if w is None else w)
+    context = SinglePathContext(
+        tree_f, tree_g, cost_model=cost_model, use_numpy=use_numpy, workspace=workspace
+    )
+    distance = context.run(
+        SIDE_F, RIGHT, tree_f.root if v is None else v, tree_g.root if w is None else w
+    )
+    context.release()
+    return distance
 
 
 def spf_H(
@@ -885,6 +1076,7 @@ def spf_H(
     w: Optional[int] = None,
     cost_model: Optional[CostModel] = None,
     use_numpy: Optional[bool] = None,
+    workspace=None,
 ) -> float:
     """Tree edit distance via the iterative heavy-path single-path function.
 
@@ -895,7 +1087,10 @@ def spf_H(
     arbitrarily deep trees are handled without touching the interpreter
     recursion limit.
     """
-    return spf_A(tree_f, tree_g, HEAVY, v=v, w=w, cost_model=cost_model, use_numpy=use_numpy)
+    return spf_A(
+        tree_f, tree_g, HEAVY, v=v, w=w, cost_model=cost_model,
+        use_numpy=use_numpy, workspace=workspace,
+    )
 
 
 def spf_A(
@@ -906,6 +1101,7 @@ def spf_A(
     w: Optional[int] = None,
     cost_model: Optional[CostModel] = None,
     use_numpy: Optional[bool] = None,
+    workspace=None,
 ) -> float:
     """Tree edit distance via the general inner-path single-path function.
 
@@ -915,7 +1111,11 @@ def spf_A(
     (slower, fully general) cross-check twin of :func:`spf_L` /
     :func:`spf_R`; for heavy paths it is the production implementation.
     """
-    context = SinglePathContext(tree_f, tree_g, cost_model=cost_model, use_numpy=use_numpy)
-    return context.run_inner(
+    context = SinglePathContext(
+        tree_f, tree_g, cost_model=cost_model, use_numpy=use_numpy, workspace=workspace
+    )
+    distance = context.run_inner(
         SIDE_F, kind, tree_f.root if v is None else v, tree_g.root if w is None else w
     )
+    context.release()
+    return distance

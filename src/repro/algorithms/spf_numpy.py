@@ -19,7 +19,8 @@ is the decomposed tree — the caller passes ``D`` itself or its transposed
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Sequence
+import os
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -90,11 +91,25 @@ def _frame_arrays(frame) -> Dict[str, np.ndarray]:
     return arrays
 
 
+def _env_int(name: str, default: int) -> int:
+    """Integer environment override; malformed values fall back to the default."""
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    try:
+        return max(2, int(raw))
+    except ValueError:
+        return default
+
+
 #: Minimum region width (columns) for the vectorized kernel.  Rows are swept
 #: with ``O(cols)`` array operations whose fixed overhead (~a dozen ufunc
 #: dispatches) only pays off for wide tables; narrow regions — the vast
 #: majority on branchy trees — run faster through the scalar fallback kernel.
-MIN_VECTOR_COLS = 16
+#: The default is set from ``benchmarks/bench_vector_cols.py`` (see the
+#: rationale in ``DESIGN.md``); override with ``RTED_MIN_VECTOR_COLS`` for
+#: hardware where the crossover sits elsewhere.
+MIN_VECTOR_COLS = _env_int("RTED_MIN_VECTOR_COLS", 16)
 
 
 def run_regions(
@@ -104,16 +119,20 @@ def run_regions(
     oth_keyroots: List[int],
     del_costs: np.ndarray,
     ins_costs: np.ndarray,
-    rename: np.ndarray,
+    rename: Optional[np.ndarray],
     base: np.ndarray,
     fallback: Callable[[int, int], int],
+    unit_codes: Optional[Tuple[np.ndarray, np.ndarray]] = None,
 ) -> int:
     """Fill every keyroot-pair table of the given keyroot lists.
 
     Wide tables are swept with the vectorized row kernel; tables narrower
     than :data:`MIN_VECTOR_COLS` are delegated to ``fallback`` (the bound
-    pure-Python kernel).  Returns the number of forest-distance cells
-    evaluated.
+    pure-Python kernel).  With ``unit_codes`` — frame-order integer label
+    codes of the decomposed / other tree, unit-cost workspaces only — the
+    row sweep runs the unit specialization: ``rename`` may be ``None`` (no
+    rename matrix is ever built) and delete/insert costs are constant-folded
+    to 1.  Returns the number of forest-distance cells evaluated.
     """
     oth_arrays = _frame_arrays(oth)
     dec_arrays = _frame_arrays(dec)
@@ -126,10 +145,23 @@ def run_regions(
                 cells += _region(
                     dec, oth, kf, kg, del_costs, ins_costs, rename, base,
                     dec_arrays["to_post"], oth_arrays["to_post"], oth_arrays["lml"],
+                    unit_codes,
                 )
             else:
                 cells += fallback(kf, kg)
     return cells
+
+
+#: Cached ``[0.0, 1.0, 2.0, ...]`` prefix for the unit-cost specialization:
+#: with all insert costs 1 the cumulative-cost vector is just the index.
+_UNIT_PREFIX = np.arange(64, dtype=np.float64)
+
+
+def _unit_prefix(cols: int) -> np.ndarray:
+    global _UNIT_PREFIX
+    if cols > _UNIT_PREFIX.size:
+        _UNIT_PREFIX = np.arange(2 * cols, dtype=np.float64)
+    return _UNIT_PREFIX[:cols]
 
 
 def _region(
@@ -139,23 +171,37 @@ def _region(
     kg: int,
     del_costs: np.ndarray,
     ins_costs: np.ndarray,
-    rename: np.ndarray,
+    rename: Optional[np.ndarray],
     base: np.ndarray,
     to_post_f: np.ndarray,
     to_post_g: np.ndarray,
     lml_g_array: np.ndarray,
+    unit_codes: Optional[Tuple[np.ndarray, np.ndarray]] = None,
 ) -> int:
-    """One keyroot-pair forest-distance table, swept row-by-row."""
+    """One keyroot-pair forest-distance table, swept row-by-row.
+
+    In unit mode (``unit_codes`` given) no rename matrix exists: the rename
+    candidate of a spanning row is ``previous + (codes_g != code_f)`` — a
+    code-array equality compare — and the delete/insert costs are the
+    constant 1, so the cumulative-cost vector is a cached ``arange``.  All
+    unit-mode arithmetic is integer-valued float64 and therefore exact,
+    keeping the result bit-identical to the general path.
+    """
     lml_f = dec.lml
     lf = lml_f[kf]
     lg = oth.lml[kg]
     rows = kf - lf + 2
     cols = kg - lg + 2
 
-    inserts = ins_costs[lg : kg + 1]
-    cumulative = np.empty(cols, dtype=np.float64)
-    cumulative[0] = 0.0
-    np.cumsum(inserts, out=cumulative[1:])
+    if unit_codes is not None:
+        codes_f_region = unit_codes[0]
+        codes_g_region = unit_codes[1][lg : kg + 1]
+        cumulative = _unit_prefix(cols)
+    else:
+        inserts = ins_costs[lg : kg + 1]
+        cumulative = np.empty(cols, dtype=np.float64)
+        cumulative[0] = 0.0
+        np.cumsum(inserts, out=cumulative[1:])
 
     lml_g_region = lml_g_array[lg : kg + 1]
     spans_g = lml_g_region == lg
@@ -167,19 +213,19 @@ def _region(
     # *written* by this region (spine × spanning) are never read by it, so the
     # snapshot cannot go stale; their NaNs are masked out below.
     tree_dists = base[row_posts[:, None], col_posts[None, :]]
-    rename_block = rename[lf : kf + 1, lg : kg + 1]
+    rename_block = None if unit_codes is not None else rename[lf : kf + 1, lg : kg + 1]
     write_cols = col_posts[spans_g]
 
     fd = np.empty((rows, cols), dtype=np.float64)
     fd[0] = cumulative
-    deletes = del_costs[lf : kf + 1]
+    deletes = None if unit_codes is not None else del_costs[lf : kf + 1]
     special = np.empty(cols - 1, dtype=np.float64)
     spanning = np.empty(cols - 1, dtype=np.float64)
 
     for i in range(1, rows):
         node_f = lf + i - 1
         previous = fd[i - 1]
-        delete_cost = deletes[i - 1]
+        delete_cost = 1.0 if deletes is None else deletes[i - 1]
         spans_f = lml_f[node_f] == lf
 
         # Candidate 3 of the recurrence: forest split (read-back of final
@@ -188,7 +234,10 @@ def _region(
         np.take(split_row, split_cols, out=special)
         special += tree_dists[i - 1]
         if spans_f:
-            np.add(previous[:-1], rename_block[i - 1], out=spanning)
+            if unit_codes is not None:
+                np.add(previous[:-1], codes_g_region != codes_f_region[node_f], out=spanning)
+            else:
+                np.add(previous[:-1], rename_block[i - 1], out=spanning)
             np.copyto(special, spanning, where=spans_g)
 
         # t[j] = min(delete, special); then the insert candidate couples the

@@ -1,0 +1,607 @@
+"""Amortized execution layer: reusable workspaces and corpus-level interning.
+
+At corpus scale (similarity joins, one-vs-many queries, batch verification)
+the exact TED spends much of its time *outside* the forest-distance
+recurrence: every per-pair context rebuilds the coordinate frames, evaluates
+the cost-model callables into per-node arrays and dense rename matrices, and
+allocates a fresh NaN-initialized distance matrix.  All of that work depends
+only on a *single tree* (frames, cost arrays), on the *label alphabet*
+(rename tables) or on nothing at all (matrix buffers) — so a batch of pairs
+over a corpus can pay for it once instead of once per pair.
+
+:class:`TedWorkspace` is that shared state:
+
+* **per-tree caches** — :class:`~repro.algorithms.spf._Frame` coordinate
+  views, per-frame delete/insert cost arrays, postorder node-cost arrays,
+  heavy-path equivalence flags and boundary-grid frames, all keyed on tree
+  identity so repeated trees (self-joins, one-vs-many) never recompute them;
+* **corpus-level label interning** — a shared :class:`LabelInterner` turns
+  labels into dense integer codes; delete/insert/rename costs collapse into
+  alphabet-sized tables evaluated once per (interner, cost model), and
+  per-pair rename matrices become integer-code gathers instead of Python
+  cost-model calls;
+* **a pooled matrix allocator** — size-classed float64 buffers recycled
+  across pairs, so the dense ``n × m`` distance matrix stops being a per-pair
+  allocation;
+* **a unit-cost fast path** — under the exact
+  :class:`~repro.costs.UnitCostModel` the rename matrix is never built at all
+  (kernels compare code arrays directly) and small pairs run through a flat
+  single-function keyroot program (:meth:`TedWorkspace.compute_small`) that
+  skips the strategy executor entirely.
+
+Soundness / invalidation rule
+-----------------------------
+Every cached cost quantity (cost arrays, grid frames, the alphabet tables)
+is derived from the workspace's cost model, so a workspace is **permanently
+bound** to the cost model it was created with: :meth:`TedWorkspace.matches`
+is the guard, :class:`WorkspaceTED` silently bypasses the workspace for
+non-matching models (falling back to a fresh per-pair context — correct,
+just not amortized), and the batch layer raises
+:class:`~repro.exceptions.WorkspaceError` when an explicitly supplied
+workspace disagrees with the join's cost model.  To switch cost models,
+create a new workspace; the label interner (which is cost-independent) can be
+shared between them.  Cost models must be pure functions of their label
+arguments — the same assumption the per-pair rename-matrix interning in
+:func:`repro.algorithms.spf_numpy.rename_matrix` already makes.
+
+Bit-identity
+------------
+Workspace reuse never changes numerics: cached arrays hold exactly the
+values a fresh context would recompute, kernel selection is unchanged, and
+the unit-cost specializations only ever produce integer-valued float64
+arithmetic (which every kernel evaluates exactly), so batch results are
+bit-identical to fresh-context runs — the property-based test suite asserts
+this with exact equality.
+"""
+
+from __future__ import annotations
+
+from math import nan
+from typing import Dict, List, Optional, Tuple
+
+from ..costs import CostModel, UnitCostModel
+from ..exceptions import WorkspaceError
+from ..trees.tree import LEFT, RIGHT, Tree
+from .base import Stopwatch, TEDAlgorithm, TEDResult, resolve_cost_model
+from .spf import _Frame, _GridFrame, _resolve_use_numpy
+
+try:  # Optional accelerator, mirroring repro.algorithms.spf's import split.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised only without numpy
+    _np = None
+
+
+class LabelInterner:
+    """A growable corpus-level label dictionary: label → dense integer code.
+
+    One interner can serve any number of trees, corpora and workspaces; codes
+    are stable for the interner's lifetime (the dictionary only grows), so
+    per-tree code arrays and alphabet-sized cost tables keyed on an interner
+    stay valid as new trees arrive.  Trees with unhashable labels cannot be
+    interned; :meth:`codes_postorder` reports them as ``None`` and callers
+    fall back to the label-based paths.
+    """
+
+    def __init__(self) -> None:
+        self._code_of: Dict[object, int] = {}
+        self.labels: List[object] = []
+        #: Cached postorder code arrays keyed on tree identity.  The tree is
+        #: kept in the value so its ``id()`` cannot be recycled while cached.
+        self._tree_codes: Dict[int, Tuple[Tree, Optional[List[int]]]] = {}
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+    def code(self, label: object) -> int:
+        """The (possibly new) integer code of ``label``.
+
+        Raises ``TypeError`` for unhashable labels *and* for labels whose
+        equality is non-reflexive (``label != label``, e.g. a NaN): dict
+        lookup would equate such a label with itself by identity while the
+        cost models compare with ``==``, so code equality would no longer
+        agree with label equality and the unit-cost kernels would charge the
+        wrong rename cost.  Callers treat the exception as "interning
+        unavailable" and fall back to the label-based paths.
+        """
+        try:
+            reflexive = bool(label == label)
+        except Exception:  # e.g. array-valued comparisons
+            reflexive = False
+        if not reflexive:
+            raise TypeError("cannot intern a label with non-reflexive equality")
+        code = self._code_of.get(label)
+        if code is None:
+            code = self._code_of.setdefault(label, len(self._code_of))
+            if code == len(self.labels):
+                self.labels.append(label)
+        return code
+
+    #: Bound on the per-tree code-array cache; beyond it the cache resets (a
+    #: pure cache — only amortization is lost, the code dictionary itself
+    #: never shrinks, so codes stay stable).
+    _MAX_CACHED_TREES = 4096
+
+    def codes_postorder(self, tree: Tree) -> Optional[List[int]]:
+        """Per-node label codes in postorder, or ``None`` for unhashable labels."""
+        cached = self._tree_codes.get(id(tree))
+        if cached is not None:
+            return cached[1]
+        if len(self._tree_codes) >= self._MAX_CACHED_TREES:
+            self._tree_codes.clear()
+        try:
+            codes: Optional[List[int]] = [self.code(label) for label in tree.labels]
+        except TypeError:
+            codes = None
+        self._tree_codes[id(tree)] = (tree, codes)
+        return codes
+
+
+class WorkspaceStats:
+    """Counters describing how much work the workspace amortized."""
+
+    __slots__ = (
+        "frame_hits",
+        "frame_misses",
+        "matrices_pooled",
+        "matrices_allocated",
+        "small_pair_runs",
+        "bypasses",
+    )
+
+    def __init__(self) -> None:
+        self.frame_hits = 0
+        self.frame_misses = 0
+        self.matrices_pooled = 0
+        self.matrices_allocated = 0
+        self.small_pair_runs = 0
+        self.bypasses = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+#: Largest alphabet for which the dense rename table is built; beyond it the
+#: K×K table would dominate the pairwise matrices it replaces and the
+#: per-pair interning of :func:`repro.algorithms.spf_numpy.rename_matrix`
+#: takes over.
+MAX_DENSE_ALPHABET = 2048
+
+#: Largest tree size (both sides) routed through the flat unit-cost
+#: small-pair kernel.  Above it the region kernels (with their NumPy row
+#: sweeps) win; below it the executor/task machinery dominates the actual DP.
+SMALL_PAIR_CUTOFF = 64
+
+
+class TedWorkspace:
+    """Reusable cross-pair state for batch tree edit distance computation.
+
+    Parameters
+    ----------
+    cost_model:
+        The cost model this workspace is bound to (``None`` → unit costs).
+        See the module docstring for the invalidation rule.
+    interner:
+        Optional shared :class:`LabelInterner` (e.g.
+        :meth:`repro.join.corpus.TreeCorpus.interner`); a private one is
+        created when omitted.
+    use_numpy:
+        Kernel selection, identical semantics to
+        :class:`~repro.algorithms.spf.SinglePathContext`.
+    small_pair_cutoff:
+        Largest tree size handled by the unit-cost small-pair kernel.
+
+    A workspace is not thread-safe; share it across pairs, not across
+    threads.  Memory is proportional to the number of distinct trees touched
+    (a few O(n) arrays per tree), bounded by a generation reset: once
+    :data:`_MAX_CACHED_TREES` distinct trees are cached the per-tree caches
+    are dropped wholesale and repopulate from the current working set (the
+    interner's code *dictionary* is never reset, so codes stay stable in
+    long-lived services).  :meth:`clear` drops everything explicitly.
+    """
+
+    _MAX_GRID_FRAMES = 64
+    _MAX_POOLED_BUFFERS = 8
+    _MAX_CACHED_TREES = 4096
+
+    def __init__(
+        self,
+        cost_model: Optional[CostModel] = None,
+        interner: Optional[LabelInterner] = None,
+        use_numpy: Optional[bool] = None,
+        small_pair_cutoff: int = SMALL_PAIR_CUTOFF,
+    ) -> None:
+        self.cost_model = resolve_cost_model(cost_model)
+        self.unit_cost = type(self.cost_model) is UnitCostModel
+        self.interner = interner if interner is not None else LabelInterner()
+        self.use_numpy = _resolve_use_numpy(use_numpy)
+        self.small_pair_cutoff = small_pair_cutoff
+        self.stats = WorkspaceStats()
+
+        # Per-tree caches, keyed on id(tree); every value tuple starts with
+        # the tree itself so the id cannot be recycled while cached.
+        self._frames: Dict[Tuple[int, str], Tuple[Tree, _Frame]] = {}
+        self._frame_costs: Dict[Tuple[int, str, str, bool], Tuple[Tree, object]] = {}
+        self._frame_codes: Dict[Tuple[int, str, bool], Tuple[Tree, object]] = {}
+        self._node_costs: Dict[Tuple[int, str], Tuple[Tree, List[float]]] = {}
+        self._kind_equiv: Dict[int, Tuple[Tree, Tuple[List[bool], List[bool]]]] = {}
+        self._grids: Dict[Tuple[int, int, str], Tuple[Tree, _GridFrame]] = {}
+        self._small: Dict[int, Tuple[Tree, Optional[tuple]]] = {}
+        #: Distinct trees currently covered by the caches (generation bound).
+        self._seen_trees: Dict[int, Tree] = {}
+
+        # Alphabet-sized cost tables (lazily built, grown with the interner).
+        self._delete_table = None
+        self._insert_table = None
+        self._rename_table = None
+
+        # Pooled float64 buffers for dense distance matrices, keyed by
+        # power-of-two capacity class.
+        self._matrix_pool: Dict[int, List[object]] = {}
+        # Reusable flat distance buffer + forest-distance rows for the
+        # small-pair kernel.
+        self._small_D: List[float] = []
+        self._small_fd: List[List[float]] = []
+
+    # ------------------------------------------------------------------ #
+    # Cost-model binding
+    # ------------------------------------------------------------------ #
+    def matches(self, cost_model: Optional[CostModel]) -> bool:
+        """``True`` when ``cost_model`` resolves to this workspace's model."""
+        resolved = resolve_cost_model(cost_model)
+        if resolved is self.cost_model:
+            return True
+        return self.unit_cost and type(resolved) is UnitCostModel
+
+    def require(self, cost_model: Optional[CostModel]) -> None:
+        """Raise :class:`WorkspaceError` unless :meth:`matches` holds."""
+        if not self.matches(cost_model):
+            raise WorkspaceError(
+                "workspace is bound to a different cost model; cached cost "
+                "tables are only valid for the model the workspace was "
+                "created with — create a new TedWorkspace for the new model"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Per-tree caches (the SinglePathContext delegation targets)
+    # ------------------------------------------------------------------ #
+    def _admit(self, tree: Tree) -> None:
+        """Generation reset: drop the per-tree caches once they cover
+        :data:`_MAX_CACHED_TREES` distinct trees, so a long-lived workspace
+        (one-vs-many services) cannot grow without bound.  Purely a cache
+        reset — in-flight contexts keep their own references, and the next
+        access repopulates from the current working set."""
+        if id(tree) not in self._seen_trees:
+            if len(self._seen_trees) >= self._MAX_CACHED_TREES:
+                self._frames.clear()
+                self._frame_costs.clear()
+                self._frame_codes.clear()
+                self._node_costs.clear()
+                self._kind_equiv.clear()
+                self._grids.clear()
+                self._small.clear()
+                self._seen_trees.clear()
+            self._seen_trees[id(tree)] = tree
+
+    def frame(self, tree: Tree, kind: str) -> _Frame:
+        """Cached coordinate frame for ``(tree, kind)``."""
+        self._admit(tree)
+        key = (id(tree), kind)
+        cached = self._frames.get(key)
+        if cached is not None:
+            self.stats.frame_hits += 1
+            return cached[1]
+        self.stats.frame_misses += 1
+        frame = _Frame(tree, kind)
+        self._frames[key] = (tree, frame)
+        return frame
+
+    def frame_cost_array(
+        self, tree: Tree, kind: str, operation: str, as_numpy: bool
+    ):
+        """Cached per-frame-id node costs (``"delete"`` or ``"insert"``)."""
+        key = (id(tree), kind, operation, as_numpy)
+        cached = self._frame_costs.get(key)
+        if cached is not None:
+            return cached[1]
+        frame = self.frame(tree, kind)
+        # Intern this tree's labels *before* fetching the table, so the table
+        # covers any codes the tree just added to the alphabet.
+        codes = self.frame_codes(tree, kind, as_numpy=False)
+        table = self._cost_table(operation)
+        if table is not None and codes is not None:
+            costs: object = [table[c] for c in codes]
+        else:
+            fn = self.cost_model.delete if operation == "delete" else self.cost_model.insert
+            costs = [fn(label) for label in frame.labels]
+        if as_numpy:
+            costs = _np.asarray(costs, dtype=_np.float64)
+        self._frame_costs[key] = (tree, costs)
+        return costs
+
+    def frame_codes(self, tree: Tree, kind: str, as_numpy: bool):
+        """Interned label codes in frame order, or ``None`` (unhashable labels)."""
+        key = (id(tree), kind, as_numpy)
+        cached = self._frame_codes.get(key)
+        if cached is not None:
+            return cached[1]
+        post_codes = self.interner.codes_postorder(tree)
+        if post_codes is None:
+            codes: object = None
+        elif kind == LEFT:
+            codes = list(post_codes)
+        else:
+            codes = [post_codes[p] for p in tree.post_of_rpost()]
+        if codes is not None and as_numpy:
+            codes = _np.asarray(codes, dtype=_np.intp)
+        self._frame_codes[key] = (tree, codes)
+        return codes
+
+    def node_costs(self, tree: Tree, operation: str) -> List[float]:
+        """Cached per-node removal costs in plain postorder (inner paths)."""
+        self._admit(tree)
+        key = (id(tree), operation)
+        cached = self._node_costs.get(key)
+        if cached is not None:
+            return cached[1]
+        fn = self.cost_model.delete if operation == "delete" else self.cost_model.insert
+        costs = [fn(label) for label in tree.labels]
+        self._node_costs[key] = (tree, costs)
+        return costs
+
+    def kind_equivalences(self, tree: Tree) -> Tuple[List[bool], List[bool]]:
+        """Cached heavy≡left / heavy≡right per-node flags (see spf)."""
+        self._admit(tree)
+        cached = self._kind_equiv.get(id(tree))
+        if cached is not None:
+            return cached[1]
+        n = tree.n
+        eq_left = [True] * n
+        eq_right = [True] * n
+        heavy = tree.heavy_child
+        children = tree.children
+        for v in range(n):
+            kids = children[v]
+            if kids:
+                h = heavy[v]
+                eq_left[v] = h == kids[0] and eq_left[h]
+                eq_right[v] = h == kids[-1] and eq_right[h]
+        result = (eq_left, eq_right)
+        self._kind_equiv[id(tree)] = (tree, result)
+        return result
+
+    def grid_frame(self, tree: Tree, root: int, operation: str) -> _GridFrame:
+        """Cached boundary grid for ``(tree, root)``; LRU-bounded."""
+        self._admit(tree)
+        key = (id(tree), root, operation)
+        cached = self._grids.pop(key, None)
+        if cached is None:
+            removal = self.cost_model.delete if operation == "delete" else self.cost_model.insert
+            cached = (tree, _GridFrame(tree, root, removal))
+            if len(self._grids) >= self._MAX_GRID_FRAMES:
+                self._grids.pop(next(iter(self._grids)))
+        self._grids[key] = cached
+        return cached[1]
+
+    # ------------------------------------------------------------------ #
+    # Alphabet-sized cost tables
+    # ------------------------------------------------------------------ #
+    def _cost_table(self, operation: str) -> Optional[List[float]]:
+        """Per-code delete/insert costs for the current alphabet."""
+        size = len(self.interner)
+        if size == 0 or size > MAX_DENSE_ALPHABET:
+            return None
+        table = self._delete_table if operation == "delete" else self._insert_table
+        if table is None or len(table) < size:
+            fn = self.cost_model.delete if operation == "delete" else self.cost_model.insert
+            table = [fn(label) for label in self.interner.labels]
+            if operation == "delete":
+                self._delete_table = table
+            else:
+                self._insert_table = table
+        return table
+
+    def rename_table(self):
+        """Dense ``K × K`` rename-cost table over the interned alphabet.
+
+        ``table[code_a, code_b] == rename(label_a, label_b)``; rebuilt (and
+        only then) when the alphabet has grown past the built size.  Returns
+        ``None`` when NumPy is unavailable, for oversized alphabets, and for
+        unit-cost workspaces (whose kernels compare code arrays instead).
+        """
+        if self.unit_cost or _np is None:
+            return None
+        size = len(self.interner)
+        if size == 0 or size > MAX_DENSE_ALPHABET:
+            return None
+        table = self._rename_table
+        if table is None or table.shape[0] < size:
+            rename = self.cost_model.rename
+            labels = self.interner.labels
+            table = _np.empty((size, size), dtype=_np.float64)
+            for i, label_a in enumerate(labels):
+                row = table[i]
+                for j, label_b in enumerate(labels):
+                    row[j] = rename(label_a, label_b)
+            self._rename_table = table
+        return table
+
+    # ------------------------------------------------------------------ #
+    # Pooled distance matrices
+    # ------------------------------------------------------------------ #
+    def acquire_matrix(self, n: int, m: int):
+        """A NaN-filled ``n × m`` float64 matrix backed by a pooled buffer."""
+        needed = n * m
+        capacity = 1
+        while capacity < needed:
+            capacity <<= 1
+        bucket = self._matrix_pool.get(capacity)
+        if bucket:
+            buffer = bucket.pop()
+            self.stats.matrices_pooled += 1
+        else:
+            buffer = _np.empty(capacity, dtype=_np.float64)
+            self.stats.matrices_allocated += 1
+        matrix = buffer[:needed].reshape(n, m)
+        matrix.fill(nan)
+        return matrix
+
+    def release_matrix(self, matrix) -> None:
+        """Return a matrix obtained from :meth:`acquire_matrix` to the pool."""
+        buffer = matrix
+        while buffer.base is not None:
+            buffer = buffer.base
+        bucket = self._matrix_pool.setdefault(buffer.size, [])
+        if len(bucket) < self._MAX_POOLED_BUFFERS:
+            bucket.append(buffer)
+
+    # ------------------------------------------------------------------ #
+    # Unit-cost small-pair fast path
+    # ------------------------------------------------------------------ #
+    def _small_arrays(self, tree: Tree) -> Optional[tuple]:
+        self._admit(tree)
+        cached = self._small.get(id(tree))
+        if cached is not None:
+            return cached[1]
+        codes = self.interner.codes_postorder(tree)
+        arrays = None if codes is None else (tree.lml, tree.keyroots_left(), codes)
+        self._small[id(tree)] = (tree, arrays)
+        return arrays
+
+    def compute_small(self, tree_f: Tree, tree_g: Tree) -> Optional[Tuple[float, int]]:
+        """Exact unit-cost TED for a small pair, or ``None`` when inapplicable.
+
+        A flat left-path keyroot program (the Zhang–Shasha recurrence) over
+        cached per-tree arrays and reused buffers: no context, no executor,
+        no per-region dispatch.  Only unit-cost workspaces qualify — there
+        every intermediate value is an integer-valued float64, so the result
+        is bit-identical to every other kernel — and only pairs whose trees
+        both fit :attr:`small_pair_cutoff`.  Returns ``(distance, cells)``
+        with ``cells`` the number of forest-distance cells evaluated (the
+        relevant subproblems of the executed left-path program).
+        """
+        if not self.unit_cost:
+            return None
+        n, m = tree_f.n, tree_g.n
+        if n > self.small_pair_cutoff or m > self.small_pair_cutoff:
+            return None
+        arrays_f = self._small_arrays(tree_f)
+        arrays_g = self._small_arrays(tree_g)
+        if arrays_f is None or arrays_g is None:
+            return None
+        lml_f, keyroots_f, codes_f = arrays_f
+        lml_g, keyroots_g, codes_g = arrays_g
+        self.stats.small_pair_runs += 1
+
+        D = self._small_D
+        if len(D) < n * m:
+            D.extend([0.0] * (n * m - len(D)))
+        fd = self._small_fd
+        while len(fd) < n + 1:
+            fd.append([0.0] * (self.small_pair_cutoff + 1))
+
+        cells = 0
+        for kf in keyroots_f:
+            lf = lml_f[kf]
+            rows = kf - lf + 2
+            for kg in keyroots_g:
+                lg = lml_g[kg]
+                cols = kg - lg + 2
+                row = fd[0]
+                for j in range(cols):
+                    row[j] = float(j)
+                for i in range(1, rows):
+                    node_f = lf + i - 1
+                    spans_f = lml_f[node_f] == lf
+                    code_f = codes_f[node_f]
+                    offset = node_f * m
+                    prev = fd[i - 1]
+                    row = fd[i]
+                    row[0] = float(i)
+                    split_row = fd[lml_f[node_f] - lf]
+                    for j in range(1, cols):
+                        node_g = lg + j - 1
+                        best = prev[j] + 1.0
+                        candidate = row[j - 1] + 1.0
+                        if candidate < best:
+                            best = candidate
+                        if spans_f and lml_g[node_g] == lg:
+                            candidate = prev[j - 1] + (
+                                0.0 if code_f == codes_g[node_g] else 1.0
+                            )
+                            if candidate < best:
+                                best = candidate
+                            row[j] = best
+                            D[offset + node_g] = best
+                        else:
+                            candidate = split_row[lml_g[node_g] - lg] + D[offset + node_g]
+                            if candidate < best:
+                                best = candidate
+                            row[j] = best
+                cells += (rows - 1) * (cols - 1)
+        return D[(n - 1) * m + m - 1], cells
+
+    # ------------------------------------------------------------------ #
+    def clear(self) -> None:
+        """Drop every cache (per-tree artifacts, tables, pooled buffers)."""
+        self._frames.clear()
+        self._frame_costs.clear()
+        self._frame_codes.clear()
+        self._node_costs.clear()
+        self._kind_equiv.clear()
+        self._grids.clear()
+        self._small.clear()
+        self._seen_trees.clear()
+        self._delete_table = None
+        self._insert_table = None
+        self._rename_table = None
+        self._matrix_pool.clear()
+        self._small_D = []
+        self._small_fd = []
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TedWorkspace(cost_model={self.cost_model!r}, "
+            f"alphabet={len(self.interner)}, trees={len(self._frames)})"
+        )
+
+
+class WorkspaceTED(TEDAlgorithm):
+    """Wrap any algorithm with a workspace-accelerated batch fast path.
+
+    ``compute`` consults the workspace first: matching unit-cost small pairs
+    run through :meth:`TedWorkspace.compute_small` (reporting the executed
+    left-path program's subproblem count and ``extra["workspace"]``);
+    everything else — large pairs, fractional cost models, unhashable labels
+    — delegates to the wrapped algorithm, which itself uses workspace-backed
+    contexts when it supports them (RTED/GTED on the ``spf`` engine).  A
+    cost model the workspace is not bound to bypasses it entirely, so the
+    wrapper is always exact.
+    """
+
+    def __init__(self, inner: TEDAlgorithm, workspace: TedWorkspace) -> None:
+        self.inner = inner
+        self.workspace = workspace
+        self.name = inner.name
+
+    def compute(
+        self, tree_f: Tree, tree_g: Tree, cost_model: Optional[CostModel] = None
+    ) -> TEDResult:
+        workspace = self.workspace
+        if workspace.matches(cost_model):
+            watch = Stopwatch()
+            watch.start()
+            small = workspace.compute_small(tree_f, tree_g)
+            if small is not None:
+                distance, cells = small
+                return TEDResult(
+                    distance=distance,
+                    algorithm=self.name,
+                    subproblems=cells,
+                    distance_time=watch.elapsed(),
+                    n_f=tree_f.n,
+                    n_g=tree_g.n,
+                    extra={"workspace": "small-pair-unit"},
+                )
+        else:
+            workspace.stats.bypasses += 1
+        return self.inner.compute(tree_f, tree_g, cost_model=cost_model)

@@ -182,6 +182,7 @@ def similarity_join(
     use_cascade: bool = True,
     workers: int = 1,
     progress: Optional[Callable[[JoinStats], None]] = None,
+    workspace: bool = True,
     **kwargs,
 ) -> BatchJoinResult:
     """Corpus-indexed similarity join: all pairs with ``TED < threshold``.
@@ -195,6 +196,12 @@ def similarity_join(
     ``workers`` processes.  Returns a
     :class:`~repro.join.batch.BatchJoinResult` whose ``stats`` field carries
     the per-stage :class:`~repro.join.cascade.JoinStats`.
+
+    ``workspace`` (default on) runs the verification stage through the
+    amortized execution layer — per-tree frames, interned label cost tables
+    and pooled matrices shared across all verified pairs, plus the unit-cost
+    small-pair fast path; distances are bit-identical to per-call contexts.
+    Pass ``workspace=False`` to force fresh per-pair contexts.
 
     Examples
     --------
@@ -217,6 +224,7 @@ def similarity_join(
         use_cascade=use_cascade,
         workers=workers,
         progress=progress,
+        workspace=workspace,
         **kwargs,
     )
 

@@ -126,6 +126,12 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="add the pq-gram heuristic filter (may drop matches; faster)",
     )
+    join.add_argument(
+        "--no-workspace",
+        action="store_true",
+        help="disable the amortized verification workspace (fresh per-pair "
+        "contexts; distances are bit-identical either way)",
+    )
     join.add_argument("--workers", type=int, default=1, help="verification processes")
     join.add_argument("--stats", action="store_true", help="print per-stage join statistics")
 
@@ -197,6 +203,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             use_cascade=not args.no_cascade,
             approximate=args.approximate,
             workers=args.workers,
+            workspace=not args.no_workspace,
         )
         for i, j, distance in result.matches:
             print(f"{i}\t{j}\t{distance:g}")

@@ -43,3 +43,9 @@ class StrategyError(ReproError):
 
 class CostModelError(ReproError):
     """Raised when a cost model produces invalid (e.g. negative) costs."""
+
+
+class WorkspaceError(ReproError):
+    """Raised when a :class:`~repro.algorithms.workspace.TedWorkspace` is
+    used with a cost model other than the one it was created with (its cached
+    cost tables would be silently wrong for the new model)."""

@@ -24,6 +24,7 @@ from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..algorithms.base import TEDAlgorithm, resolve_cost_model
 from ..algorithms.registry import make_algorithm
+from ..algorithms.workspace import TedWorkspace
 from ..costs import CostModel
 from ..trees.tree import Tree
 from .cascade import (
@@ -56,16 +57,45 @@ def as_corpus(trees: CorpusLike) -> TreeCorpus:
 # --------------------------------------------------------------------------- #
 # Batch exact distances (serial or multiprocessing fan-out)
 # --------------------------------------------------------------------------- #
-# Worker-process globals, set once per worker by _init_worker so that trees
-# and the algorithm are shipped to each worker exactly once instead of once
-# per pair.
+WorkspaceLike = Union[bool, TedWorkspace, None]
+
+
+def _make_workspace(
+    workspace: WorkspaceLike,
+    cost_model: Optional[CostModel],
+    corpus_a: Optional[TreeCorpus],
+) -> Optional[TedWorkspace]:
+    """Resolve the ``workspace`` batch parameter into a usable workspace.
+
+    ``True`` builds one bound to the batch's cost model, sharing the
+    corpus's label interner so repeated batches over the same corpus reuse
+    the interned code arrays.  ``False``/``None`` disables amortization.  An
+    explicit :class:`TedWorkspace` is validated against the batch's cost
+    model — the invalidation rule of ``DESIGN.md`` — and used as-is.
+    """
+    if workspace is None or workspace is False:
+        return None
+    if workspace is True:
+        interner = corpus_a.interner() if corpus_a is not None else None
+        return TedWorkspace(cost_model, interner=interner)
+    workspace.require(cost_model)
+    return workspace
+
+
+# Worker-process globals, set once per worker by _init_worker so that trees,
+# the algorithm, the cost model and the amortized workspace are set up
+# exactly once per worker instead of once per chunk (or per pair) — chunks
+# only ever ship index pairs.
 _WORKER_STATE: dict = {}
 
 
-def _init_worker(trees_a, trees_b, algorithm, engine, cost_model) -> None:
+def _init_worker(trees_a, trees_b, algorithm, engine, cost_model, use_workspace) -> None:
     _WORKER_STATE["trees_a"] = trees_a
     _WORKER_STATE["trees_b"] = trees_b if trees_b is not None else trees_a
-    _WORKER_STATE["algorithm"] = _resolve_algorithm(algorithm, engine)
+    # Workspaces hold process-local caches, so each worker builds its own
+    # (the parent's never crosses the pickle boundary).
+    workspace = TedWorkspace(cost_model) if use_workspace else None
+    _WORKER_STATE["algorithm"] = _resolve_algorithm(algorithm, engine, workspace)
     _WORKER_STATE["cost_model"] = cost_model
 
 
@@ -82,11 +112,17 @@ def _worker_chunk(pairs: List[Tuple[int, int]]) -> List[Tuple[int, int, float, i
 
 
 def _resolve_algorithm(
-    algorithm: Union[str, TEDAlgorithm], engine: Optional[str]
+    algorithm: Union[str, TEDAlgorithm],
+    engine: Optional[str],
+    workspace: Optional[TedWorkspace] = None,
 ) -> TEDAlgorithm:
     if isinstance(algorithm, TEDAlgorithm):
+        # Pre-built instances run exactly as configured — no workspace
+        # wrapping, so an explicitly constructed oracle (e.g.
+        # RTED(engine="recursive") as a cross-check) is never short-circuited
+        # by the fast path.  Pass a registry *name* to get the amortized path.
         return algorithm
-    return make_algorithm(algorithm, engine=engine)
+    return make_algorithm(algorithm, engine=engine, workspace=workspace)
 
 
 def _chunked(pairs: List[Tuple[int, int]], size: int) -> Iterable[List[Tuple[int, int]]]:
@@ -105,6 +141,7 @@ def batch_distances(
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     on_chunk: Optional[Callable[[List[Tuple[int, int, float, int]]], None]] = None,
     collect_results: bool = True,
+    workspace: WorkspaceLike = True,
 ) -> List[Tuple[int, int, float, int]]:
     """Exact TED for many index pairs: ``(i, j) → (i, j, distance, subproblems)``.
 
@@ -117,14 +154,32 @@ def batch_distances(
     completion order, enabling streaming consumption of a long batch;
     ``collect_results=False`` then skips accumulating the full result list —
     at millions of pairs the tuples dominate memory — and returns ``[]``.
+
+    ``workspace`` controls the amortized execution layer (``DESIGN.md``,
+    *Amortized batch execution*): ``True`` (default) shares one
+    :class:`~repro.algorithms.workspace.TedWorkspace` across all pairs — one
+    per worker in the multiprocessing fan-out — so per-tree setup, interned
+    cost tables and matrix buffers are paid once instead of once per pair;
+    ``False`` restores fresh per-call contexts; an explicit workspace is
+    used directly (serial mode) and must match ``cost_model``.  Distances
+    are bit-identical either way.  The workspace applies to registry *names*
+    only — a pre-built algorithm instance runs exactly as configured, so an
+    explicitly constructed oracle is never short-circuited.
     """
     corpus_a = as_corpus(trees_a)
     corpus_b = as_corpus(trees_b) if trees_b is not None else None
     pair_list = list(pairs)
     results: List[Tuple[int, int, float, int]] = []
 
+    if isinstance(workspace, TedWorkspace):
+        # Enforce the invalidation rule up front, for every execution mode
+        # (workers rebuild their own workspaces, but a mismatched explicit
+        # one should fail loudly, not silently go unamortized).
+        workspace.require(cost_model)
+
     if workers <= 1 or len(pair_list) <= chunk_size:
-        algo = _resolve_algorithm(algorithm, engine)
+        ws = _make_workspace(workspace, cost_model, corpus_a)
+        algo = _resolve_algorithm(algorithm, engine, ws)
         lookup_b = corpus_b.trees if corpus_b is not None else corpus_a.trees
         for chunk in _chunked(pair_list, chunk_size):
             chunk_results = [
@@ -152,6 +207,7 @@ def batch_distances(
             algorithm,
             engine,
             cost_model,
+            workspace is not False and workspace is not None,
         ),
     ) as pool:
         for chunk_results in pool.imap_unordered(
@@ -205,6 +261,7 @@ def batch_similarity_join(
     workers: int = 1,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     progress: Optional[Callable[[JoinStats], None]] = None,
+    workspace: WorkspaceLike = True,
 ) -> BatchJoinResult:
     """The corpus-indexed batch similarity join (``TED < threshold``).
 
@@ -219,8 +276,10 @@ def batch_similarity_join(
     after every verified chunk.
 
     Parameters mirror :func:`batch_distances` for the verification stage
-    (``workers``, ``chunk_size``); filtering always runs in the parent
-    process because it is cheap relative to exact TED.
+    (``workers``, ``chunk_size``, ``workspace`` — the amortized execution
+    layer, on by default and bit-identical to per-call contexts); filtering
+    always runs in the parent process because it is cheap relative to exact
+    TED.
     """
     stats = JoinStats()
     started = time.perf_counter()
@@ -311,6 +370,7 @@ def batch_similarity_join(
         chunk_size=chunk_size,
         on_chunk=on_chunk,
         collect_results=False,
+        workspace=workspace,
     )
 
     matches.sort()

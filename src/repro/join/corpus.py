@@ -70,6 +70,7 @@ class TreeCorpus:
         self._profiles: List[Optional[TreeProfile]] = [None] * len(self.trees)
         self._branch_index: Optional[Dict[object, List[int]]] = None
         self._pq_index: Optional[Dict[object, List[int]]] = None
+        self._interner = None
 
     # ------------------------------------------------------------------ #
     def __len__(self) -> int:
@@ -109,6 +110,26 @@ class TreeCorpus:
         if prof.pq_profile is None:
             prof.pq_profile = pq_gram_profile(prof.tree, p=self.p, q=self.q)
         return prof.pq_profile
+
+    # ------------------------------------------------------------------ #
+    # Label interning (the amortized batch verification path)
+    # ------------------------------------------------------------------ #
+    def interner(self):
+        """The corpus's shared label dictionary (lazily created).
+
+        A :class:`~repro.algorithms.workspace.LabelInterner` mapping labels
+        to dense integer codes; per-tree code arrays are interned on first
+        use and cached on the interner, so every batch over this corpus —
+        and every :class:`~repro.algorithms.workspace.TedWorkspace` built
+        from it, whatever its cost model — reuses one dictionary.  Trees
+        from *other* collections (cross joins, one-vs-many queries) may be
+        interned into the same dictionary; it only ever grows.
+        """
+        if self._interner is None:
+            from ..algorithms.workspace import LabelInterner
+
+            self._interner = LabelInterner()
+        return self._interner
 
     # ------------------------------------------------------------------ #
     # Inverted indexes

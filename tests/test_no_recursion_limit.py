@@ -113,3 +113,38 @@ class TestJoinPipelineRecursionFree:
         result = batch_self_join(trees, 3.0, algorithm="zhang-l")
         off = batch_self_join(trees, 3.0, algorithm="zhang-l", use_cascade=False)
         assert result.match_set == off.match_set == {(0, 1)}
+
+
+class TestWorkspacePathRecursionFree:
+    """The amortized workspace layer must stay iterative end to end."""
+
+    def test_workspace_rted_on_5000_deep_tree(self, deep_tree):
+        """Acceptance: a workspace-backed RTED distance involving a
+        5000-deep path tree at the default recursion limit, with
+        sys.setrecursionlimit forbidden end to end."""
+        from repro.algorithms import TedWorkspace, make_algorithm
+        from repro.algorithms.zhang_shasha import zhang_shasha_distance
+
+        bushy = random_tree(40, rng=9)
+        workspace = TedWorkspace()
+        algorithm = make_algorithm("rted", workspace=workspace)
+        expected = zhang_shasha_distance(deep_tree, bushy, UNIT_COST)[0]
+        # Twice: the second run exercises the cache-hit (reused frames,
+        # pooled matrix) path on the same deep tree.
+        assert algorithm.compute(deep_tree, bushy).distance == expected
+        assert algorithm.compute(deep_tree, bushy).distance == expected
+        assert workspace.stats.frame_hits > 0
+
+    def test_workspace_small_pair_kernel_on_deep_chains(self, forbid_recursion_limit):
+        from repro.algorithms import TedWorkspace, make_algorithm
+        from repro.join import batch_distances
+
+        # Path trees under the small-pair cutoff run the flat unit kernel;
+        # everything stays loop-based regardless of depth/shape mix.
+        trees = [_path_tree(60), _path_tree(59), _path_tree(58, label="b"), random_tree(30, rng=5)]
+        workspace = TedWorkspace()
+        pairs = [(i, j) for i in range(len(trees)) for j in range(i + 1, len(trees))]
+        on = batch_distances(trees, None, pairs, workspace=workspace)
+        off = batch_distances(trees, None, pairs, workspace=False)
+        assert [(i, j, d) for i, j, d, _ in on] == [(i, j, d) for i, j, d, _ in off]
+        assert workspace.stats.small_pair_runs == len(pairs)
