@@ -80,6 +80,26 @@ def main() -> None:
     for algorithm in ("zhang-l", "klein-h", "rted"):
         deep_distance = tree_edit_distance(deep_bracket, original, algorithm=algorithm)
         print(f"2000-deep path tree vs document tree ({algorithm}): {deep_distance}")
+    print()
+
+    # 6. Bounded computation: when only "is the distance below τ?" matters
+    #    (similarity search), pass cutoff=τ.  The exact distance comes back
+    #    when it is below the cutoff (bit-identical to the unbounded run);
+    #    otherwise the computation aborts as soon as d ≥ τ is proven and
+    #    tree_edit_distance reports inf (compute returns a BoundedResult
+    #    carrying the proving lower bound instead).
+    unrelated = parse_tree("{www{x{y}}{z{z{z}}}}")
+    print("Bounded computation (cutoff=3):")
+    for other in (revised, unrelated):
+        bounded = tree_edit_distance(original, other, cutoff=3.0)
+        result = compute(original, other, cutoff=3.0)
+        detail = (
+            f"exact {result.distance}"
+            if not result.bounded
+            else f">= {result.cutoff:g} (lower bound {result.lower_bound:g}, "
+            f"{'aborted early' if result.aborted else 'final check'})"
+        )
+        print(f"  vs {other.labels[other.root]!r:10s}: {bounded}  [{detail}]")
 
 
 if __name__ == "__main__":

@@ -31,6 +31,7 @@ from .api import (
 from .algorithms import (
     GTED,
     RTED,
+    BoundedResult,
     DemaineTED,
     KleinTED,
     SimpleTED,
@@ -90,6 +91,7 @@ __all__ = [
     # Algorithms
     "TEDAlgorithm",
     "TEDResult",
+    "BoundedResult",
     "RTED",
     "GTED",
     "ZhangShashaTED",

@@ -5,6 +5,8 @@ from .base import (
     ENGINE_RECURSIVE,
     ENGINE_SPF,
     ENGINES,
+    BoundedResult,
+    CutoffExceeded,
     Stopwatch,
     TEDAlgorithm,
     TEDResult,
@@ -53,6 +55,8 @@ from .registry import (
 __all__ = [
     "TEDAlgorithm",
     "TEDResult",
+    "BoundedResult",
+    "CutoffExceeded",
     "Stopwatch",
     "ENGINE_AUTO",
     "ENGINE_RECURSIVE",

@@ -13,7 +13,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Optional
 
-from ..costs import UNIT_COST, CostModel
+from ..costs import UNIT_COST, CostModel, UnitCostModel
 from ..exceptions import UnknownEngineError
 from ..trees.tree import Tree
 
@@ -81,10 +81,219 @@ class TEDResult:
     n_g: int = 0
     extra: dict = field(default_factory=dict)
 
+    #: Discriminator shared with :class:`BoundedResult`: ``False`` means the
+    #: exact distance is available in :attr:`distance`.
+    bounded = False
+
     @property
     def total_time(self) -> float:
         """Strategy time plus distance time."""
         return self.strategy_time + self.distance_time
+
+
+@dataclass
+class BoundedResult:
+    """Sentinel outcome of a cutoff-bounded computation: ``distance ≥ cutoff``.
+
+    Returned by ``compute(..., cutoff=τ)`` instead of a :class:`TEDResult`
+    whenever the exact distance is *not* below the cutoff.  It deliberately
+    has no ``distance`` attribute — the exact distance was (possibly) never
+    computed, and any consumer reading a distance off a bounded result would
+    be using a wrong number; use :attr:`lower_bound` instead.
+
+    Attributes
+    ----------
+    lower_bound:
+        The bound that proves ``distance ≥ cutoff``.  Always satisfies
+        ``cutoff ≤ lower_bound ≤ distance``; when the computation ran to
+        completion (``aborted=False``) it *is* the exact distance.
+    cutoff:
+        The cutoff the computation was bounded by.
+    aborted:
+        ``True`` when the computation was cut short (pre-check or mid-kernel
+        early abort); ``False`` when the full computation ran and merely
+        landed at or above the cutoff (the final check).
+    """
+
+    lower_bound: float
+    cutoff: float
+    algorithm: str
+    aborted: bool = True
+    subproblems: int = 0
+    strategy_time: float = 0.0
+    distance_time: float = 0.0
+    n_f: int = 0
+    n_g: int = 0
+    extra: dict = field(default_factory=dict)
+
+    #: Discriminator shared with :class:`TEDResult`.
+    bounded = True
+
+    @property
+    def total_time(self) -> float:
+        """Strategy time plus distance time."""
+        return self.strategy_time + self.distance_time
+
+
+class CutoffExceeded(Exception):
+    """Internal control-flow signal: a bounded kernel proved ``d ≥ cutoff``.
+
+    Raised from the row kernels / fast paths and caught at the ``compute``
+    layer, where it is converted into a :class:`BoundedResult`; it never
+    escapes the public API.  ``lower_bound`` carries the proving bound;
+    ``subproblems`` the forest-distance cells evaluated before the abort
+    (kernels that track a count attach it on the way out, so aborted
+    sentinels report their work in the same currency as completed runs).
+    """
+
+    def __init__(self, lower_bound: float) -> None:
+        super().__init__(lower_bound)
+        self.lower_bound = float(lower_bound)
+        self.subproblems = 0
+
+
+#: Relative slack absorbing float round-off in the bounded-computation lower
+#: bounds.  The abort machinery compares ``band · k`` style products against
+#: the cutoff, while the DP *accumulates* the same costs term by term — and a
+#: float sum of ``k`` non-dyadic terms can round up to ``k·u`` relatively
+#: below (or above) the single multiply (``u = 2⁻⁵³``; e.g. ten additions of
+#: 0.1 give 0.9999999999999999 while ``0.1 · 10 == 1.0``).  Every bound test
+#: therefore fires only at ``bound · (1 − slack) ≥ cutoff``, with the slack
+#: chosen far above ``k·u`` for any tree this library can process (covers
+#: ``k ≤ 2²⁷`` summands), so a pair whose *float* distance is an ulp below
+#: the cutoff is never classified as bounded.  The exact
+#: :class:`~repro.costs.UnitCostModel` needs no slack: its arithmetic is
+#: integer-valued float64 throughout and therefore exact.
+CUTOFF_SLACK = 2.0 ** -26
+
+
+def cutoff_slack(cost_model: CostModel) -> float:
+    """The relative bound slack for ``cost_model`` (see :data:`CUTOFF_SLACK`)."""
+    return 0.0 if type(cost_model) is UnitCostModel else CUTOFF_SLACK
+
+
+def cutoff_band(cost_model: CostModel) -> Optional[float]:
+    """Per-operation cost floor enabling mid-kernel aborts, or ``None``.
+
+    The sound mid-row abort test adds ``band · |remaining_F − remaining_G|``
+    to the running row minimum (see ``DESIGN.md``, *Bounded verification*);
+    models without a provable positive :meth:`CostModel.min_operation_cost`
+    disable mid-row aborts entirely (only the final check applies).
+    """
+    floor = cost_model.min_operation_cost()
+    if floor is None or floor <= 0:
+        return None
+    return float(floor)
+
+
+def cutoff_precheck(
+    tree_f: Tree, tree_g: Tree, cost_model: CostModel, cutoff: float
+) -> Optional[float]:
+    """Size-difference pre-check: a proving bound ``≥ cutoff``, or ``None``.
+
+    ``TED ≥ c · ||F| − |G||`` for any per-operation cost floor ``c``; the
+    trivial bound 0 covers non-positive cutoffs (every distance is ≥ 0).
+    The returned bound is pre-shrunk by the model's round-off slack (see
+    :data:`CUTOFF_SLACK`) so it never exceeds the float-accumulated DP
+    distance.
+    """
+    band = cutoff_band(cost_model)
+    bound = 0.0 if band is None else band * abs(tree_f.n - tree_g.n)
+    bound *= 1.0 - cutoff_slack(cost_model)
+    return bound if bound >= cutoff else None
+
+
+def precheck_bounded(
+    tree_f: Tree,
+    tree_g: Tree,
+    cost_model: CostModel,
+    cutoff: Optional[float],
+    algorithm: str,
+    watch: "Stopwatch",
+    extra: Optional[dict] = None,
+) -> Optional[BoundedResult]:
+    """The size pre-check as a ready :class:`BoundedResult`, or ``None``.
+
+    Shared by every ``compute(..., cutoff=τ)`` implementation so the
+    pre-check block is written once: when :func:`cutoff_precheck` proves
+    ``d ≥ cutoff``, the returned sentinel carries that bound with
+    ``aborted=True`` and zero subproblems (no DP ever ran).
+    """
+    if cutoff is None:
+        return None
+    proof = cutoff_precheck(tree_f, tree_g, cost_model, cutoff)
+    if proof is None:
+        return None
+    return BoundedResult(
+        lower_bound=proof,
+        cutoff=cutoff,
+        algorithm=algorithm,
+        aborted=True,
+        distance_time=watch.elapsed(),
+        n_f=tree_f.n,
+        n_g=tree_g.n,
+        extra=extra if extra is not None else {},
+    )
+
+
+def check_row_cutoff(
+    row,
+    cols: int,
+    rem_f: int,
+    cutoff: float,
+    band: float,
+    lo: int = 0,
+    hi: Optional[int] = None,
+    exact_values: bool = True,
+    slack: float = 0.0,
+) -> None:
+    """The sound per-row abort test of a bounded final table region.
+
+    After a row of the final region — whose cells are exact distances
+    between prefix forests of the two bounded (sub)trees — the pair's
+    distance satisfies ``d ≥ min_j (fd[i][j] + band · |rem_f − rem_g(j)|)``
+    with ``rem_f``/``rem_g(j) = cols − 1 − j`` the node counts *beyond* the
+    prefixes: restrict an optimal mapping to the row's prefix forest (the
+    restriction is a valid forest mapping whose cost appears in ``d``) and
+    charge the at least ``|rem_f − rem_g|`` unmatched remaining nodes at the
+    per-operation cost floor ``band``.  When the minimum reaches the cutoff,
+    ``d ≥ cutoff`` is proven and :class:`CutoffExceeded` carries it out;
+    when ``d < cutoff`` the minimum — a lower bound on ``d`` — is below the
+    cutoff too, so the check can never fire on a sub-cutoff pair and those
+    results stay bit-identical to the unbounded kernels.
+
+    ``lo``/``hi`` restrict the scan to a banded row's computed window (plus
+    the always-exact column 0); any sub-cutoff witness cell necessarily
+    lies in the band, so scanning only it keeps the test sound.  Banded
+    callers pass ``exact_values=False``: their in-band values at or above
+    the cutoff may be *inflated*, so the fire decision stays sound (the
+    witness of any sub-cutoff pair is bit-exact) but the row minimum is not
+    a certified lower bound — the cutoff itself is reported instead.
+    ``slack`` (non-unit cost models) shrinks the tested bound so float
+    round-off in the DP's accumulated sums can never make the check fire on
+    a pair whose *float* distance is below the cutoff — see
+    :data:`CUTOFF_SLACK`.
+    """
+    if hi is None:
+        hi = cols - 1
+    # O(1) probe before the O(cols) scan: the diagonal cell (equal remaining
+    # sizes, zero band term) upper-bounds the row minimum, so a sub-cutoff
+    # probe proves the scan cannot fire.  On similar pairs — the ones that
+    # never abort — this keeps the per-row overhead at a single comparison.
+    diag = cols - 1 - rem_f
+    if lo <= diag <= hi and row[diag] < cutoff:
+        return
+    best = float("inf")
+    if lo > 0:
+        best = row[0] + band * abs(rem_f - (cols - 1))
+    for j in range(lo, hi + 1):
+        t = row[j] + band * abs(rem_f - (cols - 1 - j))
+        if t < best:
+            best = t
+    if slack:
+        best *= 1.0 - slack
+    if best >= cutoff:
+        raise CutoffExceeded(best if exact_values else cutoff)
 
 
 class TEDAlgorithm:
@@ -97,9 +306,20 @@ class TEDAlgorithm:
     name: str = "abstract"
 
     def compute(
-        self, tree_f: Tree, tree_g: Tree, cost_model: Optional[CostModel] = None
+        self,
+        tree_f: Tree,
+        tree_g: Tree,
+        cost_model: Optional[CostModel] = None,
+        cutoff: Optional[float] = None,
     ) -> TEDResult:
-        """Compute the tree edit distance between ``tree_f`` and ``tree_g``."""
+        """Compute the tree edit distance between ``tree_f`` and ``tree_g``.
+
+        With ``cutoff=τ`` the computation is *bounded*: the exact
+        :class:`TEDResult` is returned when ``distance < τ`` (bit-identical
+        to the unbounded computation), and a :class:`BoundedResult` sentinel
+        proving ``distance ≥ τ`` otherwise — possibly without ever finishing
+        the distance computation.  See ``DESIGN.md``, *Bounded verification*.
+        """
         raise NotImplementedError
 
     def distance(

@@ -28,6 +28,10 @@ class DemaineTED(TEDAlgorithm):
         self._gted = GTED(HeavyLargerStrategy(), name=self.name)
 
     def compute(
-        self, tree_f: Tree, tree_g: Tree, cost_model: Optional[CostModel] = None
+        self,
+        tree_f: Tree,
+        tree_g: Tree,
+        cost_model: Optional[CostModel] = None,
+        cutoff: Optional[float] = None,
     ) -> TEDResult:
-        return self._gted.compute(tree_f, tree_g, cost_model=cost_model)
+        return self._gted.compute(tree_f, tree_g, cost_model=cost_model, cutoff=cutoff)

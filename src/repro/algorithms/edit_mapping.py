@@ -21,8 +21,6 @@ from ..trees.tree import Tree
 from .base import resolve_cost_model
 from .zhang_shasha import zhang_shasha_distance
 
-_EPSILON = 1e-9
-
 
 @dataclass
 class EditOperation:
@@ -210,12 +208,20 @@ def _backtrace_subtrees(
                     fd[lml_f[node_f] - lf][lml_g[node_g] - lg] + tree_dist[node_f][node_g],
                 )
 
+    # The backtrace compares candidates with *exact* float equality: each
+    # cell was stored as the minimum of exactly these candidate expressions,
+    # and recomputing a candidate here repeats the identical arithmetic, so
+    # the chosen predecessor compares bit-equal.  A tolerance would be not
+    # only unnecessary but wrong — an absolute epsilon mis-selects branches
+    # whenever operation costs are at or below it (e.g. 1e-12-scale models)
+    # and can over-match for large-magnitude costs where distinct sums sit
+    # closer than the tolerance.
     i, j = rows - 1, cols - 1
     while i > 0 or j > 0:
-        if i > 0 and abs(fd[i][j] - (fd[i - 1][j] + delete_costs[i - 1])) < _EPSILON:
+        if i > 0 and fd[i][j] == fd[i - 1][j] + delete_costs[i - 1]:
             i -= 1
             continue
-        if j > 0 and abs(fd[i][j] - (fd[i][j - 1] + insert_costs[j - 1])) < _EPSILON:
+        if j > 0 and fd[i][j] == fd[i][j - 1] + insert_costs[j - 1]:
             j -= 1
             continue
         node_f = lf + i - 1

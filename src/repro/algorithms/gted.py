@@ -31,9 +31,13 @@ from .base import (
     ENGINE_AUTO,
     ENGINE_RECURSIVE,
     ENGINE_SPF,
+    BoundedResult,
+    CutoffExceeded,
     Stopwatch,
     TEDAlgorithm,
     TEDResult,
+    precheck_bounded,
+    resolve_cost_model,
     resolve_engine,
 )
 from .spf import SinglePathContext
@@ -74,12 +78,14 @@ class StrategyExecutor:
         cost_model: Optional[CostModel] = None,
         use_numpy: Optional[bool] = None,
         workspace=None,
+        cutoff: Optional[float] = None,
     ) -> None:
         self.tree_f = tree_f
         self.tree_g = tree_g
         self.strategy = strategy
         self.context = SinglePathContext(
-            tree_f, tree_g, cost_model=cost_model, use_numpy=use_numpy, workspace=workspace
+            tree_f, tree_g, cost_model=cost_model, use_numpy=use_numpy, workspace=workspace,
+            cutoff=cutoff, cutoff_pair=(tree_f.root, tree_g.root),
         )
         #: Relevant subproblems evaluated, in the paper's currency: keyroot
         #: table cells for left/right steps, chain-steps × |A(other)| for
@@ -166,28 +172,46 @@ def run_engine(
     cost_model: Optional[CostModel],
     extra: dict,
     workspace=None,
-) -> Tuple[float, int]:
+    cutoff: Optional[float] = None,
+) -> Tuple[Optional[float], int, Optional[Tuple[float, bool]]]:
     """Execute a strategy on the resolved engine (shared by GTED and RTED).
 
-    Returns ``(distance, subproblems)`` and records engine diagnostics
-    (``rerouted_steps`` for the iterative executor) into ``extra``.  The
-    optional :class:`~repro.algorithms.workspace.TedWorkspace` feeds the
-    iterative executor's context from cross-pair caches (the recursive
-    oracle never uses it); its pooled distance matrix is released once the
-    final distance has been read.
+    Returns ``(distance, subproblems, bound)`` and records engine
+    diagnostics (``rerouted_steps`` for the iterative executor) into
+    ``extra``.  ``bound`` is ``None`` for an exact sub-cutoff (or unbounded)
+    result; otherwise it is ``(lower_bound, aborted)`` proving
+    ``distance ≥ cutoff`` — ``aborted`` tells whether the kernels cut the
+    computation short or the full distance merely landed at/above the cutoff
+    — and ``distance`` is ``None``.  The optional
+    :class:`~repro.algorithms.workspace.TedWorkspace` feeds the iterative
+    executor's context from cross-pair caches (the recursive oracle never
+    uses it); its pooled distance matrix is released once the final distance
+    has been read, abort or not.
     """
     if engine == ENGINE_RECURSIVE:
+        # The recursive oracle never aborts mid-computation; bounded calls
+        # run it to completion and apply the final check only.
         from .forest_engine import DecompositionEngine
 
         recursive = DecompositionEngine(tree_f, tree_g, strategy, cost_model=cost_model)
-        return recursive.distance(), recursive.subproblems
-    executor = StrategyExecutor(
-        tree_f, tree_g, strategy, cost_model=cost_model, workspace=workspace
-    )
-    distance = executor.distance()
-    executor.context.release()
-    extra["rerouted_steps"] = executor.rerouted_steps
-    return distance, executor.subproblems
+        distance, subproblems = recursive.distance(), recursive.subproblems
+    else:
+        executor = StrategyExecutor(
+            tree_f, tree_g, strategy, cost_model=cost_model, workspace=workspace,
+            cutoff=cutoff,
+        )
+        try:
+            distance = executor.distance()
+        except CutoffExceeded as exceeded:
+            extra["rerouted_steps"] = executor.rerouted_steps
+            return None, executor.context.cells, (exceeded.lower_bound, True)
+        finally:
+            executor.context.release()
+        extra["rerouted_steps"] = executor.rerouted_steps
+        subproblems = executor.subproblems
+    if cutoff is not None and distance >= cutoff:
+        return None, subproblems, (distance, False)
+    return distance, subproblems, None
 
 
 class GTED(TEDAlgorithm):
@@ -232,16 +256,38 @@ class GTED(TEDAlgorithm):
         self.name = name if name is not None else f"GTED({strategy.name})"
 
     def compute(
-        self, tree_f: Tree, tree_g: Tree, cost_model: Optional[CostModel] = None
+        self,
+        tree_f: Tree,
+        tree_g: Tree,
+        cost_model: Optional[CostModel] = None,
+        cutoff: Optional[float] = None,
     ) -> TEDResult:
         engine = ENGINE_SPF if self.engine == ENGINE_AUTO else self.engine
         watch = Stopwatch()
         watch.start()
         extra = {"engine": engine}
-        distance, subproblems = run_engine(
-            engine, tree_f, tree_g, self.strategy, cost_model, extra,
-            workspace=self.workspace,
+        pre = precheck_bounded(
+            tree_f, tree_g, resolve_cost_model(cost_model), cutoff, self.name,
+            watch, extra,
         )
+        if pre is not None:
+            return pre
+        distance, subproblems, bound = run_engine(
+            engine, tree_f, tree_g, self.strategy, cost_model, extra,
+            workspace=self.workspace, cutoff=cutoff,
+        )
+        if bound is not None:
+            return BoundedResult(
+                lower_bound=bound[0],
+                cutoff=cutoff,
+                algorithm=self.name,
+                aborted=bound[1],
+                subproblems=subproblems,
+                distance_time=watch.elapsed(),
+                n_f=tree_f.n,
+                n_g=tree_g.n,
+                extra=extra,
+            )
         return TEDResult(
             distance=distance,
             algorithm=self.name,

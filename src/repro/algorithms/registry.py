@@ -128,6 +128,13 @@ def make_algorithm(
     unit-cost small-pair fast path short-circuits matching pairs.  The
     ``recursive`` engine and the ``simple`` oracle are exempt — they stay
     pure reference implementations.
+
+    Every algorithm the registry produces supports τ-bounded computation,
+    ``compute(..., cutoff=τ)`` (see
+    :meth:`~repro.algorithms.base.TEDAlgorithm.compute`): exact sub-cutoff
+    results, :class:`~repro.algorithms.base.BoundedResult` sentinels
+    otherwise — including the workspace fast path and both engines (the
+    oracles never abort mid-computation; they apply the final check only).
     """
     key = name.strip().lower()
     key = _ALIASES.get(key, key)

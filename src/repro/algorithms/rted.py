@@ -23,9 +23,12 @@ from ..trees.tree import Tree
 from .base import (
     ENGINE_AUTO,
     ENGINE_SPF,
+    BoundedResult,
     Stopwatch,
     TEDAlgorithm,
     TEDResult,
+    precheck_bounded,
+    resolve_cost_model,
     resolve_engine,
 )
 from .gted import run_engine
@@ -55,9 +58,25 @@ class RTED(TEDAlgorithm):
         self.workspace = workspace
 
     def compute(
-        self, tree_f: Tree, tree_g: Tree, cost_model: Optional[CostModel] = None
+        self,
+        tree_f: Tree,
+        tree_g: Tree,
+        cost_model: Optional[CostModel] = None,
+        cutoff: Optional[float] = None,
     ) -> TEDResult:
         engine = ENGINE_SPF if self.engine == ENGINE_AUTO else self.engine
+        extra: dict = {"engine": engine}
+        if cutoff is not None:
+            # The size pre-check runs before Algorithm 2: a pair the bound
+            # already settles skips the strategy computation entirely.
+            watch = Stopwatch()
+            watch.start()
+            pre = precheck_bounded(
+                tree_f, tree_g, resolve_cost_model(cost_model), cutoff, self.name,
+                watch, extra,
+            )
+            if pre is not None:
+                return pre
         strategy_watch = Stopwatch()
         strategy_watch.start()
         strategy_result: OptimalStrategyResult = optimal_strategy(tree_f, tree_g)
@@ -65,14 +84,26 @@ class RTED(TEDAlgorithm):
 
         distance_watch = Stopwatch()
         distance_watch.start()
-        extra: dict = {"engine": engine}
-        distance, subproblems = run_engine(
+        distance, subproblems, bound = run_engine(
             engine, tree_f, tree_g, strategy_result.strategy, cost_model, extra,
-            workspace=self.workspace,
+            workspace=self.workspace, cutoff=cutoff,
         )
         distance_time = distance_watch.elapsed()
 
         extra["optimal_strategy_cost"] = strategy_result.cost
+        if bound is not None:
+            return BoundedResult(
+                lower_bound=bound[0],
+                cutoff=cutoff,
+                algorithm=self.name,
+                aborted=bound[1],
+                subproblems=subproblems,
+                strategy_time=strategy_time,
+                distance_time=distance_time,
+                n_f=tree_f.n,
+                n_g=tree_g.n,
+                extra=extra,
+            )
         return TEDResult(
             distance=distance,
             algorithm=self.name,

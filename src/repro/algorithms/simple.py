@@ -20,16 +20,25 @@ from typing import Dict, Optional, Tuple
 
 from ..costs import CostModel
 from ..trees.tree import Tree
-from .base import Stopwatch, TEDAlgorithm, TEDResult, resolve_cost_model
+from .base import BoundedResult, Stopwatch, TEDAlgorithm, TEDResult, resolve_cost_model
 
 
 class SimpleTED(TEDAlgorithm):
-    """Plain memoized recursion over forest pairs (correctness oracle)."""
+    """Plain memoized recursion over forest pairs (correctness oracle).
+
+    Bounded calls (``cutoff=τ``) run the oracle to completion and apply the
+    final check only — as a pure reference implementation it never aborts
+    mid-computation.
+    """
 
     name = "Simple"
 
     def compute(
-        self, tree_f: Tree, tree_g: Tree, cost_model: Optional[CostModel] = None
+        self,
+        tree_f: Tree,
+        tree_g: Tree,
+        cost_model: Optional[CostModel] = None,
+        cutoff: Optional[float] = None,
     ) -> TEDResult:
         cm = resolve_cost_model(cost_model)
         watch = Stopwatch()
@@ -95,6 +104,17 @@ class SimpleTED(TEDAlgorithm):
         finally:
             sys.setrecursionlimit(old_limit)
 
+        if cutoff is not None and value >= cutoff:
+            return BoundedResult(
+                lower_bound=value,
+                cutoff=cutoff,
+                algorithm=self.name,
+                aborted=False,
+                subproblems=len(memo),
+                distance_time=watch.elapsed(),
+                n_f=tree_f.n,
+                n_g=tree_g.n,
+            )
         return TEDResult(
             distance=value,
             algorithm=self.name,

@@ -46,7 +46,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from ..costs import CostModel
 from ..trees.tree import HEAVY, LEFT, RIGHT, Tree
-from .base import resolve_cost_model
+from .base import CutoffExceeded, check_row_cutoff, cutoff_band, cutoff_slack, resolve_cost_model
 from .strategies import SIDE_F, SIDE_G
 
 try:  # NumPy is an optional accelerator, mirroring repro.counting's split.
@@ -278,6 +278,8 @@ class SinglePathContext:
         cost_model: Optional[CostModel] = None,
         use_numpy: Optional[bool] = None,
         workspace=None,
+        cutoff: Optional[float] = None,
+        cutoff_pair: Optional[Tuple[int, int]] = None,
     ) -> None:
         self.tree_f = tree_f
         self.tree_g = tree_g
@@ -290,6 +292,20 @@ class SinglePathContext:
         self.use_numpy = _resolve_use_numpy(use_numpy)
         #: Number of forest-distance cells evaluated (the relevant subproblems).
         self.cells = 0
+        #: Bounded-computation state: ``cutoff_pair`` is the subtree pair
+        #: whose distance is the computation's goal (the whole-tree roots for
+        #: the executor); only that pair's *final* keyroot region — whose
+        #: table spans both whole trees, making the row-abort test sound —
+        #: runs the early-abort check.  Mid-row aborts additionally need a
+        #: provable per-operation cost floor (``DESIGN.md``, *Bounded
+        #: verification*); without one the kernels run unbounded and the
+        #: final check happens at the compute layer.
+        self.cutoff = None if cutoff is None else float(cutoff)
+        self.cutoff_pair = cutoff_pair
+        self._cutoff_band = (
+            cutoff_band(self.cost_model) if cutoff is not None else None
+        )
+        self._cutoff_slack = cutoff_slack(self.cost_model)
 
         if self.use_numpy:
             if workspace is not None:
@@ -509,6 +525,15 @@ class SinglePathContext:
         dec_keyroots = [dec_fid] if spine_only else dec.subtree_keyroots(dec_fid)
         oth_keyroots = oth.subtree_keyroots(oth_fid)
 
+        # Early-abort spec for the final keyroot region of the goal pair: the
+        # region (dec_fid, oth_fid) spans both subtrees completely, so its
+        # rows are prefix-forest distances of the pair being bounded and the
+        # row-abort test of DESIGN.md applies.  Only enabled with a provable
+        # per-operation cost floor.
+        abort = None
+        if self._cutoff_band is not None and (v, w) == self.cutoff_pair:
+            abort = (dec_fid, oth_fid, self.cutoff, self._cutoff_band, self._cutoff_slack)
+
         if self.use_numpy:
             base = self.D if side == SIDE_F else self.D.T
             unit_codes = self._unit_codes(dec_which, oth_which, kind, as_numpy=True)
@@ -517,13 +542,16 @@ class SinglePathContext:
             cells = _np_kernel.run_regions(
                 dec, oth, dec_keyroots, oth_keyroots, del_costs, ins_costs, rename, base,
                 fallback=self._region_kernel_py(
-                    side, dec, oth, del_costs, ins_costs, fallback_codes
+                    side, dec, oth, del_costs, ins_costs, fallback_codes, abort
                 ),
                 unit_codes=unit_codes,
+                abort=abort,
             )
         else:
             unit_codes = self._unit_codes(dec_which, oth_which, kind, as_numpy=False)
-            kernel = self._region_kernel_py(side, dec, oth, del_costs, ins_costs, unit_codes)
+            kernel = self._region_kernel_py(
+                side, dec, oth, del_costs, ins_costs, unit_codes, abort
+            )
             cells = 0
             for kf in dec_keyroots:
                 for kg in oth_keyroots:
@@ -826,6 +854,7 @@ class SinglePathContext:
         del_costs: List[float],
         ins_costs: List[float],
         unit_codes=None,
+        abort: Optional[Tuple[int, int, float, float, float]] = None,
     ) -> Callable[[int, int], int]:
         """Bind the pure-Python region kernel to one orientation.
 
@@ -835,7 +864,9 @@ class SinglePathContext:
         tiny tables produced by branchy trees).  With ``unit_codes`` (a pair
         of frame-order code lists, unit-cost workspaces only) the bound
         kernel is the unit specialization: delete/insert constant-folded to
-        1 and the rename term a code equality compare.
+        1 and the rename term a code equality compare.  ``abort`` — a
+        ``(kf, kg, cutoff, band, slack)`` spec — arms the early-abort row
+        check for the one region it names.
         """
         D = self.D
         to_post_dec = dec.to_post
@@ -866,17 +897,19 @@ class SinglePathContext:
             codes_dec, codes_oth = unit_codes
 
             def kernel(kf: int, kg: int) -> int:
+                cut = abort[2:] if abort is not None and (kf, kg) == abort[:2] else None
                 return _region_py_unit(
                     dec, oth, kf, kg, codes_dec, codes_oth,
-                    to_post_dec, to_post_oth, read_row, write,
+                    to_post_dec, to_post_oth, read_row, write, cut,
                 )
 
             return kernel
 
         def kernel(kf: int, kg: int) -> int:
+            cut = abort[2:] if abort is not None and (kf, kg) == abort[:2] else None
             return _region_py(
                 dec, oth, kf, kg, del_costs, ins_costs, rename,
-                to_post_dec, to_post_oth, read_row, write,
+                to_post_dec, to_post_oth, read_row, write, cut,
             )
 
         return kernel
@@ -894,13 +927,17 @@ def _region_py(
     to_post_oth: List[int],
     read_row: Callable[[int, List[int]], List[float]],
     write: Callable[[int, int, float], None],
+    cut: Optional[Tuple[float, float, float]] = None,
 ) -> int:
     """Fill one keyroot-pair forest-distance table (pure-Python kernel).
 
     The recurrence is the classic Zhang–Shasha one over frame-contiguous
     prefix forests; distances between pairs of complete subtrees are written
     to the shared matrix, and distances of previously completed subtree pairs
-    are read back for the forest-split case.
+    are read back for the forest-split case.  ``cut`` —
+    ``(cutoff, band, slack)``, final region of a bounded computation only —
+    arms the per-row early
+    abort (:func:`repro.algorithms.base.check_row_cutoff`).
     """
     lml_f, lml_g = dec.lml, oth.lml
     labels_f, labels_g = dec.labels, oth.labels
@@ -946,6 +983,8 @@ def _region_py(
                 if candidate < best:
                     best = candidate
                 row[j] = best
+        if cut is not None:
+            check_row_cutoff(row, cols, rows - 1 - i, cut[0], cut[1], slack=cut[2])
 
     return (rows - 1) * (cols - 1)
 
@@ -961,6 +1000,7 @@ def _region_py_unit(
     to_post_oth: List[int],
     read_row: Callable[[int, List[int]], List[float]],
     write: Callable[[int, int, float], None],
+    cut: Optional[Tuple[float, float, float]] = None,
 ) -> int:
     """Unit-cost specialization of :func:`_region_py`.
 
@@ -969,6 +1009,7 @@ def _region_py_unit(
     compare instead of a cost-model call.  Every intermediate value is an
     integer-valued float64, evaluated exactly, so the produced distances are
     bit-identical to the general kernels under the unit cost model.
+    ``cut`` arms the per-row early abort exactly as in :func:`_region_py`.
     """
     lml_f, lml_g = dec.lml, oth.lml
     lf, lg = lml_f[kf], lml_g[kg]
@@ -1012,6 +1053,8 @@ def _region_py_unit(
                 if candidate < best:
                     best = candidate
                 row[j] = best
+        if cut is not None:
+            check_row_cutoff(row, cols, rows - 1 - i, cut[0], cut[1], slack=cut[2])
 
     return (rows - 1) * (cols - 1)
 

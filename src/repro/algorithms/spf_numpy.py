@@ -24,6 +24,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .base import CutoffExceeded
+
 
 def allocate_matrix(n: int, m: int) -> np.ndarray:
     """Dense ``n × m`` tree-distance matrix, NaN-initialized.
@@ -123,6 +125,7 @@ def run_regions(
     base: np.ndarray,
     fallback: Callable[[int, int], int],
     unit_codes: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+    abort: Optional[Tuple[int, int, float, float, float]] = None,
 ) -> int:
     """Fill every keyroot-pair table of the given keyroot lists.
 
@@ -132,7 +135,10 @@ def run_regions(
     codes of the decomposed / other tree, unit-cost workspaces only — the
     row sweep runs the unit specialization: ``rename`` may be ``None`` (no
     rename matrix is ever built) and delete/insert costs are constant-folded
-    to 1.  Returns the number of forest-distance cells evaluated.
+    to 1.  ``abort`` — a ``(kf, kg, cutoff, band, slack)`` spec naming the final
+    region of a bounded computation — arms the per-row early-abort check in
+    that region (the fallback kernel carries its own copy of the spec).
+    Returns the number of forest-distance cells evaluated.
     """
     oth_arrays = _frame_arrays(oth)
     dec_arrays = _frame_arrays(dec)
@@ -142,10 +148,11 @@ def run_regions(
         vectorize = kg - oth_lml[kg] + 1 >= MIN_VECTOR_COLS
         for kf in dec_keyroots:
             if vectorize:
+                cut = abort[2:] if abort is not None and (kf, kg) == abort[:2] else None
                 cells += _region(
                     dec, oth, kf, kg, del_costs, ins_costs, rename, base,
                     dec_arrays["to_post"], oth_arrays["to_post"], oth_arrays["lml"],
-                    unit_codes,
+                    unit_codes, cut,
                 )
             else:
                 cells += fallback(kf, kg)
@@ -177,6 +184,7 @@ def _region(
     to_post_g: np.ndarray,
     lml_g_array: np.ndarray,
     unit_codes: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+    cut: Optional[Tuple[float, float, float]] = None,
 ) -> int:
     """One keyroot-pair forest-distance table, swept row-by-row.
 
@@ -186,6 +194,15 @@ def _region(
     constant 1, so the cumulative-cost vector is a cached ``arange``.  All
     unit-mode arithmetic is integer-valued float64 and therefore exact,
     keeping the result bit-identical to the general path.
+
+    ``cut`` — ``(cutoff, band, slack)``, final region of a bounded computation only
+    — arms the per-row early abort: after each row the minimum of
+    ``row + band · |remaining_F − remaining_G|`` lower-bounds the pair's
+    distance (see :func:`repro.algorithms.base.check_row_cutoff`), so
+    reaching the cutoff proves ``d ≥ cutoff`` and raises
+    :class:`~repro.algorithms.base.CutoffExceeded`.  The check reads the
+    finished row and never alters the arithmetic, so sub-cutoff results stay
+    bit-identical.
     """
     lml_f = dec.lml
     lf = lml_f[kf]
@@ -221,6 +238,10 @@ def _region(
     deletes = None if unit_codes is not None else del_costs[lf : kf + 1]
     special = np.empty(cols - 1, dtype=np.float64)
     spanning = np.empty(cols - 1, dtype=np.float64)
+    if cut is not None:
+        cut_cutoff, cut_band, cut_slack = cut
+        # remaining-G sizes per column: cols-1-j, constant over rows.
+        rem_g = np.arange(cols - 1, -1, -1, dtype=np.float64)
 
     for i in range(1, rows):
         node_f = lf + i - 1
@@ -252,6 +273,18 @@ def _region(
 
         if spans_f and write_cols.size:
             base[row_posts[i - 1], write_cols] = row[1:][spans_g]
+
+        if cut is not None:
+            # O(1) diagonal probe first (see base.check_row_cutoff): on
+            # similar pairs the vector scan never runs.
+            rem_f = rows - 1 - i
+            diag = cols - 1 - rem_f
+            if not (0 <= diag < cols and row[diag] < cut_cutoff):
+                bound = float((row + cut_band * np.abs(rem_g - rem_f)).min())
+                # Round-off slack for non-dyadic cost sums (base.CUTOFF_SLACK).
+                bound *= 1.0 - cut_slack
+                if bound >= cut_cutoff:
+                    raise CutoffExceeded(bound)
 
     return (rows - 1) * (cols - 1)
 

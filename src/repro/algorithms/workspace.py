@@ -56,13 +56,21 @@ this with exact equality.
 
 from __future__ import annotations
 
-from math import nan
+from math import ceil, inf, nan
 from typing import Dict, List, Optional, Tuple
 
 from ..costs import CostModel, UnitCostModel
 from ..exceptions import WorkspaceError
 from ..trees.tree import LEFT, RIGHT, Tree
-from .base import Stopwatch, TEDAlgorithm, TEDResult, resolve_cost_model
+from .base import (
+    BoundedResult,
+    CutoffExceeded,
+    Stopwatch,
+    TEDAlgorithm,
+    TEDResult,
+    check_row_cutoff,
+    resolve_cost_model,
+)
 from .spf import _Frame, _GridFrame, _resolve_use_numpy
 
 try:  # Optional accelerator, mirroring repro.algorithms.spf's import split.
@@ -467,7 +475,9 @@ class TedWorkspace:
         self._small[id(tree)] = (tree, arrays)
         return arrays
 
-    def compute_small(self, tree_f: Tree, tree_g: Tree) -> Optional[Tuple[float, int]]:
+    def compute_small(
+        self, tree_f: Tree, tree_g: Tree, cutoff: Optional[float] = None
+    ) -> Optional[Tuple[float, int]]:
         """Exact unit-cost TED for a small pair, or ``None`` when inapplicable.
 
         A flat left-path keyroot program (the Zhang–Shasha recurrence) over
@@ -478,12 +488,25 @@ class TedWorkspace:
         both fit :attr:`small_pair_cutoff`.  Returns ``(distance, cells)``
         with ``cells`` the number of forest-distance cells evaluated (the
         relevant subproblems of the executed left-path program).
+
+        With ``cutoff`` the run is *τ-bounded* (``DESIGN.md``, *Bounded
+        verification*): the size pre-check raises
+        :class:`~repro.algorithms.base.CutoffExceeded` immediately, every
+        region is restricted to its ``|i − j| < cutoff`` band (out-of-band
+        cells provably hold ``≥ cutoff`` and are read as ``+inf``), the
+        final region runs the per-row abort, and a banded result landing at
+        or above the cutoff raises with the cutoff as the proving bound.
+        Sub-cutoff results are bit-identical to unbounded runs — every cell
+        whose true value is below the cutoff lies in the band and its
+        minimum-winning candidate chain repeats the identical arithmetic.
         """
         if not self.unit_cost:
             return None
         n, m = tree_f.n, tree_g.n
         if n > self.small_pair_cutoff or m > self.small_pair_cutoff:
             return None
+        if cutoff is not None and abs(n - m) >= cutoff:
+            raise CutoffExceeded(float(abs(n - m)))
         arrays_f = self._small_arrays(tree_f)
         arrays_g = self._small_arrays(tree_g)
         if arrays_f is None or arrays_g is None:
@@ -491,6 +514,10 @@ class TedWorkspace:
         lml_f, keyroots_f, codes_f = arrays_f
         lml_g, keyroots_g, codes_g = arrays_g
         self.stats.small_pair_runs += 1
+        # Unit-cost band half-width: |i − j| > band_w ⇔ the cell's forest
+        # sizes differ by ≥ cutoff operations ⇔ its value is ≥ cutoff.  The
+        # size pre-check above guarantees the final corner stays in-band.
+        band_w = None if cutoff is None else max(0, ceil(cutoff) - 1)
 
         D = self._small_D
         if len(D) < n * m:
@@ -499,17 +526,84 @@ class TedWorkspace:
         while len(fd) < n + 1:
             fd.append([0.0] * (self.small_pair_cutoff + 1))
 
+        return self._small_pair_regions(
+            n, m, cutoff, band_w, lml_f, keyroots_f, codes_f,
+            lml_g, keyroots_g, codes_g, D, fd,
+        )
+
+    def _small_pair_regions(
+        self, n, m, cutoff, band_w, lml_f, keyroots_f, codes_f,
+        lml_g, keyroots_g, codes_g, D, fd,
+    ) -> Tuple[float, int]:
+        """The keyroot-region sweep of :meth:`compute_small` (both modes).
+
+        Aborts re-raise with the completed regions' cell count attached, so
+        aborted sentinels report work in the same currency as finished runs.
+        """
         cells = 0
         for kf in keyroots_f:
             lf = lml_f[kf]
             rows = kf - lf + 2
             for kg in keyroots_g:
+                # Keyroots ascend, so the whole-tree region runs last; only
+                # its rows are whole-tree prefix distances, making the row
+                # abort sound there (unit band 1).
+                final = cutoff is not None and kf == n - 1 and kg == m - 1
                 lg = lml_g[kg]
                 cols = kg - lg + 2
                 row = fd[0]
                 for j in range(cols):
                     row[j] = float(j)
+                if band_w is None:
+                    for i in range(1, rows):
+                        node_f = lf + i - 1
+                        spans_f = lml_f[node_f] == lf
+                        code_f = codes_f[node_f]
+                        offset = node_f * m
+                        prev = fd[i - 1]
+                        row = fd[i]
+                        row[0] = float(i)
+                        split_row = fd[lml_f[node_f] - lf]
+                        for j in range(1, cols):
+                            node_g = lg + j - 1
+                            best = prev[j] + 1.0
+                            candidate = row[j - 1] + 1.0
+                            if candidate < best:
+                                best = candidate
+                            if spans_f and lml_g[node_g] == lg:
+                                candidate = prev[j - 1] + (
+                                    0.0 if code_f == codes_g[node_g] else 1.0
+                                )
+                                if candidate < best:
+                                    best = candidate
+                                row[j] = best
+                                D[offset + node_g] = best
+                            else:
+                                candidate = split_row[lml_g[node_g] - lg] + D[offset + node_g]
+                                if candidate < best:
+                                    best = candidate
+                                row[j] = best
+                    cells += (rows - 1) * (cols - 1)
+                    continue
+                # τ-bounded sweep: each row only fills its |i − j| ≤ band_w
+                # window; out-of-band values are ≥ cutoff by the size
+                # argument, so reading them as +inf only inflates cells that
+                # are themselves ≥ cutoff (sub-cutoff cells and their
+                # winning candidate chains stay in-band and bit-identical).
+                # The reused buffers hold stale garbage outside the window,
+                # hence the inf sentinels flanking each row and the explicit
+                # band predicates on split/subtree reads.
                 for i in range(1, rows):
+                    lo = i - band_w
+                    if lo < 1:
+                        lo = 1
+                    hi = i + band_w
+                    if hi > cols - 1:
+                        hi = cols - 1
+                    if lo > hi:
+                        # The band left the table; every later row is
+                        # farther out still, so the region is finished.
+                        break
                     node_f = lf + i - 1
                     spans_f = lml_f[node_f] == lf
                     code_f = codes_f[node_f]
@@ -517,8 +611,12 @@ class TedWorkspace:
                     prev = fd[i - 1]
                     row = fd[i]
                     row[0] = float(i)
-                    split_row = fd[lml_f[node_f] - lf]
-                    for j in range(1, cols):
+                    if lo > 1:
+                        row[lo - 1] = inf
+                    si = lml_f[node_f] - lf
+                    split_row = fd[si]
+                    rem_f_node = node_f - lml_f[node_f]
+                    for j in range(lo, hi + 1):
                         node_g = lg + j - 1
                         best = prev[j] + 1.0
                         candidate = row[j - 1] + 1.0
@@ -533,12 +631,40 @@ class TedWorkspace:
                             row[j] = best
                             D[offset + node_g] = best
                         else:
-                            candidate = split_row[lml_g[node_g] - lg] + D[offset + node_g]
+                            sc = lml_g[node_g] - lg
+                            if si == 0 or sc == 0 or (si - band_w <= sc <= si + band_w):
+                                candidate = split_row[sc]
+                            else:
+                                candidate = inf
+                            # The subtree pair's spanning cell was written
+                            # iff it was in-band in its own region.
+                            if abs(rem_f_node - (node_g - lml_g[node_g])) <= band_w:
+                                candidate += D[offset + node_g]
+                            else:
+                                candidate = inf
                             if candidate < best:
                                 best = candidate
                             row[j] = best
-                cells += (rows - 1) * (cols - 1)
-        return D[(n - 1) * m + m - 1], cells
+                    if hi + 1 <= cols - 1:
+                        row[hi + 1] = inf
+                    cells += hi - lo + 1
+                    if final:
+                        try:
+                            check_row_cutoff(
+                                row, cols, rows - 1 - i, cutoff, 1.0, lo, hi,
+                                exact_values=False,
+                            )
+                        except CutoffExceeded as exceeded:
+                            exceeded.subproblems = cells
+                            raise
+        distance = D[(n - 1) * m + m - 1]
+        if cutoff is not None and distance >= cutoff:
+            # Banded values at or above the cutoff may be inflated; the
+            # cutoff itself is the certified lower bound.
+            exceeded = CutoffExceeded(cutoff)
+            exceeded.subproblems = cells
+            raise exceeded
+        return distance, cells
 
     # ------------------------------------------------------------------ #
     def clear(self) -> None:
@@ -584,14 +710,33 @@ class WorkspaceTED(TEDAlgorithm):
         self.name = inner.name
 
     def compute(
-        self, tree_f: Tree, tree_g: Tree, cost_model: Optional[CostModel] = None
+        self,
+        tree_f: Tree,
+        tree_g: Tree,
+        cost_model: Optional[CostModel] = None,
+        cutoff: Optional[float] = None,
     ) -> TEDResult:
         workspace = self.workspace
         if workspace.matches(cost_model):
             watch = Stopwatch()
             watch.start()
-            small = workspace.compute_small(tree_f, tree_g)
+            try:
+                small = workspace.compute_small(tree_f, tree_g, cutoff=cutoff)
+            except CutoffExceeded as exceeded:
+                return BoundedResult(
+                    lower_bound=exceeded.lower_bound,
+                    cutoff=cutoff,
+                    algorithm=self.name,
+                    aborted=True,
+                    subproblems=exceeded.subproblems,
+                    distance_time=watch.elapsed(),
+                    n_f=tree_f.n,
+                    n_g=tree_g.n,
+                    extra={"workspace": "small-pair-unit"},
+                )
             if small is not None:
+                # A bounded run that was not cut short is exact and below
+                # the cutoff — compute_small raises for everything else.
                 distance, cells = small
                 return TEDResult(
                     distance=distance,
@@ -604,4 +749,8 @@ class WorkspaceTED(TEDAlgorithm):
                 )
         else:
             workspace.stats.bypasses += 1
-        return self.inner.compute(tree_f, tree_g, cost_model=cost_model)
+        if cutoff is None:
+            # Back-compat: registered factories may produce algorithms that
+            # predate the ``cutoff`` keyword; only bounded calls require it.
+            return self.inner.compute(tree_f, tree_g, cost_model=cost_model)
+        return self.inner.compute(tree_f, tree_g, cost_model=cost_model, cutoff=cutoff)

@@ -15,9 +15,10 @@ from the package root.
 
 from __future__ import annotations
 
+import math
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
-from .algorithms.base import TEDResult
+from .algorithms.base import BoundedResult, TEDResult, resolve_engine
 from .algorithms.edit_mapping import EditMapping, EditOperation, compute_edit_mapping
 from .algorithms.registry import PAPER_ALGORITHMS, make_algorithm
 from .costs import CostModel
@@ -76,6 +77,7 @@ def tree_edit_distance(
     algorithm: str = "rted",
     cost_model: Optional[CostModel] = None,
     engine: Optional[str] = None,
+    cutoff: Optional[float] = None,
 ) -> float:
     """The tree edit distance between two trees.
 
@@ -97,16 +99,29 @@ def tree_edit_distance(
         single-path functions: it is the fastest choice across algorithms
         and, being recursion-free, handles arbitrarily deep trees without
         touching the interpreter recursion limit.
+    cutoff:
+        Optional bound ``τ``: when given, the exact distance is returned if
+        it is below ``τ`` (bit-identical to the unbounded computation) and
+        ``math.inf`` otherwise — the computation aborts as soon as
+        ``distance ≥ τ`` is proven, which is much cheaper than finishing it.
+        Use :func:`compute` to obtain the proving lower bound instead of
+        ``inf``.
 
     Examples
     --------
     >>> from repro import tree_edit_distance
     >>> tree_edit_distance("{a{b}{c}}", "{a{b}{d}}", algorithm="zhang-l", engine="spf")
     1.0
+    >>> tree_edit_distance("{a{b}{c}}", "{x{y{z}}}", cutoff=2.0)
+    inf
     """
-    return compute(
-        tree_f, tree_g, algorithm=algorithm, cost_model=cost_model, engine=engine
-    ).distance
+    result = compute(
+        tree_f, tree_g, algorithm=algorithm, cost_model=cost_model, engine=engine,
+        cutoff=cutoff,
+    )
+    if result.bounded:
+        return math.inf
+    return result.distance
 
 
 def compute(
@@ -115,15 +130,25 @@ def compute(
     algorithm: str = "rted",
     cost_model: Optional[CostModel] = None,
     engine: Optional[str] = None,
-) -> TEDResult:
+    cutoff: Optional[float] = None,
+) -> Union[TEDResult, BoundedResult]:
     """Full computation result (distance, subproblem count, timings).
 
     ``engine`` selects the execution backend exactly as in
     :func:`tree_edit_distance`; the engine actually used is reported in
     ``result.extra["engine"]`` for algorithms that support several.
+
+    With ``cutoff=τ`` the computation is bounded: the returned object is the
+    exact :class:`~repro.algorithms.base.TEDResult` when ``distance < τ``
+    and a :class:`~repro.algorithms.base.BoundedResult` sentinel — carrying
+    the lower bound that proves ``distance ≥ τ`` — otherwise.  Discriminate
+    with ``result.bounded``.
     """
     algo = make_algorithm(algorithm, engine=engine)
-    return algo.compute(parse_tree(tree_f), parse_tree(tree_g), cost_model=cost_model)
+    f, g = parse_tree(tree_f), parse_tree(tree_g)
+    if cutoff is None:
+        return algo.compute(f, g, cost_model=cost_model)
+    return algo.compute(f, g, cost_model=cost_model, cutoff=cutoff)
 
 
 def edit_mapping(
@@ -156,19 +181,33 @@ def compare_algorithms(
     tree_g: TreeLike,
     algorithms: Optional[Sequence[str]] = None,
     cost_model: Optional[CostModel] = None,
+    engine: Optional[str] = None,
 ) -> Dict[str, TEDResult]:
     """Run several algorithms on the same pair and collect their results.
 
     Useful for reproducing the robustness comparison of the paper on a single
     pair of trees: the distances must all agree while the subproblem counts
     and runtimes differ.
+
+    ``engine`` selects the execution backend for *every* compared algorithm,
+    exactly as in :func:`compute` — e.g. ``engine="recursive"`` cross-checks
+    the whole panel on the reference oracle.  The backend each algorithm
+    actually resolved is reported in ``result.extra["engine"]`` (algorithms
+    with a single dedicated implementation, like the Zhang–Shasha tables
+    that ``zhang-l``/``zhang-r`` use for ``auto``, report the requested
+    selector).  Names that do not support engine selection (e.g.
+    ``"simple"``) raise for any non-``auto`` engine, as in
+    :func:`make_algorithm`.
     """
     names = list(algorithms) if algorithms is not None else list(PAPER_ALGORITHMS)
+    resolved = resolve_engine(engine)
     f = parse_tree(tree_f)
     g = parse_tree(tree_g)
     results: Dict[str, TEDResult] = {}
     for name in names:
-        results[name] = make_algorithm(name).compute(f, g, cost_model=cost_model)
+        result = make_algorithm(name, engine=engine).compute(f, g, cost_model=cost_model)
+        result.extra.setdefault("engine", resolved)
+        results[name] = result
     return results
 
 
@@ -183,6 +222,7 @@ def similarity_join(
     workers: int = 1,
     progress: Optional[Callable[[JoinStats], None]] = None,
     workspace: bool = True,
+    bounded_verify: bool = True,
     **kwargs,
 ) -> BatchJoinResult:
     """Corpus-indexed similarity join: all pairs with ``TED < threshold``.
@@ -202,6 +242,11 @@ def similarity_join(
     and pooled matrices shared across all verified pairs, plus the unit-cost
     small-pair fast path; distances are bit-identical to per-call contexts.
     Pass ``workspace=False`` to force fresh per-pair contexts.
+
+    ``bounded_verify`` (default on) verifies survivors with ``cutoff=τ``,
+    aborting each exact computation as soon as ``TED ≥ τ`` is proven; the
+    match set and every reported distance are identical either way, and
+    ``result.stats.aborted_early`` counts the verifications cut short.
 
     Examples
     --------
@@ -225,6 +270,7 @@ def similarity_join(
         workers=workers,
         progress=progress,
         workspace=workspace,
+        bounded_verify=bounded_verify,
         **kwargs,
     )
 

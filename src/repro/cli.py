@@ -78,6 +78,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "kinds), or recursive (the cross-check oracle)",
     )
     distance.add_argument("--format", dest="fmt", default=None, help="bracket | newick | xml")
+    distance.add_argument(
+        "--cutoff",
+        type=float,
+        default=None,
+        help="bounded computation: print the exact distance when it is below "
+        "the cutoff, or '>= <bound>' once distance >= cutoff is proven "
+        "(aborting early instead of finishing the computation)",
+    )
     distance.add_argument("--verbose", action="store_true", help="print timings and subproblems")
 
     mapping = subparsers.add_parser("mapping", help="compute an optimal edit script")
@@ -132,6 +140,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="disable the amortized verification workspace (fresh per-pair "
         "contexts; distances are bit-identical either way)",
     )
+    join.add_argument(
+        "--no-bounded-verify",
+        action="store_true",
+        help="disable τ-bounded verification (run every surviving pair's "
+        "exact TED to completion instead of aborting once TED >= τ is "
+        "proven; the match set is identical either way)",
+    )
     join.add_argument("--workers", type=int, default=1, help="verification processes")
     join.add_argument("--stats", action="store_true", help="print per-stage join statistics")
 
@@ -150,15 +165,24 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "distance":
         tree_f = _load_tree_argument(args.tree_f, args.fmt)
         tree_g = _load_tree_argument(args.tree_g, args.fmt)
-        result = compute(tree_f, tree_g, algorithm=args.algorithm, engine=args.engine)
+        result = compute(
+            tree_f, tree_g, algorithm=args.algorithm, engine=args.engine,
+            cutoff=args.cutoff,
+        )
         if args.verbose:
             print(f"algorithm:   {result.algorithm}")
             if "engine" in result.extra:
                 print(f"engine:      {result.extra['engine']}")
-            print(f"distance:    {result.distance}")
+            if result.bounded:
+                print(f"distance:    >= {result.cutoff:g} (lower bound {result.lower_bound:g})")
+                print(f"aborted:     {'early' if result.aborted else 'final check'}")
+            else:
+                print(f"distance:    {result.distance}")
             print(f"subproblems: {result.subproblems}")
             print(f"strategy:    {result.strategy_time:.4f}s")
             print(f"total time:  {result.total_time:.4f}s")
+        elif result.bounded:
+            print(f">= {result.lower_bound:g}")
         else:
             print(result.distance)
         return 0
@@ -204,6 +228,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             approximate=args.approximate,
             workers=args.workers,
             workspace=not args.no_workspace,
+            bounded_verify=not args.no_bounded_verify,
         )
         for i, j, distance in result.matches:
             print(f"{i}\t{j}\t{distance:g}")
@@ -215,6 +240,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 print(f"# pruned by {stage}: {count}")
             print(f"# accepted early:   {stats.accepted_early}")
             print(f"# exact TED runs:   {stats.exact_computed}")
+            print(f"# aborted early:    {stats.aborted_early}")
             print(f"# matches:          {stats.matches}")
             print(f"# filter rate:      {stats.filter_rate:.3f}")
             print(f"# total time:       {stats.total_time:.4f}s")

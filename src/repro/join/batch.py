@@ -18,6 +18,7 @@ The v2 join pipeline (see ``DESIGN.md``, *Batch joins*):
 
 from __future__ import annotations
 
+import inspect
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
@@ -89,26 +90,75 @@ def _make_workspace(
 _WORKER_STATE: dict = {}
 
 
-def _init_worker(trees_a, trees_b, algorithm, engine, cost_model, use_workspace) -> None:
+def _init_worker(
+    trees_a, trees_b, algorithm, engine, cost_model, use_workspace, cutoff
+) -> None:
     _WORKER_STATE["trees_a"] = trees_a
     _WORKER_STATE["trees_b"] = trees_b if trees_b is not None else trees_a
     # Workspaces hold process-local caches, so each worker builds its own
     # (the parent's never crosses the pickle boundary).
     workspace = TedWorkspace(cost_model) if use_workspace else None
-    _WORKER_STATE["algorithm"] = _resolve_algorithm(algorithm, engine, workspace)
+    algo = _resolve_algorithm(algorithm, engine, workspace)
+    _WORKER_STATE["algorithm"] = algo
     _WORKER_STATE["cost_model"] = cost_model
+    _WORKER_STATE["cutoff"] = cutoff
+    _WORKER_STATE["bounded_ok"] = _supports_cutoff(algo)
 
 
-def _worker_chunk(pairs: List[Tuple[int, int]]) -> List[Tuple[int, int, float, int]]:
+def _supports_cutoff(algo: TEDAlgorithm) -> bool:
+    """Whether ``algo.compute`` accepts the ``cutoff`` keyword.
+
+    Every registry algorithm does; pre-built instances predating the
+    bounded-computation API may not, and a bounded batch silently falls back
+    to unbounded computation for them (the result tuples stay correct —
+    the exact distance is its own proving bound, never cut short).
+    """
+    try:
+        parameters = inspect.signature(algo.compute).parameters
+    except (TypeError, ValueError):  # pragma: no cover - exotic callables
+        # Fail closed: an uninspectable compute gets the unbounded fallback
+        # (always correct) instead of a speculative cutoff keyword.
+        return False
+    if "cutoff" in parameters:
+        return True
+    return any(
+        p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters.values()
+    )
+
+
+def _compute_entry(algo, tree_a, tree_b, i, j, cost_model, cutoff, bounded_ok=True):
+    """One batch result tuple — 4 fields unbounded, 5 fields with a cutoff.
+
+    With a cutoff, the value field is the exact distance for sub-cutoff
+    pairs and the proving lower bound (``≥ cutoff``) otherwise, so the
+    consumer's ``value < τ`` match test stays correct either way; the fifth
+    field flags computations the bounded kernels cut short.
+    ``bounded_ok=False`` (an algorithm without the ``cutoff`` keyword) keeps
+    the 5-tuple shape but computes unbounded.
+    """
+    if cutoff is None:
+        result = algo.compute(tree_a, tree_b, cost_model=cost_model)
+        return (i, j, result.distance, result.subproblems)
+    if not bounded_ok:
+        result = algo.compute(tree_a, tree_b, cost_model=cost_model)
+        return (i, j, result.distance, result.subproblems, False)
+    result = algo.compute(tree_a, tree_b, cost_model=cost_model, cutoff=cutoff)
+    if result.bounded:
+        return (i, j, result.lower_bound, result.subproblems, result.aborted)
+    return (i, j, result.distance, result.subproblems, False)
+
+
+def _worker_chunk(pairs: List[Tuple[int, int]]) -> List[Tuple]:
     trees_a = _WORKER_STATE["trees_a"]
     trees_b = _WORKER_STATE["trees_b"]
     algo = _WORKER_STATE["algorithm"]
     cost_model = _WORKER_STATE["cost_model"]
-    out = []
-    for i, j in pairs:
-        result = algo.compute(trees_a[i], trees_b[j], cost_model=cost_model)
-        out.append((i, j, result.distance, result.subproblems))
-    return out
+    cutoff = _WORKER_STATE["cutoff"]
+    bounded_ok = _WORKER_STATE["bounded_ok"]
+    return [
+        _compute_entry(algo, trees_a[i], trees_b[j], i, j, cost_model, cutoff, bounded_ok)
+        for i, j in pairs
+    ]
 
 
 def _resolve_algorithm(
@@ -139,10 +189,11 @@ def batch_distances(
     engine: Optional[str] = None,
     workers: int = 1,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
-    on_chunk: Optional[Callable[[List[Tuple[int, int, float, int]]], None]] = None,
+    on_chunk: Optional[Callable[[List[Tuple]], None]] = None,
     collect_results: bool = True,
     workspace: WorkspaceLike = True,
-) -> List[Tuple[int, int, float, int]]:
+    cutoff: Optional[float] = None,
+) -> List[Tuple]:
     """Exact TED for many index pairs: ``(i, j) → (i, j, distance, subproblems)``.
 
     ``trees_b=None`` interprets pairs within ``trees_a`` (self-join indexing).
@@ -165,6 +216,16 @@ def batch_distances(
     are bit-identical either way.  The workspace applies to registry *names*
     only — a pre-built algorithm instance runs exactly as configured, so an
     explicitly constructed oracle is never short-circuited.
+
+    ``cutoff`` switches the batch to *bounded* computation: every pair runs
+    ``compute(..., cutoff=cutoff)`` and result tuples gain a fifth field,
+    ``(i, j, value, subproblems, aborted)`` — ``value`` is the exact
+    distance when it is below the cutoff (bit-identical to the unbounded
+    batch) and the proving lower bound (``≥ cutoff``) otherwise, and
+    ``aborted`` flags pairs whose computation the bounded kernels cut short.
+    Pre-built algorithm instances whose ``compute`` predates the ``cutoff``
+    keyword are computed unbounded (same tuple shape, exact distances,
+    never aborted).
     """
     corpus_a = as_corpus(trees_a)
     corpus_b = as_corpus(trees_b) if trees_b is not None else None
@@ -180,14 +241,15 @@ def batch_distances(
     if workers <= 1 or len(pair_list) <= chunk_size:
         ws = _make_workspace(workspace, cost_model, corpus_a)
         algo = _resolve_algorithm(algorithm, engine, ws)
+        bounded_ok = cutoff is None or _supports_cutoff(algo)
         lookup_b = corpus_b.trees if corpus_b is not None else corpus_a.trees
         for chunk in _chunked(pair_list, chunk_size):
             chunk_results = [
-                (i, j, result.distance, result.subproblems)
-                for i, j in chunk
-                for result in (
-                    algo.compute(corpus_a.trees[i], lookup_b[j], cost_model=cost_model),
+                _compute_entry(
+                    algo, corpus_a.trees[i], lookup_b[j], i, j, cost_model, cutoff,
+                    bounded_ok,
                 )
+                for i, j in chunk
             ]
             if collect_results:
                 results.extend(chunk_results)
@@ -208,6 +270,7 @@ def batch_distances(
             engine,
             cost_model,
             workspace is not False and workspace is not None,
+            cutoff,
         ),
     ) as pool:
         for chunk_results in pool.imap_unordered(
@@ -262,6 +325,7 @@ def batch_similarity_join(
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     progress: Optional[Callable[[JoinStats], None]] = None,
     workspace: WorkspaceLike = True,
+    bounded_verify: bool = True,
 ) -> BatchJoinResult:
     """The corpus-indexed batch similarity join (``TED < threshold``).
 
@@ -280,6 +344,16 @@ def batch_similarity_join(
     layer, on by default and bit-identical to per-call contexts); filtering
     always runs in the parent process because it is cheap relative to exact
     TED.
+
+    ``bounded_verify`` (default on) runs the verifier with ``cutoff=τ``: a
+    survivor's exact TED computation aborts as soon as ``d ≥ τ`` is proven,
+    since the join only needs to know whether the pair is below the
+    threshold.  The match set — including every reported match distance — is
+    identical with and without bounded verification (the test suite asserts
+    this); only ``JoinStats.aborted_early`` and the verify-stage wall clock
+    change.  Disable it to record exact distances of non-matching survivors
+    via :func:`batch_distances` semantics (the join itself never reports
+    them either way).
     """
     stats = JoinStats()
     started = time.perf_counter()
@@ -346,10 +420,15 @@ def batch_similarity_join(
     # ---- stage 4: exact verification ------------------------------------ #
     tick = time.perf_counter()
 
-    def on_chunk(chunk_results: List[Tuple[int, int, float, int]]) -> None:
-        for i, j, distance, subproblems in chunk_results:
+    def on_chunk(chunk_results: List[Tuple]) -> None:
+        for entry in chunk_results:
+            i, j, distance, subproblems = entry[:4]
             stats.exact_computed += 1
             stats.total_subproblems += subproblems
+            if len(entry) > 4 and entry[4]:
+                stats.aborted_early += 1
+            # Bounded entries carry a lower bound ≥ τ in the distance field,
+            # so the strict match test is correct for both tuple shapes.
             if distance < threshold:
                 stats.exact_matched += 1
                 matches.append((i, j, distance))
@@ -371,6 +450,7 @@ def batch_similarity_join(
         on_chunk=on_chunk,
         collect_results=False,
         workspace=workspace,
+        cutoff=threshold if bounded_verify else None,
     )
 
     matches.sort()

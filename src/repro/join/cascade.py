@@ -244,6 +244,11 @@ class JoinStats:
     accepted_early: int = 0
     exact_computed: int = 0
     exact_matched: int = 0
+    aborted_early: int = 0
+    """Verifier runs the τ-bounded kernels cut short (``d ≥ τ`` proven
+    before the exact distance was finished); a subset of the non-matching
+    ``exact_computed`` pairs.  Zero when ``bounded_verify`` is off."""
+
     matches: int = 0
     total_subproblems: int = 0
     profile_time: float = 0.0
@@ -281,6 +286,7 @@ class JoinStats:
             "accepted_early": self.accepted_early,
             "exact_computed": self.exact_computed,
             "exact_matched": self.exact_matched,
+            "aborted_early": self.aborted_early,
             "matches": self.matches,
             "total_subproblems": self.total_subproblems,
             "filter_rate": self.filter_rate,

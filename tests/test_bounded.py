@@ -1,0 +1,532 @@
+"""Tests for τ-bounded (cutoff-aware) exact verification.
+
+Covers the bounded-computation contract end to end:
+
+* the cutoff property suite — ≥200 random pairs across shape families ×
+  {unit, fractional, string-rename} cost models × {workspace on/off,
+  serial/multiprocessing}: sub-cutoff results are bit-identical to the
+  unbounded kernels, at-or-above-cutoff results are sentinels whose proving
+  bound never exceeds the true distance, and joins are identical with and
+  without bounded verification;
+* τ == TED boundary regressions for every cascade stage and the verifier
+  (the ``TED < τ`` contract), under unit and fractional cost models;
+* the bounded surfaces: ``api.compute`` / ``api.tree_edit_distance`` /
+  ``batch_distances(cutoff=)`` / ``JoinStats.aborted_early`` / the CLI.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro import BoundedResult, compare_algorithms, compute, tree_edit_distance
+from repro.algorithms import (
+    GTED,
+    RTED,
+    LeftFStrategy,
+    RightGStrategy,
+    TedWorkspace,
+    ZhangShashaTED,
+    make_algorithm,
+)
+from repro.algorithms.base import CutoffExceeded, cutoff_band, cutoff_precheck
+from repro.algorithms.zhang_shasha import zhang_shasha_distance
+from repro.cli import main as cli_main
+from repro.costs import (
+    StringRenameCostModel,
+    UnitCostModel,
+    WeightedCostModel,
+)
+from repro.datasets import clustered_corpus, make_shape, random_tree
+from repro.io import parse_bracket
+from repro.join import batch_distances, batch_self_join
+
+EXACT = ZhangShashaTED()
+
+#: Dyadic fractional model: every cost is an exact float and sums commute
+#: bit-exactly, so boundary tests at ``TED == τ`` are deterministic.
+FRACTIONAL = WeightedCostModel(0.5, 0.5, 0.5)
+
+
+def shape_family_pairs(count, seed=20110713):
+    """Deterministic tree pairs spanning the shape families (≥ ``count``)."""
+    generator = random.Random(seed)
+    shapes = ["left-branch", "right-branch", "full-binary", "zigzag", "mixed"]
+    pairs = []
+    while len(pairs) < count:
+        kind = generator.randrange(3)
+        if kind == 0:
+            f = random_tree(generator.randint(1, 24), rng=generator)
+            g = random_tree(generator.randint(1, 24), rng=generator)
+        elif kind == 1:
+            f = make_shape(generator.choice(shapes), generator.randint(3, 24))
+            g = make_shape(generator.choice(shapes), generator.randint(3, 24))
+        else:
+            base = random_tree(generator.randint(4, 24), rng=generator)
+            f = base
+            g = random_tree(base.n, rng=generator)
+        pairs.append((f, g))
+    return pairs
+
+
+class TestCutoffContract:
+    """compute(cutoff=τ): exact below τ, a sound sentinel otherwise."""
+
+    @pytest.mark.parametrize("name", ["rted", "zhang-l", "zhang-r", "klein-h", "demaine-h"])
+    def test_exact_below_and_bounded_at_or_above(self, name):
+        algo = make_algorithm(name)
+        # str hashes are salted per process; derive a stable per-name seed.
+        seed = sum(ord(ch) for ch in name)
+        for f, g in shape_family_pairs(12, seed=seed):
+            exact = algo.compute(f, g).distance
+            for cutoff in (exact * 0.5 + 0.25, exact, exact + 0.5, exact * 2 + 1.0):
+                result = algo.compute(f, g, cutoff=cutoff)
+                if exact < cutoff:
+                    assert not result.bounded
+                    assert result.distance == exact  # bit-identical
+                else:
+                    assert result.bounded
+                    assert cutoff <= result.lower_bound <= exact
+
+    def test_bounded_result_has_no_distance_attribute(self):
+        result = compute("{a}", "{b{c}{d}{e}}", cutoff=1.0)
+        assert isinstance(result, BoundedResult)
+        assert not hasattr(result, "distance")
+        assert result.lower_bound >= result.cutoff
+
+    def test_precheck_skips_computation_entirely(self):
+        f = parse_bracket("{a}")
+        g = parse_bracket("{a" + "{b}" * 9 + "}")
+        result = RTED().compute(f, g, cutoff=2.0)
+        assert result.bounded and result.aborted
+        assert result.subproblems == 0
+        assert result.lower_bound == 9.0
+
+    def test_non_positive_cutoff_is_always_bounded(self):
+        tree = parse_bracket("{a{b}}")
+        result = compute(tree, tree, cutoff=0.0)
+        assert result.bounded and result.lower_bound >= 0.0
+        assert tree_edit_distance(tree, tree, cutoff=0.0) == math.inf
+
+    def test_tree_edit_distance_returns_inf_when_bounded(self):
+        assert tree_edit_distance("{a{b}{c}}", "{a{b}{c}}", cutoff=5.0) == 0.0
+        assert tree_edit_distance("{a{b}{c}}", "{x{y{z}}}", cutoff=1.0) == math.inf
+
+    def test_no_positive_floor_disables_aborts_but_keeps_final_check(self):
+        model = StringRenameCostModel()
+        assert cutoff_band(model) is None
+        f = random_tree(12, rng=5)
+        g = random_tree(12, rng=6)
+        exact = EXACT.compute(f, g, cost_model=model).distance
+        bounded = EXACT.compute(f, g, cost_model=model, cutoff=exact)
+        assert bounded.bounded and not bounded.aborted
+        assert bounded.lower_bound == exact
+        ok = EXACT.compute(f, g, cost_model=model, cutoff=exact + 0.5)
+        assert not ok.bounded and ok.distance == exact
+
+    def test_recursive_engine_applies_final_check(self):
+        f = random_tree(10, rng=1)
+        g = random_tree(10, rng=2)
+        spf = make_algorithm("rted").compute(f, g)
+        recursive = make_algorithm("rted", engine="recursive").compute(
+            f, g, cutoff=spf.distance
+        )
+        assert recursive.bounded and not recursive.aborted
+        assert recursive.lower_bound == spf.distance
+
+    def test_gted_right_g_strategy_bounded(self):
+        # A G-side decomposition exercises the swapped kernel orientation.
+        algo = GTED(RightGStrategy())
+        f = random_tree(14, rng=8)
+        g = random_tree(14, rng=9)
+        exact = algo.compute(f, g).distance
+        assert algo.compute(f, g, cutoff=exact + 1.0).distance == exact
+        bounded = algo.compute(f, g, cutoff=exact)
+        assert bounded.bounded and bounded.lower_bound <= exact
+
+    def test_scalar_and_vector_kernels_agree_on_abort(self, monkeypatch):
+        # Force the scalar fallback by raising the vectorization threshold,
+        # then compare against the default (vectorized) kernels.
+        from repro.algorithms import spf_numpy
+
+        algo = GTED(LeftFStrategy())
+        f = random_tree(40, rng=11)
+        g = random_tree(40, rng=12)
+        exact = algo.compute(f, g).distance
+        for cutoff in (exact / 2, exact, exact + 1.0):
+            vector = algo.compute(f, g, cutoff=cutoff)
+            monkeypatch.setattr(spf_numpy, "MIN_VECTOR_COLS", 10_000)
+            scalar = algo.compute(f, g, cutoff=cutoff)
+            monkeypatch.undo()
+            assert vector.bounded == scalar.bounded
+            if not vector.bounded:
+                assert vector.distance == scalar.distance == exact
+
+    def test_non_dyadic_costs_respect_float_accumulation(self):
+        # Regression: with all-0.1 costs, ten float additions give
+        # 0.9999999999999999 while the bound machinery's single multiply
+        # gives 0.1 * 10 == 1.0 — without the round-off slack
+        # (base.CUTOFF_SLACK) a cutoff of 1.0 mis-classified this pair as
+        # bounded even though its (float) distance is below the cutoff.
+        model = WeightedCostModel(0.1, 0.1, 0.1)
+        f = parse_bracket("{a" * 11 + "}" * 11)
+        g = parse_bracket("{a}")
+        for name in ("rted", "zhang-l", "zhang-r", "klein-h", "simple"):
+            algo = make_algorithm(name)
+            exact = algo.compute(f, g, cost_model=model).distance
+            assert exact < 1.0  # the float-accumulated sum rounds below 1.0
+            result = algo.compute(f, g, cost_model=model, cutoff=1.0)
+            assert not result.bounded
+            assert result.distance == exact
+
+    def test_non_dyadic_fuzz_bounded_matches_unbounded(self):
+        model = WeightedCostModel(0.1, 0.3, 0.7)
+        for f, g in shape_family_pairs(30, seed=4242):
+            exact = EXACT.compute(f, g, cost_model=model).distance
+            for cutoff in (exact * 0.5 + 0.05, exact, exact + 0.1, exact * 3 + 1.0):
+                if cutoff <= 0:
+                    continue
+                result = EXACT.compute(f, g, cost_model=model, cutoff=cutoff)
+                if exact < cutoff:
+                    assert not result.bounded and result.distance == exact
+                else:
+                    assert result.bounded
+                    assert cutoff <= result.lower_bound <= max(exact, cutoff)
+
+    def test_banded_zhang_shasha_matches_unbounded_below_cutoff(self):
+        for f, g in shape_family_pairs(20, seed=99):
+            for model in (UnitCostModel(), FRACTIONAL):
+                exact, subproblems, _ = zhang_shasha_distance(f, g, model)
+                bounded, banded_cells, _ = zhang_shasha_distance(
+                    f, g, model, cutoff=exact + 1.0
+                )
+                assert bounded == exact
+                assert banded_cells <= subproblems
+                with pytest.raises(CutoffExceeded) as info:
+                    zhang_shasha_distance(f, g, model, cutoff=max(exact, 0.5))
+                assert info.value.lower_bound <= max(exact, 0.5)
+
+
+class TestCutoffPropertySuite:
+    """≥200 pairs × cost models × workspace/serial-mp: the acceptance suite."""
+
+    PAIRS = shape_family_pairs(200)
+    MODELS = [
+        ("unit", None),
+        ("fractional", FRACTIONAL),
+        ("string-rename", StringRenameCostModel()),
+    ]
+
+    @pytest.mark.parametrize("model_name,model", MODELS, ids=[m[0] for m in MODELS])
+    @pytest.mark.parametrize("workspace", [True, False], ids=["workspace", "fresh"])
+    def test_bounded_batch_matches_unbounded(self, model_name, model, workspace):
+        trees = []
+        pairs = []
+        for f, g in self.PAIRS:
+            pairs.append((len(trees), len(trees) + 1))
+            trees.extend([f, g])
+        unbounded = batch_distances(
+            trees, None, pairs, algorithm="zhang-l", cost_model=model,
+            workspace=workspace,
+        )
+        cutoff = 4.0
+        bounded = batch_distances(
+            trees, None, pairs, algorithm="zhang-l", cost_model=model,
+            workspace=workspace, cutoff=cutoff,
+        )
+        assert len(bounded) == len(unbounded) == len(pairs)
+        for (i, j, exact, _), (bi, bj, value, _, aborted) in zip(unbounded, bounded):
+            assert (i, j) == (bi, bj)
+            if exact < cutoff:
+                # Exact below the cutoff, bit-identical to the unbounded run.
+                assert value == exact and not aborted
+            else:
+                # A sound proving bound: τ ≤ bound ≤ true distance.
+                assert cutoff <= value <= exact
+
+    def test_multiprocessing_matches_serial(self):
+        trees = []
+        pairs = []
+        for f, g in self.PAIRS[:60]:
+            pairs.append((len(trees), len(trees) + 1))
+            trees.extend([f, g])
+        serial = batch_distances(
+            trees, None, pairs, algorithm="zhang-l", cutoff=3.0
+        )
+        fanned = batch_distances(
+            trees, None, pairs, algorithm="zhang-l", cutoff=3.0,
+            workers=2, chunk_size=7,
+        )
+        assert sorted(serial) == sorted(fanned)
+
+    @pytest.mark.parametrize("model_name,model", MODELS, ids=[m[0] for m in MODELS])
+    def test_join_identical_with_and_without_bounded_verify(self, model_name, model):
+        trees = clustered_corpus(
+            num_clusters=6, cluster_size=6, tree_size=12, num_edits=4, rng=31
+        )
+        for threshold in (2.0, 3.5):
+            bounded = batch_self_join(
+                trees, threshold, cost_model=model, early_accept=False,
+                bounded_verify=True,
+            )
+            unbounded = batch_self_join(
+                trees, threshold, cost_model=model, early_accept=False,
+                bounded_verify=False,
+            )
+            assert bounded.matches == unbounded.matches
+            assert unbounded.stats.aborted_early == 0
+            assert bounded.stats.exact_computed == unbounded.stats.exact_computed
+
+
+class TestThresholdBoundary:
+    """Pairs sitting exactly at TED == τ must never match (``TED < τ``)."""
+
+    CASES = [
+        # (cost model, τ multiplier per operation)
+        (None, 1.0),
+        (FRACTIONAL, 0.5),
+    ]
+
+    @pytest.mark.parametrize("model,unit", CASES, ids=["unit", "fractional"])
+    def test_verifier_boundary(self, model, unit):
+        # d(f, g) == 2 operations exactly; τ == d must not match.
+        f = parse_bracket("{a{b}{c}}")
+        g = parse_bracket("{a{b}{x}{y}}")
+        assert EXACT.distance(f, g, cost_model=model) == 2 * unit
+        for bounded_verify in (True, False):
+            at = batch_self_join(
+                [f, g], 2 * unit, cost_model=model, use_cascade=False,
+                bounded_verify=bounded_verify,
+            )
+            assert at.match_set == set()
+            above = batch_self_join(
+                [f, g], 2 * unit + unit / 2, cost_model=model, use_cascade=False,
+                bounded_verify=bounded_verify,
+            )
+            assert above.match_set == {(0, 1)}
+
+    @pytest.mark.parametrize("model,unit", CASES, ids=["unit", "fractional"])
+    def test_size_stage_boundary(self, model, unit):
+        # Size difference == τ in operation space: the stage must prune, and
+        # pruning is correct because d ≥ τ excludes a strict-< match.
+        f = parse_bracket("{a}")
+        g = parse_bracket("{a{b}{c}}")
+        assert EXACT.distance(f, g, cost_model=model) == 2 * unit
+        result = batch_self_join([f, g], 2 * unit, cost_model=model)
+        assert result.match_set == set()
+        assert result.stats.stage_pruned.get("size", 0) == 1
+
+    @pytest.mark.parametrize("model,unit", CASES, ids=["unit", "fractional"])
+    def test_label_stage_boundary(self, model, unit):
+        # Same sizes (size stage passes); label multisets differ in exactly
+        # τ positions and d == τ.
+        f = parse_bracket("{a{b}{c}}")
+        g = parse_bracket("{a{x}{y}}")
+        assert EXACT.distance(f, g, cost_model=model) == 2 * unit
+        result = batch_self_join([f, g], 2 * unit, cost_model=model, use_candidate_index=False)
+        assert result.match_set == set()
+        pruned = result.stats.stage_pruned
+        assert pruned.get("label", 0) == 1, pruned
+
+    @pytest.mark.parametrize("model,unit", CASES, ids=["unit", "fractional"])
+    def test_upper_bound_accept_boundary(self, model, unit):
+        # Identical shapes, k label mismatches: the top-down upper bound
+        # equals the exact distance, so at τ == d the accept stage must NOT
+        # fire (strict <) and the pair must not match.
+        f = parse_bracket("{a{b}{c}{d}}")
+        g = parse_bracket("{a{b}{x}{y}}")
+        assert EXACT.distance(f, g, cost_model=model) == 2 * unit
+        at = batch_self_join([f, g], 2 * unit, cost_model=model)
+        assert at.match_set == set()
+        assert at.stats.accepted_early == 0
+        above = batch_self_join([f, g], 2 * unit + unit / 2, cost_model=model)
+        assert above.match_set == {(0, 1)}
+        assert above.stats.accepted_early == 1
+
+    @pytest.mark.parametrize("model,unit", CASES, ids=["unit", "fractional"])
+    def test_traversal_and_branch_stage_boundaries(self, model, unit):
+        # Force the traversal-string / binary-branch stages to the decision
+        # by disabling earlier pruning via use_candidate_index=False and
+        # observing that a TED == τ pair never matches whichever stage rules.
+        f = random_tree(10, rng=77)
+        g = random_tree(10, rng=78)
+        d = EXACT.distance(f, g, cost_model=model)
+        assert d > 0
+        result = batch_self_join([f, g], d, cost_model=model, use_candidate_index=False)
+        assert result.match_set == set()
+        above = batch_self_join(
+            [f, g], d + unit / 2, cost_model=model, use_candidate_index=False
+        )
+        assert above.match_set == {(0, 1)}
+
+    def test_small_pair_sweep_boundary(self):
+        # Disjoint-branch pairs with |F| + |G| == 5·τ_ops are correctly
+        # prunable (BBD/5 ≥ τ_ops ⇒ d ≥ τ): the index must not materialize
+        # them, and must keep pairs one node smaller.
+        from repro.join import TreeCorpus, branch_candidate_pairs
+
+        f = parse_bracket("{a{a}{a}{a}{a}}")   # 5 nodes, branches disjoint from g
+        g = parse_bracket("{x{x}{x}{x}{x}}")   # 5 nodes
+        corpus = TreeCorpus([f, g])
+        candidates, skipped = branch_candidate_pairs(corpus, None, 2.0)
+        assert candidates == set() and skipped == 1
+        candidates, _ = branch_candidate_pairs(corpus, None, 2.5)
+        assert candidates == {(0, 1)}
+
+
+class TestLegacyAlgorithmInstances:
+    def test_pre_cutoff_compute_signature_still_joins(self):
+        # A pre-built instance whose compute() predates the cutoff keyword
+        # must keep working under the bounded-verify default: the batch
+        # falls back to unbounded computation for it.
+        class LegacyTED(ZhangShashaTED):
+            def compute(self, tree_f, tree_g, cost_model=None):
+                return super().compute(tree_f, tree_g, cost_model=cost_model)
+
+        trees = clustered_corpus(
+            num_clusters=4, cluster_size=5, tree_size=10, num_edits=3, rng=55
+        )
+        legacy = batch_self_join(trees, 2.5, algorithm=LegacyTED(), early_accept=False)
+        modern = batch_self_join(trees, 2.5, algorithm="zhang-l", early_accept=False)
+        assert legacy.matches == modern.matches
+        assert legacy.stats.aborted_early == 0
+
+    def test_legacy_instance_in_bounded_batch_distances(self):
+        class LegacyTED(ZhangShashaTED):
+            def compute(self, tree_f, tree_g, cost_model=None):
+                return super().compute(tree_f, tree_g, cost_model=cost_model)
+
+        f = random_tree(8, rng=1)
+        g = random_tree(8, rng=2)
+        rows = batch_distances([f, g], None, [(0, 1)], algorithm=LegacyTED(), cutoff=1.0)
+        (i, j, value, _, aborted) = rows[0]
+        assert (i, j) == (0, 1) and not aborted
+        assert value == EXACT.distance(f, g)
+
+
+class TestJoinAbortStats:
+    def test_aborted_early_counts_cut_short_verifications(self):
+        trees = clustered_corpus(
+            num_clusters=8, cluster_size=8, tree_size=12, num_edits=4, rng=13
+        )
+        result = batch_self_join(trees, 3.0, early_accept=False)
+        stats = result.stats
+        assert stats.aborted_early > 0
+        assert stats.aborted_early <= stats.exact_computed - stats.exact_matched
+        assert stats.as_dict()["aborted_early"] == stats.aborted_early
+
+    def test_workers_report_aborts_too(self):
+        trees = clustered_corpus(
+            num_clusters=6, cluster_size=6, tree_size=12, num_edits=4, rng=14
+        )
+        serial = batch_self_join(trees, 3.0, early_accept=False)
+        fanned = batch_self_join(trees, 3.0, early_accept=False, workers=2)
+        assert fanned.matches == serial.matches
+        assert fanned.stats.aborted_early == serial.stats.aborted_early
+
+
+class TestCompareAlgorithmsEngine:
+    def test_engine_is_threaded_and_reported(self):
+        f = parse_bracket("{a{b{c}}{d}}")
+        g = parse_bracket("{a{b{x}}{d}{e}}")
+        results = compare_algorithms(f, g, engine="recursive")
+        assert {r.extra["engine"] for r in results.values()} == {"recursive"}
+        distances = {r.distance for r in results.values()}
+        assert len(distances) == 1
+
+    def test_default_engine_reported_in_extra(self):
+        results = compare_algorithms("{a{b}}", "{a{c}}")
+        for name, result in results.items():
+            assert "engine" in result.extra
+        # GTED/RTED variants resolve auto to the spf executor and say so.
+        assert results["rted"].extra["engine"] == "spf"
+        # Dedicated single-implementation algorithms report the selector.
+        assert results["zhang-l"].extra["engine"] == "auto"
+
+    def test_unknown_engine_raises(self):
+        from repro.exceptions import UnknownEngineError
+
+        with pytest.raises(UnknownEngineError):
+            compare_algorithms("{a}", "{a}", engine="nope")
+
+
+class TestBoundedCLI:
+    def test_distance_cutoff_bounded(self, capsys):
+        code = cli_main(["distance", "{a{b}{c}}", "{x{y{z}}}", "--cutoff", "1.5"])
+        assert code == 0
+        out = capsys.readouterr().out.strip()
+        assert out.startswith(">=")
+
+    def test_distance_cutoff_exact(self, capsys):
+        code = cli_main(["distance", "{a{b}{c}}", "{a{b}{x}}", "--cutoff", "5"])
+        assert code == 0
+        assert capsys.readouterr().out.strip() == "1.0"
+
+    def test_distance_cutoff_verbose(self, capsys):
+        code = cli_main(
+            ["distance", "{a{b}{c}}", "{x{y{z}}}", "--cutoff", "1.5", "--verbose"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert ">= 1.5" in out and "aborted" in out
+
+    def test_join_stats_report_aborts(self, capsys, tmp_path):
+        collection = tmp_path / "trees.txt"
+        collection.write_text("{a{b}{c}}\n{a{b}{x}{y}{z}}\n{q{r}{s}}\n")
+        code = cli_main(
+            ["join", f"@{collection}", "--threshold", "2", "--stats"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "# aborted early:" in out
+
+    def test_join_no_bounded_verify_flag(self, capsys, tmp_path):
+        collection = tmp_path / "trees.txt"
+        collection.write_text("{a{b}{c}}\n{a{b}{x}}\n")
+        code = cli_main(
+            [
+                "join", f"@{collection}", "--threshold", "2",
+                "--no-bounded-verify", "--stats",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "# aborted early:    0" in out
+
+
+class TestWorkspaceBounded:
+    def test_small_pair_fast_path_aborts(self):
+        workspace = TedWorkspace()
+        algo = make_algorithm("zhang-l", workspace=workspace)
+        f = random_tree(12, rng=21)
+        g = random_tree(12, rng=22)
+        exact = EXACT.distance(f, g)
+        assert exact > 1.0
+        result = algo.compute(f, g, cutoff=1.0)
+        assert result.bounded and result.aborted
+        assert result.extra.get("workspace") == "small-pair-unit"
+        assert workspace.stats.small_pair_runs >= 1
+
+    def test_small_pair_bounded_is_bit_identical_below_cutoff(self):
+        workspace = TedWorkspace()
+        algo = make_algorithm("zhang-l", workspace=workspace)
+        for f, g in shape_family_pairs(40, seed=17):
+            exact = algo.compute(f, g).distance
+            bounded = algo.compute(f, g, cutoff=exact + 1.0)
+            assert not bounded.bounded
+            assert bounded.distance == exact
+
+    def test_precheck_raise_carries_size_bound(self):
+        workspace = TedWorkspace()
+        f = random_tree(4, rng=1)
+        g = random_tree(16, rng=2)
+        with pytest.raises(CutoffExceeded) as info:
+            workspace.compute_small(f, g, cutoff=3.0)
+        assert info.value.lower_bound == 12.0
+
+    def test_cutoff_precheck_helper(self):
+        f = random_tree(3, rng=1)
+        g = random_tree(9, rng=2)
+        assert cutoff_precheck(f, g, UnitCostModel(), 6.0) == 6.0
+        assert cutoff_precheck(f, g, UnitCostModel(), 6.5) is None
+        assert cutoff_precheck(f, g, StringRenameCostModel(), 6.0) is None

@@ -81,3 +81,45 @@ class TestMappingValidity:
         mapping = compute_edit_mapping(t1, t2, cost_model=model)
         distance = ZhangShashaTED().distance(t1, t2, cost_model=model)
         assert mapping_cost(mapping, t1, t2, cost_model=model) == pytest.approx(distance)
+
+
+class TestExactBacktrace:
+    """The backtrace compares candidates with exact float equality.
+
+    An absolute epsilon (the previous implementation used 1e-9) mis-selects
+    branches whenever operation costs sit at or below the tolerance — every
+    comparison looks like a tie, so the walk degenerates into deletes and
+    inserts — and can over-match for large-magnitude costs where distinct
+    sums lie closer together than the tolerance.
+
+    The cost models are chosen dyadic (powers of two) so that sums are
+    exact floats regardless of association and the equality assertions below
+    are deterministic, not approximate.
+    """
+
+    MODELS = [
+        ("unit", UnitCostModel()),
+        ("fractional", WeightedCostModel(0.5, 0.25, 0.5)),
+        ("tiny", WeightedCostModel(2.0 ** -40, 2.0 ** -40, 2.0 ** -41)),
+        ("huge", WeightedCostModel(2.0 ** 30, 2.0 ** 30, 2.0 ** 20)),
+    ]
+
+    @pytest.mark.parametrize("name,model", MODELS, ids=[m[0] for m in MODELS])
+    def test_property_mapping_cost_equals_distance_exactly(self, name, model):
+        for tree_f, tree_g in random_tree_pairs(count=25, max_size=14, seed=101):
+            mapping = compute_edit_mapping(tree_f, tree_g, cost_model=model)
+            distance = ZhangShashaTED().distance(tree_f, tree_g, cost_model=model)
+            assert mapping.cost == distance
+            assert mapping_cost(mapping, tree_f, tree_g, cost_model=model) == distance
+            assert mapping.is_valid_mapping(tree_f, tree_g)
+
+    def test_tiny_costs_still_prefer_matches(self):
+        # With every operation costing 2^-40, identical trees must map
+        # node-for-node at cost 0 — the epsilon backtrace collapsed this
+        # into a full delete+insert script instead.
+        tree = parse_bracket("{a{b{c}}{d}{e}}")
+        model = WeightedCostModel(2.0 ** -40, 2.0 ** -40, 2.0 ** -40)
+        mapping = compute_edit_mapping(tree, tree, cost_model=model)
+        assert mapping.cost == 0.0
+        assert len(mapping.matches) == tree.n
+        assert mapping.deletions == [] and mapping.insertions == []
