@@ -1,0 +1,316 @@
+#!/usr/bin/env python3
+"""Benchmark: the struct-of-arrays batch kernel and the compiled backend.
+
+Measures the per-pair cost of small unit-cost TED through three kernels —
+always asserting bit-identical results between them first:
+
+* **scalar** — PR 4's per-pair fast path (``TedWorkspace.compute_small``),
+  the ~130 µs/pair baseline recorded by ``bench_batch_ted.py``;
+* **numpy** — the lockstep SoA batch kernel
+  (:func:`repro.algorithms.batch_kernel.run_batch`), one vectorized row
+  update per DP step across all lanes;
+* **native** — the compiled backend
+  (:func:`repro.algorithms.native.native_batch`, Numba or a
+  runtime-compiled C library), one library call per batch.
+
+Measurement families:
+
+* **headline** — the 1000-pair 12-node clustered ``rted`` batch of
+  ``bench_batch_ted.py`` (the ROADMAP target: ≤ 10 µs/pair, ≥ 10x over the
+  PR 4 scalar baseline), unbounded and τ-bounded (cutoff 3);
+* **size classes** — the speedup curve at 8/16/32/64-node trees;
+* **cutoff sweep** (``--sweep``) — per-pair cost of the small-pair fast
+  path vs the full spf executor across tree sizes, the experiment behind
+  the ``RTED_SMALL_PAIR_CUTOFF`` default of 64.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_batch_kernel.py           # full, writes BENCH_batch.json
+    PYTHONPATH=src python benchmarks/bench_batch_kernel.py --sweep   # full + cutoff sweep
+    PYTHONPATH=src python benchmarks/bench_batch_kernel.py --quick   # CI smoke gate
+
+In ``--quick`` mode nothing is written unless ``--output`` is given, and the
+process exits non-zero unless every kernel is bit-identical to the scalar
+reference and the batch kernels do not regress it (plus, when a compiled
+provider is present, native stays ≤ 25 µs/pair on the reduced headline —
+conservative CI gates; the committed full-mode ``BENCH_batch.json`` records
+the reference numbers, ≈ 3 µs/pair native on the baseline container).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import random
+import sys
+import time
+from pathlib import Path
+from statistics import median
+from typing import Dict, List, Optional, Tuple
+
+from repro.algorithms import TedWorkspace, make_algorithm
+from repro.algorithms.base import CutoffExceeded
+from repro.algorithms.batch_kernel import build_corpus_pack, run_batch
+from repro.algorithms.native import native_available, native_batch, native_provider
+from repro.datasets import clustered_corpus
+
+DEFAULT_OUTPUT = Path(__file__).parent / "BENCH_batch.json"
+
+#: PR 4's scalar small-pair baseline on the headline workload (the
+#: ``per_pair_us_workspace_median`` of the previous ``BENCH_batch.json``).
+PR4_BASELINE_US = 129.86
+
+HEADLINE_CUTOFF = 3.0
+
+
+def make_workload(tree_size: int, pairs: int, rng: int = 1):
+    """The clustered verify-stage workload of ``bench_batch_ted.py``."""
+    trees = clustered_corpus(
+        num_clusters=10, cluster_size=10, tree_size=tree_size, num_edits=2, rng=rng
+    )
+    all_pairs = [
+        (i, j) for i in range(len(trees)) for j in range(i + 1, len(trees))
+    ]
+    random.Random(41).shuffle(all_pairs)
+    return trees, all_pairs[:pairs]
+
+
+def scalar_run(workspace, trees, pairs, cutoff):
+    """(total_seconds, results) for the per-pair scalar kernel."""
+    compute_small = workspace.compute_small
+    out: List[Tuple] = []
+    start = time.perf_counter()
+    for i, j in pairs:
+        try:
+            value, cells = compute_small(trees[i], trees[j], cutoff=cutoff)
+            out.append((value, cells, False))
+        except CutoffExceeded as exceeded:
+            out.append((exceeded.lower_bound, exceeded.subproblems, True))
+    return time.perf_counter() - start, out
+
+
+def batch_run(kernel, pack, fi, gi, cutoff):
+    """(total_seconds, results) for one whole-batch kernel call."""
+    start = time.perf_counter()
+    out = kernel(pack, pack, fi, gi, cutoff=cutoff)
+    elapsed = time.perf_counter() - start
+    if out is None:
+        return None, None
+    values, cells, aborted = out
+    results = [
+        (float(values[p]), int(cells[p]), bool(aborted[p]))
+        for p in range(len(fi))
+    ]
+    return elapsed, results
+
+
+def measure_kernels(trees, pairs, cutoff, repeats: int) -> Dict:
+    """Median per-pair µs for every kernel on one workload, identity-checked.
+
+    In bounded mode pairs failing the ``|n − m| ≥ τ`` pre-check are excluded
+    (the chunk driver answers them without touching any kernel), so every
+    kernel runs the same lane set.
+    """
+    workspace = TedWorkspace()
+    if cutoff is not None:
+        pairs = [
+            (i, j) for i, j in pairs if abs(trees[i].n - trees[j].n) < cutoff
+        ]
+    pack = build_corpus_pack(trees, workspace.interner, workspace.small_pair_cutoff)
+    # Only kernel-eligible lanes are comparable across kernels (perturbation
+    # can push a few trees past the size cutoff; those pairs take the
+    # per-pair executor in production and are excluded here).
+    before = len(pairs)
+    pairs = [(i, j) for i, j in pairs if pack.eligible[i] and pack.eligible[j]]
+    if len(pairs) != before:
+        print(f"  (dropped {before - len(pairs)} kernel-ineligible pairs)")
+    fi = [i for i, _ in pairs]
+    gi = [j for _, j in pairs]
+    for tree in trees:  # warm the per-tree caches out of the timed region
+        workspace._small_arrays(tree)
+
+    times: Dict[str, List[float]] = {"scalar": [], "numpy": [], "native": []}
+    reference = None
+    for _ in range(repeats):
+        elapsed, results = scalar_run(workspace, trees, pairs, cutoff)
+        times["scalar"].append(elapsed)
+        if reference is None:
+            reference = results
+        assert results == reference
+
+        elapsed, results = batch_run(run_batch, pack, fi, gi, cutoff)
+        assert results == reference, "numpy batch kernel diverged from scalar"
+        times["numpy"].append(elapsed)
+
+        if native_available():
+            elapsed, results = batch_run(native_batch, pack, fi, gi, cutoff)
+            assert results is not None
+            assert results == reference, "native kernel diverged from scalar"
+            times["native"].append(elapsed)
+
+    n = max(1, len(pairs))
+    entry: Dict = {"pairs": len(pairs), "cutoff": cutoff, "per_pair_us": {}}
+    for kernel, samples in times.items():
+        if samples:
+            entry["per_pair_us"][kernel] = median(samples) / n * 1e6
+    scalar_us = entry["per_pair_us"]["scalar"]
+    entry["speedup_vs_scalar"] = {
+        kernel: scalar_us / us
+        for kernel, us in entry["per_pair_us"].items()
+        if kernel != "scalar"
+    }
+    return entry
+
+
+def run_headline(pairs: int, repeats: int) -> Dict:
+    trees, pair_list = make_workload(12, pairs)
+    unbounded = measure_kernels(trees, pair_list, None, repeats)
+    bounded = measure_kernels(trees, pair_list, HEADLINE_CUTOFF, repeats)
+    best = min(
+        unbounded["per_pair_us"].get("native", float("inf")),
+        unbounded["per_pair_us"]["numpy"],
+    )
+    return {
+        "workload": f"clustered 12-node corpus, {pairs} pairs, rted verify stage, unit costs",
+        "pr4_scalar_baseline_us": PR4_BASELINE_US,
+        "unbounded": unbounded,
+        "bounded": bounded,
+        "best_batch_per_pair_us": best,
+        "speedup_vs_pr4_baseline": PR4_BASELINE_US / best,
+    }
+
+
+def run_size_classes(repeats: int, quick: bool) -> List[Dict]:
+    entries = []
+    for size in (8, 16, 32, 64):
+        pairs = 200 if quick else (1000 if size <= 16 else 400)
+        trees, pair_list = make_workload(size, pairs, rng=size)
+        entry = measure_kernels(trees, pair_list, None, repeats)
+        entry["tree_size"] = size
+        entries.append(entry)
+    return entries
+
+
+def run_cutoff_sweep(repeats: int) -> Dict:
+    """Small-pair fast path vs the spf executor across tree sizes.
+
+    ``small_pair_cutoff`` decides which pairs take the flat keyroot program
+    instead of the full strategy-driven executor; the crossover of the two
+    curves is the evidence behind the default (64, overridable via
+    ``RTED_SMALL_PAIR_CUTOFF``).
+    """
+    rows = []
+    for size in (16, 32, 48, 64, 80, 96):
+        trees, pair_list = make_workload(size, 60, rng=size)
+        per_path = {}
+        for path, cutoff_setting in (("small_pair", 128), ("spf_executor", 0)):
+            algo = make_algorithm(
+                "rted", workspace=TedWorkspace(small_pair_cutoff=cutoff_setting)
+            )
+            samples = []
+            for _ in range(repeats):
+                start = time.perf_counter()
+                for i, j in pair_list:
+                    algo.compute(trees[i], trees[j])
+                samples.append(time.perf_counter() - start)
+            per_path[path] = median(samples) / len(pair_list) * 1e6
+        rows.append({"tree_size": size, "per_pair_us": per_path})
+    return {
+        "workloads": rows,
+        "chosen_default": 64,
+        "note": "small-pair fast path per-pair cost vs the spf executor; "
+        "the flat program wins at every size but its edge narrows (~5x at "
+        "16 nodes, ~1.2x at 96) while its reusable buffers grow "
+        "quadratically with the cutoff — 64 keeps the decisive wins and "
+        "leaves strategy selection to the executor where it starts to "
+        "matter",
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--quick", action="store_true", help="CI smoke gate")
+    parser.add_argument("--sweep", action="store_true", help="include the cutoff sweep")
+    parser.add_argument("--output", type=Path, default=None)
+    args = parser.parse_args(argv)
+
+    pairs = 200 if args.quick else 1000
+    repeats = 3 if args.quick else 7
+
+    provider = native_provider()
+    print(f"native provider: {provider or 'none (pure NumPy fallback)'}")
+
+    headline = run_headline(pairs, repeats)
+    up = headline["unbounded"]["per_pair_us"]
+    print(
+        f"headline 12-node x{pairs}: scalar {up['scalar']:.1f} us/pair, "
+        f"numpy {up['numpy']:.1f} us/pair"
+        + (f", native {up['native']:.2f} us/pair" if "native" in up else "")
+    )
+    print(
+        f"best batch kernel: {headline['best_batch_per_pair_us']:.2f} us/pair "
+        f"({headline['speedup_vs_pr4_baseline']:.1f}x vs PR 4 baseline "
+        f"{PR4_BASELINE_US} us/pair)"
+    )
+
+    size_classes = run_size_classes(repeats, args.quick)
+    for entry in size_classes:
+        speed = ", ".join(
+            f"{kernel} {us:.1f}" for kernel, us in entry["per_pair_us"].items()
+        )
+        print(f"size {entry['tree_size']:>2}: {speed} us/pair")
+
+    report = {
+        "benchmark": "batch-vectorized small-pair TED (SoA batch kernel + compiled backend)",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "native_provider": provider,
+        "pr4_scalar_baseline_us": PR4_BASELINE_US,
+        "headline": headline,
+        "size_classes": size_classes,
+    }
+    if args.sweep:
+        report["cutoff_sweep"] = run_cutoff_sweep(repeats)
+        for row in report["cutoff_sweep"]["workloads"]:
+            per = row["per_pair_us"]
+            print(
+                f"sweep size {row['tree_size']:>2}: small-pair "
+                f"{per['small_pair']:.0f} us vs spf {per['spf_executor']:.0f} us"
+            )
+
+    if args.quick:
+        failures = []
+        best = headline["best_batch_per_pair_us"]
+        if provider is not None:
+            # Compiled leg: the ROADMAP target with generous CI headroom.
+            if up.get("native", 0.0) > 25.0:
+                failures.append(f"native kernel too slow: {up['native']:.1f} us/pair")
+            if best > up["scalar"]:
+                failures.append(
+                    f"batch kernel regressed the scalar path "
+                    f"({best:.1f} vs {up['scalar']:.1f} us/pair)"
+                )
+        elif up["numpy"] > 2.0 * up["scalar"]:
+            # Fallback leg: the lockstep kernel only breaks even at small
+            # sizes, so gate it as a sanity bound, not a speedup.
+            failures.append(
+                f"numpy lockstep kernel unexpectedly slow "
+                f"({up['numpy']:.1f} vs scalar {up['scalar']:.1f} us/pair)"
+            )
+        if failures:
+            for failure in failures:
+                print(f"GATE FAILED: {failure}", file=sys.stderr)
+            return 1
+        print("quick gates passed (identity asserted on every run)")
+        if args.output is None:
+            return 0
+
+    output = args.output or DEFAULT_OUTPUT
+    output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,6 +2,7 @@
 
 from .base import (
     ENGINE_AUTO,
+    ENGINE_NATIVE,
     ENGINE_RECURSIVE,
     ENGINE_SPF,
     ENGINES,
@@ -40,6 +41,14 @@ from .optimal_strategy import (
 from .forest_engine import DecompositionEngine
 from .spf import SinglePathContext, spf_A, spf_H, spf_L, spf_R
 from .workspace import LabelInterner, TedWorkspace, WorkspaceTED
+from .batch_kernel import (
+    CorpusPack,
+    build_corpus_pack,
+    kernel_available,
+    kernel_chunk_entries,
+    run_batch,
+)
+from .native import native_available, native_batch, native_provider, native_small_pair
 from .gted import GTED, StrategyExecutor
 from .rted import RTED, rted
 from .klein import KleinTED
@@ -59,6 +68,7 @@ __all__ = [
     "CutoffExceeded",
     "Stopwatch",
     "ENGINE_AUTO",
+    "ENGINE_NATIVE",
     "ENGINE_RECURSIVE",
     "ENGINE_SPF",
     "ENGINES",
@@ -97,6 +107,15 @@ __all__ = [
     "LabelInterner",
     "TedWorkspace",
     "WorkspaceTED",
+    "CorpusPack",
+    "build_corpus_pack",
+    "kernel_available",
+    "kernel_chunk_entries",
+    "run_batch",
+    "native_available",
+    "native_batch",
+    "native_provider",
+    "native_small_pair",
     "GTED",
     "StrategyExecutor",
     "RTED",

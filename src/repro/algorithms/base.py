@@ -28,8 +28,17 @@ from ..trees.tree import Tree
 ENGINE_AUTO = "auto"
 ENGINE_RECURSIVE = "recursive"
 ENGINE_SPF = "spf"
+#: ``native`` runs the iterative ``spf`` executor with the optional compiled
+#: backend (:mod:`repro.algorithms.native`) layered on top: small unit-cost
+#: pairs and the unit-mode region sweep go through a Numba ``@njit`` (or
+#: system-compiler) kernel when one is available, and fall back to the
+#: pure-Python/NumPy paths — bit-identically — when none is (no provider
+#: installed, or ``RTED_NO_NATIVE=1``).  ``auto`` never selects it: the
+#: compiled backend is opt-in, so default runs stay reproducible on machines
+#: without any provider.
+ENGINE_NATIVE = "native"
 
-ENGINES = (ENGINE_AUTO, ENGINE_RECURSIVE, ENGINE_SPF)
+ENGINES = (ENGINE_AUTO, ENGINE_RECURSIVE, ENGINE_SPF, ENGINE_NATIVE)
 
 
 def resolve_engine(engine: Optional[str]) -> str:

@@ -29,6 +29,7 @@ from ..costs import CostModel
 from ..trees.tree import HEAVY, LEFT, RIGHT, Tree
 from .base import (
     ENGINE_AUTO,
+    ENGINE_NATIVE,
     ENGINE_RECURSIVE,
     ENGINE_SPF,
     BoundedResult,
@@ -79,6 +80,7 @@ class StrategyExecutor:
         use_numpy: Optional[bool] = None,
         workspace=None,
         cutoff: Optional[float] = None,
+        use_native: bool = False,
     ) -> None:
         self.tree_f = tree_f
         self.tree_g = tree_g
@@ -86,6 +88,7 @@ class StrategyExecutor:
         self.context = SinglePathContext(
             tree_f, tree_g, cost_model=cost_model, use_numpy=use_numpy, workspace=workspace,
             cutoff=cutoff, cutoff_pair=(tree_f.root, tree_g.root),
+            use_native=use_native,
         )
         #: Relevant subproblems evaluated, in the paper's currency: keyroot
         #: table cells for left/right steps, chain-steps × |A(other)| for
@@ -196,9 +199,11 @@ def run_engine(
         recursive = DecompositionEngine(tree_f, tree_g, strategy, cost_model=cost_model)
         distance, subproblems = recursive.distance(), recursive.subproblems
     else:
+        # ``native`` runs the same iterative executor with the compiled
+        # region sweep opted in (absent providers fall back silently).
         executor = StrategyExecutor(
             tree_f, tree_g, strategy, cost_model=cost_model, workspace=workspace,
-            cutoff=cutoff,
+            cutoff=cutoff, use_native=engine == ENGINE_NATIVE,
         )
         try:
             distance = executor.distance()

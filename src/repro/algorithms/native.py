@@ -1,0 +1,732 @@
+"""Optional compiled backend for the unit-cost TED kernels (``engine=native``).
+
+The batch kernel (:mod:`repro.algorithms.batch_kernel`) removes per-pair
+*dispatch* overhead, but a 12-node pair still spends its time in a few
+hundred interpreted/vectorized DP-cell updates.  This module ports the exact
+small-pair left-path keyroot program (:meth:`TedWorkspace.compute_small` /
+``_small_pair_regions``, both modes) and the unit-mode region sweep of
+:func:`repro.algorithms.spf_numpy._region` to compiled code, through two
+interchangeable **providers**:
+
+``numba``
+    ``@njit``-compiled ports, lazily imported and compiled on first use.
+    Covers the batched small-pair kernel *and* the region sweep.
+``cc``
+    A self-contained C translation unit compiled on demand with the system
+    compiler (``$CC`` / ``cc`` / ``gcc`` / ``clang``) and loaded through
+    :mod:`ctypes` — no third-party dependency at all.  Covers the batched
+    small-pair kernel; the region sweep stays on the NumPy path.
+
+Provider selection is automatic (``numba`` preferred, then ``cc``) and every
+entry point degrades gracefully: when no provider is available — or the
+``RTED_NO_NATIVE=1`` kill-switch is set — callers receive ``None`` and fall
+back to the pure-Python/NumPy kernels, bit-identically.  ``engine="native"``
+therefore *always* resolves (``UnknownEngineError`` semantics are untouched);
+it just runs unaccelerated where no compiler exists.
+
+Bit-identity: both providers execute the same integer-valued float64
+arithmetic as the interpreted kernels — every add is by 1.0, every min is
+exact — and the bounded mode ports the banded sweep, the per-row abort test
+and the band cell accounting statement by statement, so values, subproblem
+counts and abort flags are equal, not just close.  The property suite
+asserts exact equality whenever a provider is importable.
+"""
+
+from __future__ import annotations
+
+import atexit
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+from typing import Optional, Sequence, Tuple
+
+try:  # Optional accelerator, mirroring repro.algorithms.workspace.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised only without numpy
+    _np = None
+
+
+#: Environment kill-switch: any non-empty value other than ``0`` disables
+#: every compiled provider (CI base legs set it to pin the fallback path).
+KILL_SWITCH = "RTED_NO_NATIVE"
+
+
+def _killed() -> bool:
+    value = os.environ.get(KILL_SWITCH, "")
+    return value not in ("", "0")
+
+
+# --------------------------------------------------------------------------- #
+# The C provider
+# --------------------------------------------------------------------------- #
+#: The complete C translation unit: a batched port of
+#: ``TedWorkspace._small_pair_regions`` (unbounded and banded sweeps).  Lanes
+#: are post-precheck — the ``|n − m| ≥ cutoff`` case never reaches the
+#: kernel — and per-lane outputs mirror the scalar contract: the exact
+#: distance, the evaluated cell count, and an abort flag whose value field
+#: carries the proving bound (the cutoff, exactly like ``CutoffExceeded``).
+_C_SOURCE = r"""
+#include <stdint.h>
+#include <math.h>
+
+void ted_small_batch(
+    const int64_t* lml_a, const int64_t* codes_a, const int64_t* kr_a,
+    const int64_t* noff_a, const int64_t* koff_a, const int64_t* kcnt_a,
+    const int64_t* sizes_a,
+    const int64_t* lml_b, const int64_t* codes_b, const int64_t* kr_b,
+    const int64_t* noff_b, const int64_t* koff_b, const int64_t* kcnt_b,
+    const int64_t* sizes_b,
+    const int64_t* fi, const int64_t* gi, int64_t npairs,
+    int64_t has_cutoff, double cutoff,
+    double* D, double* fd, int64_t fd_stride,
+    double* out_val, int64_t* out_cells, uint8_t* out_ab)
+{
+    const double INF = HUGE_VAL;
+    int64_t band_w = 0;
+    if (has_cutoff) {
+        band_w = (int64_t) ceil(cutoff) - 1;
+        if (band_w < 0) band_w = 0;
+    }
+    for (int64_t p = 0; p < npairs; p++) {
+        int64_t ta = fi[p], tb = gi[p];
+        const int64_t* lml_f = lml_a + noff_a[ta];
+        const int64_t* codes_f = codes_a + noff_a[ta];
+        const int64_t* krf = kr_a + koff_a[ta];
+        int64_t nkf = kcnt_a[ta];
+        int64_t n = sizes_a[ta];
+        const int64_t* lml_g = lml_b + noff_b[tb];
+        const int64_t* codes_g = codes_b + noff_b[tb];
+        const int64_t* krg = kr_b + koff_b[tb];
+        int64_t nkg = kcnt_b[tb];
+        int64_t m = sizes_b[tb];
+
+        int64_t cells = 0;
+        int aborted = 0;
+
+        for (int64_t a = 0; a < nkf && !aborted; a++) {
+            int64_t kf = krf[a];
+            int64_t lf = lml_f[kf];
+            int64_t rows = kf - lf + 2;
+            for (int64_t b = 0; b < nkg && !aborted; b++) {
+                int64_t kg = krg[b];
+                int64_t lg = lml_g[kg];
+                int64_t cols = kg - lg + 2;
+                int final_region = has_cutoff && kf == n - 1 && kg == m - 1;
+                double* row = fd;
+                for (int64_t j = 0; j < cols; j++) row[j] = (double) j;
+                if (!has_cutoff) {
+                    for (int64_t i = 1; i < rows; i++) {
+                        int64_t node_f = lf + i - 1;
+                        int spans_f = lml_f[node_f] == lf;
+                        int64_t code_f = codes_f[node_f];
+                        int64_t offset = node_f * m;
+                        double* prev = fd + (i - 1) * fd_stride;
+                        double* cur = fd + i * fd_stride;
+                        double* split_row = fd + (lml_f[node_f] - lf) * fd_stride;
+                        cur[0] = (double) i;
+                        for (int64_t j = 1; j < cols; j++) {
+                            int64_t node_g = lg + j - 1;
+                            double best = prev[j] + 1.0;
+                            double cand = cur[j - 1] + 1.0;
+                            if (cand < best) best = cand;
+                            if (spans_f && lml_g[node_g] == lg) {
+                                cand = prev[j - 1]
+                                    + (code_f == codes_g[node_g] ? 0.0 : 1.0);
+                                if (cand < best) best = cand;
+                                cur[j] = best;
+                                D[offset + node_g] = best;
+                            } else {
+                                cand = split_row[lml_g[node_g] - lg]
+                                    + D[offset + node_g];
+                                if (cand < best) best = cand;
+                                cur[j] = best;
+                            }
+                        }
+                    }
+                    cells += (rows - 1) * (cols - 1);
+                    continue;
+                }
+                /* tau-bounded banded sweep (workspace._small_pair_regions) */
+                for (int64_t i = 1; i < rows; i++) {
+                    int64_t lo = i - band_w;
+                    if (lo < 1) lo = 1;
+                    int64_t hi = i + band_w;
+                    if (hi > cols - 1) hi = cols - 1;
+                    if (lo > hi) break;
+                    int64_t node_f = lf + i - 1;
+                    int spans_f = lml_f[node_f] == lf;
+                    int64_t code_f = codes_f[node_f];
+                    int64_t offset = node_f * m;
+                    double* prev = fd + (i - 1) * fd_stride;
+                    double* cur = fd + i * fd_stride;
+                    cur[0] = (double) i;
+                    if (lo > 1) cur[lo - 1] = INF;
+                    int64_t si = lml_f[node_f] - lf;
+                    double* split_row = fd + si * fd_stride;
+                    int64_t rem_f_node = node_f - lml_f[node_f];
+                    for (int64_t j = lo; j <= hi; j++) {
+                        int64_t node_g = lg + j - 1;
+                        double best = prev[j] + 1.0;
+                        double cand = cur[j - 1] + 1.0;
+                        if (cand < best) best = cand;
+                        if (spans_f && lml_g[node_g] == lg) {
+                            cand = prev[j - 1]
+                                + (code_f == codes_g[node_g] ? 0.0 : 1.0);
+                            if (cand < best) best = cand;
+                            cur[j] = best;
+                            D[offset + node_g] = best;
+                        } else {
+                            int64_t sc = lml_g[node_g] - lg;
+                            if (si == 0 || sc == 0
+                                || (si - band_w <= sc && sc <= si + band_w))
+                                cand = split_row[sc];
+                            else
+                                cand = INF;
+                            int64_t rem_g_node = node_g - lml_g[node_g];
+                            int64_t dr = rem_f_node - rem_g_node;
+                            if (dr < 0) dr = -dr;
+                            if (dr <= band_w)
+                                cand += D[offset + node_g];
+                            else
+                                cand = INF;
+                            if (cand < best) best = cand;
+                            cur[j] = best;
+                        }
+                    }
+                    if (hi + 1 <= cols - 1) cur[hi + 1] = INF;
+                    cells += hi - lo + 1;
+                    if (final_region) {
+                        /* base.check_row_cutoff(row, cols, rows-1-i, cutoff,
+                         * band=1, lo, hi, exact_values=False) */
+                        int64_t rem_f = rows - 1 - i;
+                        int64_t diag = cols - 1 - rem_f;
+                        if (lo <= diag && diag <= hi && cur[diag] < cutoff)
+                            continue;
+                        double best = INF;
+                        if (lo > 0) {
+                            int64_t d0 = rem_f - (cols - 1);
+                            if (d0 < 0) d0 = -d0;
+                            best = cur[0] + (double) d0;
+                        }
+                        for (int64_t j = lo; j <= hi; j++) {
+                            int64_t dj = rem_f - (cols - 1 - j);
+                            if (dj < 0) dj = -dj;
+                            double t = cur[j] + (double) dj;
+                            if (t < best) best = t;
+                        }
+                        if (best >= cutoff) {
+                            aborted = 1;
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        if (aborted) {
+            out_val[p] = cutoff;
+            out_cells[p] = cells;
+            out_ab[p] = 1;
+            continue;
+        }
+        double distance = D[(n - 1) * m + m - 1];
+        if (has_cutoff && distance >= cutoff) {
+            out_val[p] = cutoff;
+            out_cells[p] = cells;
+            out_ab[p] = 1;
+            continue;
+        }
+        out_val[p] = distance;
+        out_cells[p] = cells;
+        out_ab[p] = 0;
+    }
+}
+"""
+
+
+def _find_compiler() -> Optional[str]:
+    explicit = os.environ.get("CC")
+    if explicit:
+        resolved = shutil.which(explicit)
+        if resolved:
+            return resolved
+    for name in ("cc", "gcc", "clang"):
+        resolved = shutil.which(name)
+        if resolved:
+            return resolved
+    return None
+
+
+def _compile_cc_library():
+    """Compile :data:`_C_SOURCE` and return the loaded ctypes library.
+
+    The shared object is cached in the temp directory keyed by a source
+    hash, so repeated processes (multiprocessing workers, test runs) reuse
+    one compilation; the build itself is a single ~0.3 s compiler call.
+    Any failure — no compiler, sandboxed temp dir, broken toolchain —
+    propagates to the provider probe, which records the backend as
+    unavailable.
+    """
+    import ctypes
+
+    compiler = _find_compiler()
+    if compiler is None:
+        raise RuntimeError("no C compiler on PATH")
+    digest = hashlib.sha256(_C_SOURCE.encode()).hexdigest()[:16]
+    cache_dir = os.path.join(tempfile.gettempdir(), "rted-native")
+    os.makedirs(cache_dir, exist_ok=True)
+    lib_path = os.path.join(cache_dir, f"ted_native_{digest}.so")
+    if not os.path.exists(lib_path):
+        src_path = os.path.join(cache_dir, f"ted_native_{digest}.c")
+        with open(src_path, "w") as handle:
+            handle.write(_C_SOURCE)
+        with tempfile.NamedTemporaryFile(
+            dir=cache_dir, suffix=".so", delete=False
+        ) as tmp:
+            tmp_path = tmp.name
+        try:
+            subprocess.run(
+                [compiler, "-O2", "-shared", "-fPIC", "-o", tmp_path, src_path, "-lm"],
+                check=True,
+                capture_output=True,
+                timeout=120,
+            )
+            os.replace(tmp_path, lib_path)  # atomic vs. concurrent builders
+        finally:
+            if os.path.exists(tmp_path):
+                os.unlink(tmp_path)
+    lib = ctypes.CDLL(lib_path)
+    i64 = ctypes.c_int64
+    pi64 = ctypes.POINTER(i64)
+    pf64 = ctypes.POINTER(ctypes.c_double)
+    pu8 = ctypes.POINTER(ctypes.c_uint8)
+    lib.ted_small_batch.restype = None
+    lib.ted_small_batch.argtypes = (
+        [pi64] * 7 + [pi64] * 7 + [pi64, pi64, i64, i64, ctypes.c_double]
+        + [pf64, pf64, i64, pf64, pi64, pu8]
+    )
+    return lib
+
+
+# --------------------------------------------------------------------------- #
+# The Numba provider
+# --------------------------------------------------------------------------- #
+def _batch_kernel_source(
+    lml_a, codes_a, kr_a, noff_a, koff_a, kcnt_a, sizes_a,
+    lml_b, codes_b, kr_b, noff_b, koff_b, kcnt_b, sizes_b,
+    fi, gi, has_cutoff, cutoff, D, fd, out_val, out_cells, out_ab,
+):  # pragma: no cover - compiled (and exercised) only when numba is present
+    """The ``@njit`` twin of the C kernel (``fd`` is a 2-D scratch here)."""
+    INF = _np.inf
+    band_w = 0
+    if has_cutoff:
+        band_w = int(_np.ceil(cutoff)) - 1
+        if band_w < 0:
+            band_w = 0
+    for p in range(fi.shape[0]):
+        ta = fi[p]
+        tb = gi[p]
+        na = noff_a[ta]
+        nb = noff_b[tb]
+        ka = koff_a[ta]
+        kb = koff_b[tb]
+        nkf = kcnt_a[ta]
+        nkg = kcnt_b[tb]
+        n = sizes_a[ta]
+        m = sizes_b[tb]
+        cells = 0
+        aborted = False
+        for a in range(nkf):
+            if aborted:
+                break
+            kf = kr_a[ka + a]
+            lf = lml_a[na + kf]
+            rows = kf - lf + 2
+            for b in range(nkg):
+                if aborted:
+                    break
+                kg = kr_b[kb + b]
+                lg = lml_b[nb + kg]
+                cols = kg - lg + 2
+                final_region = has_cutoff and kf == n - 1 and kg == m - 1
+                for j in range(cols):
+                    fd[0, j] = float(j)
+                if not has_cutoff:
+                    for i in range(1, rows):
+                        node_f = lf + i - 1
+                        spans_f = lml_a[na + node_f] == lf
+                        code_f = codes_a[na + node_f]
+                        offset = node_f * m
+                        si = lml_a[na + node_f] - lf
+                        fd[i, 0] = float(i)
+                        for j in range(1, cols):
+                            node_g = lg + j - 1
+                            best = fd[i - 1, j] + 1.0
+                            cand = fd[i, j - 1] + 1.0
+                            if cand < best:
+                                best = cand
+                            if spans_f and lml_b[nb + node_g] == lg:
+                                if code_f == codes_b[nb + node_g]:
+                                    cand = fd[i - 1, j - 1]
+                                else:
+                                    cand = fd[i - 1, j - 1] + 1.0
+                                if cand < best:
+                                    best = cand
+                                fd[i, j] = best
+                                D[offset + node_g] = best
+                            else:
+                                cand = (
+                                    fd[si, lml_b[nb + node_g] - lg]
+                                    + D[offset + node_g]
+                                )
+                                if cand < best:
+                                    best = cand
+                                fd[i, j] = best
+                    cells += (rows - 1) * (cols - 1)
+                    continue
+                for i in range(1, rows):
+                    lo = i - band_w
+                    if lo < 1:
+                        lo = 1
+                    hi = i + band_w
+                    if hi > cols - 1:
+                        hi = cols - 1
+                    if lo > hi:
+                        break
+                    node_f = lf + i - 1
+                    spans_f = lml_a[na + node_f] == lf
+                    code_f = codes_a[na + node_f]
+                    offset = node_f * m
+                    fd[i, 0] = float(i)
+                    if lo > 1:
+                        fd[i, lo - 1] = INF
+                    si = lml_a[na + node_f] - lf
+                    rem_f_node = node_f - lml_a[na + node_f]
+                    for j in range(lo, hi + 1):
+                        node_g = lg + j - 1
+                        best = fd[i - 1, j] + 1.0
+                        cand = fd[i, j - 1] + 1.0
+                        if cand < best:
+                            best = cand
+                        if spans_f and lml_b[nb + node_g] == lg:
+                            if code_f == codes_b[nb + node_g]:
+                                cand = fd[i - 1, j - 1]
+                            else:
+                                cand = fd[i - 1, j - 1] + 1.0
+                            if cand < best:
+                                best = cand
+                            fd[i, j] = best
+                            D[offset + node_g] = best
+                        else:
+                            sc = lml_b[nb + node_g] - lg
+                            if si == 0 or sc == 0 or (
+                                si - band_w <= sc and sc <= si + band_w
+                            ):
+                                cand = fd[si, sc]
+                            else:
+                                cand = INF
+                            rem_g_node = node_g - lml_b[nb + node_g]
+                            dr = rem_f_node - rem_g_node
+                            if dr < 0:
+                                dr = -dr
+                            if dr <= band_w:
+                                cand = cand + D[offset + node_g]
+                            else:
+                                cand = INF
+                            if cand < best:
+                                best = cand
+                            fd[i, j] = best
+                    if hi + 1 <= cols - 1:
+                        fd[i, hi + 1] = INF
+                    cells += hi - lo + 1
+                    if final_region:
+                        rem_f = rows - 1 - i
+                        diag = cols - 1 - rem_f
+                        if lo <= diag and diag <= hi and fd[i, diag] < cutoff:
+                            continue
+                        best = INF
+                        if lo > 0:
+                            d0 = rem_f - (cols - 1)
+                            if d0 < 0:
+                                d0 = -d0
+                            best = fd[i, 0] + float(d0)
+                        for j in range(lo, hi + 1):
+                            dj = rem_f - (cols - 1 - j)
+                            if dj < 0:
+                                dj = -dj
+                            t = fd[i, j] + float(dj)
+                            if t < best:
+                                best = t
+                        if best >= cutoff:
+                            aborted = True
+                            break
+        if aborted:
+            out_val[p] = cutoff
+            out_cells[p] = cells
+            out_ab[p] = 1
+            continue
+        distance = D[(n - 1) * m + (m - 1)]
+        if has_cutoff and distance >= cutoff:
+            out_val[p] = cutoff
+            out_cells[p] = cells
+            out_ab[p] = 1
+            continue
+        out_val[p] = distance
+        out_cells[p] = cells
+        out_ab[p] = 0
+
+
+def _region_unit_source(
+    lml_f, lml_g, codes_f, codes_g, to_post_f, to_post_g, base,
+    kf, kg, armed, cutoff, band, slack,
+):  # pragma: no cover - compiled (and exercised) only when numba is present
+    """``@njit`` twin of :func:`spf_numpy._region`'s unit-cost hot loop.
+
+    ``base`` is the (possibly transposed) tree-distance matrix in *frame
+    post* coordinates; ``to_post_*`` map frame ids to rows/columns.  Returns
+    ``(cells, bound)`` — ``bound < 0`` means no abort, otherwise the caller
+    raises ``CutoffExceeded(bound)`` (the region's cells are dropped, just
+    like the interpreted kernel that raises mid-region).
+    """
+    lf = lml_f[kf]
+    lg = lml_g[kg]
+    rows = kf - lf + 2
+    cols = kg - lg + 2
+    fd = _np.empty((rows, cols), dtype=_np.float64)
+    for j in range(cols):
+        fd[0, j] = float(j)
+    for i in range(1, rows):
+        node_f = lf + i - 1
+        spans_f = lml_f[node_f] == lf
+        code_f = codes_f[node_f]
+        si = lml_f[node_f] - lf
+        row_post = to_post_f[node_f]
+        fd[i, 0] = float(i)
+        for j in range(1, cols):
+            node_g = lg + j - 1
+            best = fd[i - 1, j] + 1.0
+            cand = fd[i, j - 1] + 1.0
+            if cand < best:
+                best = cand
+            if spans_f and lml_g[node_g] == lg:
+                if code_f == codes_g[node_g]:
+                    cand = fd[i - 1, j - 1]
+                else:
+                    cand = fd[i - 1, j - 1] + 1.0
+                if cand < best:
+                    best = cand
+                fd[i, j] = best
+                base[row_post, to_post_g[node_g]] = best
+            else:
+                cand = (
+                    fd[si, lml_g[node_g] - lg]
+                    + base[row_post, to_post_g[node_g]]
+                )
+                if cand < best:
+                    best = cand
+                fd[i, j] = best
+        if armed:
+            rem_f = rows - 1 - i
+            diag = cols - 1 - rem_f
+            if 0 <= diag < cols and fd[i, diag] < cutoff:
+                continue
+            bound = _np.inf
+            for j in range(cols):
+                rem_g = cols - 1 - j
+                dr = float(rem_f - rem_g)
+                if dr < 0.0:
+                    dr = -dr
+                t = fd[i, j] + band * dr
+                if t < bound:
+                    bound = t
+            bound *= 1.0 - slack
+            if bound >= cutoff:
+                return (rows - 1) * (cols - 1), bound
+    return (rows - 1) * (cols - 1), -1.0
+
+
+# --------------------------------------------------------------------------- #
+# Provider discovery (cached; the kill-switch is re-read on every call)
+# --------------------------------------------------------------------------- #
+_PROVIDER: Optional[str] = None
+_PROBED = False
+_CC_LIB = None
+_NUMBA_BATCH = None
+_NUMBA_REGION = None
+
+
+def _probe() -> Optional[str]:
+    global _PROVIDER, _PROBED, _CC_LIB, _NUMBA_BATCH, _NUMBA_REGION
+    if _PROBED:
+        return _PROVIDER
+    _PROBED = True
+    _PROVIDER = None
+    if _np is None:
+        return None
+    try:  # pragma: no cover - numba is optional in the base environment
+        import numba
+
+        _NUMBA_BATCH = numba.njit(cache=False)(_batch_kernel_source)
+        _NUMBA_REGION = numba.njit(cache=False)(_region_unit_source)
+        _PROVIDER = "numba"
+        return _PROVIDER
+    except Exception:
+        _NUMBA_BATCH = None
+        _NUMBA_REGION = None
+    try:
+        _CC_LIB = _compile_cc_library()
+        _PROVIDER = "cc"
+    except Exception:
+        _CC_LIB = None
+    return _PROVIDER
+
+
+def native_provider() -> Optional[str]:
+    """The active compiled provider (``"numba"`` / ``"cc"``) or ``None``."""
+    if _killed():
+        return None
+    return _probe()
+
+
+def native_available() -> bool:
+    """Whether any compiled provider is usable (and not killed by env)."""
+    return native_provider() is not None
+
+
+def _reset_provider_cache() -> None:
+    """Testing hook: forget the probe result (e.g. around env changes)."""
+    global _PROBED, _PROVIDER, _CC_LIB, _NUMBA_BATCH, _NUMBA_REGION
+    _PROBED = False
+    _PROVIDER = None
+    _CC_LIB = None
+    _NUMBA_BATCH = None
+    _NUMBA_REGION = None
+
+
+atexit.register(_reset_provider_cache)
+
+
+# --------------------------------------------------------------------------- #
+# Entry points
+# --------------------------------------------------------------------------- #
+def native_batch(pack_a, pack_b, fi, gi, cutoff: Optional[float] = None):
+    """Batched small-pair TED over :class:`CorpusPack` lanes, compiled.
+
+    Same contract as :func:`repro.algorithms.batch_kernel.run_batch` —
+    eligible, post-precheck lanes in, ``(values, cells, aborted)`` out,
+    bit-identical to the scalar kernel — or ``None`` when no provider is
+    available (callers fall back to the NumPy lockstep kernel).
+    """
+    provider = native_provider()
+    if provider is None:
+        return None
+    fi = _np.ascontiguousarray(fi, dtype=_np.int64)
+    gi = _np.ascontiguousarray(gi, dtype=_np.int64)
+    npairs = fi.size
+    values = _np.empty(npairs, dtype=_np.float64)
+    cells = _np.zeros(npairs, dtype=_np.int64)
+    aborted_u8 = _np.zeros(npairs, dtype=_np.uint8)
+    if npairs == 0:
+        return values, cells, aborted_u8.astype(bool)
+    max_n = int(pack_a.sizes[fi].max())
+    max_m = int(pack_b.sizes[gi].max())
+    has_cutoff = cutoff is not None
+    cut = float(cutoff) if has_cutoff else -1.0
+    D = _np.zeros(max_n * max_m, dtype=_np.float64)
+    arrays_a = (
+        pack_a.lml_flat, pack_a.codes_flat, pack_a.kroots,
+        pack_a.node_off, pack_a.kr_off, pack_a.kr_count, pack_a.sizes,
+    )
+    arrays_b = (
+        pack_b.lml_flat, pack_b.codes_flat, pack_b.kroots,
+        pack_b.node_off, pack_b.kr_off, pack_b.kr_count, pack_b.sizes,
+    )
+    if provider == "numba":  # pragma: no cover - exercised on the numba CI leg
+        fd = _np.zeros((max_n + 1, max_m + 1), dtype=_np.float64)
+        _NUMBA_BATCH(
+            *[_np.ascontiguousarray(x, dtype=_np.int64) for x in arrays_a],
+            *[_np.ascontiguousarray(x, dtype=_np.int64) for x in arrays_b],
+            fi, gi, has_cutoff, cut, D, fd, values, cells, aborted_u8,
+        )
+        return values, cells, aborted_u8.astype(bool)
+    import ctypes
+
+    fd = _np.zeros((max_n + 1) * (max_m + 1), dtype=_np.float64)
+    pi64 = ctypes.POINTER(ctypes.c_int64)
+    pf64 = ctypes.POINTER(ctypes.c_double)
+    pu8 = ctypes.POINTER(ctypes.c_uint8)
+
+    def _ip(arr):
+        return _np.ascontiguousarray(arr, dtype=_np.int64).ctypes.data_as(pi64)
+
+    _CC_LIB.ted_small_batch(
+        *[_ip(x) for x in arrays_a],
+        *[_ip(x) for x in arrays_b],
+        fi.ctypes.data_as(pi64), gi.ctypes.data_as(pi64), npairs,
+        1 if has_cutoff else 0, cut,
+        D.ctypes.data_as(pf64), fd.ctypes.data_as(pf64), max_m + 1,
+        values.ctypes.data_as(pf64), cells.ctypes.data_as(pi64),
+        aborted_u8.ctypes.data_as(pu8),
+    )
+    return values, cells, aborted_u8.astype(bool)
+
+
+def native_small_pair(
+    arrays_f: Tuple[Sequence[int], Sequence[int], Sequence[int]],
+    n: int,
+    arrays_g: Tuple[Sequence[int], Sequence[int], Sequence[int]],
+    m: int,
+    cutoff: Optional[float] = None,
+) -> Optional[Tuple[float, int, bool]]:
+    """One pair through the compiled batch kernel (``engine=native``).
+
+    ``arrays_*`` are the ``(lml, keyroots, codes)`` triples of
+    ``TedWorkspace._small_arrays``.  Returns ``(value, cells, aborted)`` or
+    ``None`` when no provider is available.  The per-call array packing
+    costs a few µs — still several times cheaper than the interpreted
+    kernel it replaces; corpus batches amortize it via :func:`native_batch`.
+    """
+    if native_provider() is None:
+        return None
+    lml_f, kr_f, codes_f = arrays_f
+    lml_g, kr_g, codes_g = arrays_g
+
+    class _OnePack:
+        pass
+
+    pa = _OnePack()
+    pa.lml_flat = _np.asarray(lml_f, dtype=_np.int64)
+    pa.codes_flat = _np.asarray(codes_f, dtype=_np.int64)
+    pa.kroots = _np.asarray(kr_f, dtype=_np.int64)
+    pa.node_off = _np.zeros(1, dtype=_np.int64)
+    pa.kr_off = _np.zeros(1, dtype=_np.int64)
+    pa.kr_count = _np.asarray([len(kr_f)], dtype=_np.int64)
+    pa.sizes = _np.asarray([n], dtype=_np.int64)
+    pb = _OnePack()
+    pb.lml_flat = _np.asarray(lml_g, dtype=_np.int64)
+    pb.codes_flat = _np.asarray(codes_g, dtype=_np.int64)
+    pb.kroots = _np.asarray(kr_g, dtype=_np.int64)
+    pb.node_off = _np.zeros(1, dtype=_np.int64)
+    pb.kr_off = _np.zeros(1, dtype=_np.int64)
+    pb.kr_count = _np.asarray([len(kr_g)], dtype=_np.int64)
+    pb.sizes = _np.asarray([m], dtype=_np.int64)
+    out = native_batch(pa, pb, [0], [0], cutoff=cutoff)
+    if out is None:
+        return None
+    values, cells, aborted = out
+    return float(values[0]), int(cells[0]), bool(aborted[0])
+
+
+def native_region_kernel():
+    """The compiled unit-mode region sweep, or ``None``.
+
+    Only the ``numba`` provider implements it (the C provider is scoped to
+    the batched small-pair kernel); :func:`repro.algorithms.spf_numpy.run_regions`
+    falls back to its vectorized/scalar row sweeps otherwise.  The returned
+    callable has the signature of :func:`_region_unit_source` and returns
+    ``(cells, bound)``.
+    """
+    if native_provider() != "numba":
+        return None
+    return _NUMBA_REGION  # pragma: no cover - exercised on the numba CI leg

@@ -23,8 +23,8 @@ import inspect
 from typing import Callable, Dict, List, Optional
 
 from ..exceptions import UnknownAlgorithmError, UnknownEngineError
-from .base import ENGINE_AUTO, ENGINE_RECURSIVE, TEDAlgorithm, resolve_engine
-from .workspace import WorkspaceTED
+from .base import ENGINE_AUTO, ENGINE_NATIVE, ENGINE_RECURSIVE, TEDAlgorithm, resolve_engine
+from .workspace import TedWorkspace, WorkspaceTED
 from .demaine import DemaineTED
 from .gted import GTED
 from .klein import KleinTED
@@ -118,8 +118,14 @@ def make_algorithm(
     """Instantiate an algorithm by (case-insensitive) name or alias.
 
     ``engine`` selects the execution backend for names that support several
-    (``"auto"``, ``"recursive"``, ``"spf"``); ``None`` is equivalent to
-    ``"auto"`` and always valid.
+    (``"auto"``, ``"recursive"``, ``"spf"``, ``"native"``); ``None`` is
+    equivalent to ``"auto"`` and always valid.  ``"native"`` is the ``spf``
+    executor with the optional compiled backend
+    (:mod:`repro.algorithms.native`) opted in: it implies a workspace (one
+    is created when none is passed, so the compiled small-pair kernel has
+    its dispatch layer) and silently degrades to the stock NumPy/Python
+    kernels when no compiled provider is available or ``RTED_NO_NATIVE=1``
+    is set — the engine name itself is always valid.
 
     ``workspace`` (a :class:`~repro.algorithms.workspace.TedWorkspace`)
     enables the amortized batch path: factories that support it receive the
@@ -150,6 +156,14 @@ def make_algorithm(
     parameters = inspect.signature(factory).parameters
     if resolved == ENGINE_RECURSIVE or key == "simple":
         workspace = None  # oracles never run amortized
+    elif (
+        resolved == ENGINE_NATIVE
+        and workspace is None
+        and "workspace" in parameters
+    ):
+        # The compiled small-pair path dispatches through the workspace
+        # layer, so ``native`` implies one.
+        workspace = TedWorkspace()
     if "engine" in parameters:
         if workspace is not None and "workspace" in parameters:
             algorithm = factory(engine=resolved, workspace=workspace)
@@ -163,7 +177,9 @@ def make_algorithm(
             )
         algorithm = factory()
     if workspace is not None:
-        algorithm = WorkspaceTED(algorithm, workspace)
+        algorithm = WorkspaceTED(
+            algorithm, workspace, use_native=resolved == ENGINE_NATIVE
+        )
     return algorithm
 
 

@@ -56,6 +56,7 @@ this with exact equality.
 
 from __future__ import annotations
 
+import os as _os
 from math import ceil, inf, nan
 from typing import Dict, List, Optional, Tuple
 
@@ -153,6 +154,8 @@ class WorkspaceStats:
         "matrices_pooled",
         "matrices_allocated",
         "small_pair_runs",
+        "batch_lanes",
+        "native_runs",
         "bypasses",
     )
 
@@ -162,6 +165,8 @@ class WorkspaceStats:
         self.matrices_pooled = 0
         self.matrices_allocated = 0
         self.small_pair_runs = 0
+        self.batch_lanes = 0
+        self.native_runs = 0
         self.bypasses = 0
 
     def as_dict(self) -> Dict[str, int]:
@@ -174,10 +179,24 @@ class WorkspaceStats:
 #: takes over.
 MAX_DENSE_ALPHABET = 2048
 
+def _env_int(name: str, default: int) -> int:
+    """Integer environment override; malformed values fall back to the default."""
+    raw = _os.environ.get(name)
+    if raw is None:
+        return default
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return default
+
+
 #: Largest tree size (both sides) routed through the flat unit-cost
 #: small-pair kernel.  Above it the region kernels (with their NumPy row
 #: sweeps) win; below it the executor/task machinery dominates the actual DP.
-SMALL_PAIR_CUTOFF = 64
+#: Override with ``RTED_SMALL_PAIR_CUTOFF`` (mirroring ``RTED_MIN_VECTOR_COLS``)
+#: on hardware where the crossover sits elsewhere; the default is set from
+#: the sweep mode of ``benchmarks/bench_batch_kernel.py``.
+SMALL_PAIR_CUTOFF = _env_int("RTED_SMALL_PAIR_CUTOFF", 64)
 
 
 class TedWorkspace:
@@ -531,6 +550,45 @@ class TedWorkspace:
             lml_g, keyroots_g, codes_g, D, fd,
         )
 
+    def compute_small_native(
+        self, tree_f: Tree, tree_g: Tree, cutoff: Optional[float] = None
+    ) -> Optional[Tuple[float, int]]:
+        """:meth:`compute_small` through the compiled backend.
+
+        Same contract and bit-identical results (the backend ports the same
+        integer-valued float64 program); returns ``None`` whenever the pair
+        is inapplicable *or* no compiled provider is available, so callers
+        chain straight into the pure-Python kernel.  The dispatch order —
+        unit-cost gate, size gate, bounded size pre-check *before* the code
+        gate — replicates :meth:`compute_small` exactly.
+        """
+        if not self.unit_cost:
+            return None
+        n, m = tree_f.n, tree_g.n
+        if n > self.small_pair_cutoff or m > self.small_pair_cutoff:
+            return None
+        if cutoff is not None and abs(n - m) >= cutoff:
+            raise CutoffExceeded(float(abs(n - m)))
+        from .native import native_available, native_small_pair
+
+        if not native_available():
+            return None
+        arrays_f = self._small_arrays(tree_f)
+        arrays_g = self._small_arrays(tree_g)
+        if arrays_f is None or arrays_g is None:
+            return None
+        out = native_small_pair(arrays_f, n, arrays_g, m, cutoff)
+        if out is None:
+            return None
+        self.stats.small_pair_runs += 1
+        self.stats.native_runs += 1
+        value, cells, aborted = out
+        if aborted:
+            exceeded = CutoffExceeded(value)
+            exceeded.subproblems = cells
+            raise exceeded
+        return value, cells
+
     def _small_pair_regions(
         self, n, m, cutoff, band_w, lml_f, keyroots_f, codes_f,
         lml_g, keyroots_g, codes_g, D, fd,
@@ -704,9 +762,15 @@ class WorkspaceTED(TEDAlgorithm):
     wrapper is always exact.
     """
 
-    def __init__(self, inner: TEDAlgorithm, workspace: TedWorkspace) -> None:
+    def __init__(
+        self, inner: TEDAlgorithm, workspace: TedWorkspace, use_native: bool = False
+    ) -> None:
         self.inner = inner
         self.workspace = workspace
+        #: ``engine="native"``: matching small pairs try the compiled
+        #: backend first (bit-identical; silently skipped when no provider
+        #: is available, per the graceful-fallback rule).
+        self.use_native = bool(use_native)
         self.name = inner.name
 
     def compute(
@@ -721,7 +785,13 @@ class WorkspaceTED(TEDAlgorithm):
             watch = Stopwatch()
             watch.start()
             try:
-                small = workspace.compute_small(tree_f, tree_g, cutoff=cutoff)
+                small = None
+                if self.use_native:
+                    small = workspace.compute_small_native(
+                        tree_f, tree_g, cutoff=cutoff
+                    )
+                if small is None:
+                    small = workspace.compute_small(tree_f, tree_g, cutoff=cutoff)
             except CutoffExceeded as exceeded:
                 return BoundedResult(
                     lower_bound=exceeded.lower_bound,

@@ -93,12 +93,18 @@ def tree_edit_distance(
     engine:
         Execution engine: ``"auto"`` (default), ``"spf"`` (the iterative
         single-path executor ``auto`` resolves to for every GTED/RTED
-        variant), or ``"recursive"`` (the strategy-driven reference oracle,
-        kept for cross-checking).  The ``spf`` engine evaluates *every*
-        strategy step — left, right and heavy paths — with array-based
-        single-path functions: it is the fastest choice across algorithms
-        and, being recursion-free, handles arbitrarily deep trees without
-        touching the interpreter recursion limit.
+        variant), ``"recursive"`` (the strategy-driven reference oracle,
+        kept for cross-checking), or ``"native"`` (the ``spf`` executor
+        with the optional compiled unit-cost kernels of
+        :mod:`repro.algorithms.native` opted in — bit-identical, never
+        selected by ``auto``, and silently falling back to the stock
+        kernels when no compiled provider is available or
+        ``RTED_NO_NATIVE=1`` is set).  The ``spf`` engine evaluates
+        *every* strategy step — left, right and heavy paths — with
+        array-based single-path functions: it is the fastest
+        pure-Python/NumPy choice across algorithms and, being
+        recursion-free, handles arbitrarily deep trees without touching
+        the interpreter recursion limit.
     cutoff:
         Optional bound ``τ``: when given, the exact distance is returned if
         it is below ``τ`` (bit-identical to the unbounded computation) and
@@ -223,6 +229,7 @@ def similarity_join(
     progress: Optional[Callable[[JoinStats], None]] = None,
     workspace: bool = True,
     bounded_verify: bool = True,
+    batch_kernel: bool = True,
     **kwargs,
 ) -> BatchJoinResult:
     """Corpus-indexed similarity join: all pairs with ``TED < threshold``.
@@ -248,6 +255,16 @@ def similarity_join(
     match set and every reported distance are identical either way, and
     ``result.stats.aborted_early`` counts the verifications cut short.
 
+    ``batch_kernel`` (default on) verifies small unit-cost pairs through
+    the struct-of-arrays batch kernel — one vectorized (or, under
+    ``engine="native"``, compiled) program per chunk instead of one
+    interpreted run per pair; results are bit-identical, including
+    subproblem counts.  In the ``workers > 1`` fan-out the corpus pack is
+    exported once into ``multiprocessing.shared_memory`` and workers
+    attach zero-copy (:mod:`repro.join.shared`).  Note a survivor set no
+    larger than one chunk verifies serially regardless of ``workers``;
+    ``result.stats.verify_workers`` records the count actually used.
+
     Examples
     --------
     >>> from repro import similarity_join
@@ -271,6 +288,7 @@ def similarity_join(
         progress=progress,
         workspace=workspace,
         bounded_verify=bounded_verify,
+        batch_kernel=batch_kernel,
         **kwargs,
     )
 

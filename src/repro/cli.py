@@ -75,7 +75,9 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=list(ENGINES),
         help="execution engine: auto (default, resolves to the iterative spf "
         "executor), spf (fully iterative single-path functions for all path "
-        "kinds), or recursive (the cross-check oracle)",
+        "kinds), native (spf plus the optional compiled unit-cost kernels; "
+        "falls back to spf kernels when no compiled provider is available), "
+        "or recursive (the cross-check oracle)",
     )
     distance.add_argument("--format", dest="fmt", default=None, help="bracket | newick | xml")
     distance.add_argument(
@@ -146,6 +148,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="disable τ-bounded verification (run every surviving pair's "
         "exact TED to completion instead of aborting once TED >= τ is "
         "proven; the match set is identical either way)",
+    )
+    join.add_argument(
+        "--no-batch-kernel",
+        action="store_true",
+        help="disable the struct-of-arrays batch verification kernel (verify "
+        "small unit-cost pairs one at a time; results are bit-identical "
+        "either way)",
     )
     join.add_argument("--workers", type=int, default=1, help="verification processes")
     join.add_argument("--stats", action="store_true", help="print per-stage join statistics")
@@ -229,6 +238,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             workers=args.workers,
             workspace=not args.no_workspace,
             bounded_verify=not args.no_bounded_verify,
+            batch_kernel=not args.no_batch_kernel,
         )
         for i, j, distance in result.matches:
             print(f"{i}\t{j}\t{distance:g}")
@@ -241,6 +251,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"# accepted early:   {stats.accepted_early}")
             print(f"# exact TED runs:   {stats.exact_computed}")
             print(f"# aborted early:    {stats.aborted_early}")
+            print(f"# verify workers:   {stats.verify_workers}")
             print(f"# matches:          {stats.matches}")
             print(f"# filter rate:      {stats.filter_rate:.3f}")
             print(f"# total time:       {stats.total_time:.4f}s")

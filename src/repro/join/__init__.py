@@ -31,6 +31,7 @@ from .cascade import (
     operations_threshold,
 )
 from .corpus import TreeCorpus, TreeProfile, branch_candidate_pairs
+from .shared import SharedPackHandle, attach_pack, export_pack, shared_available
 from .similarity_join import (
     JoinResult,
     similarity_join,
@@ -43,6 +44,10 @@ __all__ = [
     "TreeCorpus",
     "TreeProfile",
     "branch_candidate_pairs",
+    "SharedPackHandle",
+    "attach_pack",
+    "export_pack",
+    "shared_available",
     "BatchJoinResult",
     "batch_distances",
     "batch_self_join",

@@ -24,8 +24,13 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..algorithms.base import TEDAlgorithm, resolve_cost_model
+from ..algorithms.batch_kernel import (
+    build_corpus_pack,
+    kernel_available,
+    kernel_chunk_entries,
+)
 from ..algorithms.registry import make_algorithm
-from ..algorithms.workspace import TedWorkspace
+from ..algorithms.workspace import TedWorkspace, WorkspaceTED
 from ..costs import CostModel
 from ..trees.tree import Tree
 from .cascade import (
@@ -83,6 +88,38 @@ def _make_workspace(
     return workspace
 
 
+def _kernel_workspace(algo, batch_kernel: bool):
+    """The workspace backing the batch kernel, or ``None`` if inapplicable.
+
+    The kernel replaces :meth:`TedWorkspace.compute_small` calls only —
+    so it requires the amortized wrapper (``WorkspaceTED``, i.e. a registry
+    name on a workspace-capable engine; ``recursive`` and pre-built
+    instances never qualify) with a unit-cost workspace, plus NumPy.  Every
+    emitted tuple is bit-identical to the per-pair path either way.
+    """
+    if not batch_kernel or not kernel_available():
+        return None
+    if not isinstance(algo, WorkspaceTED):
+        return None
+    workspace = algo.workspace
+    if not workspace.unit_cost:
+        return None
+    return workspace
+
+
+def _effective_workers(workers: int, n_pairs: int, chunk_size: int) -> int:
+    """The worker count :func:`batch_distances` will actually use.
+
+    Batches no larger than one chunk run serially regardless of ``workers``
+    (pool startup costs more than the work they contain), and a pool can
+    keep at most one worker busy per chunk.
+    """
+    if workers <= 1 or n_pairs <= chunk_size:
+        return 1
+    n_chunks = -(-n_pairs // chunk_size)
+    return max(1, min(workers, n_chunks))
+
+
 # Worker-process globals, set once per worker by _init_worker so that trees,
 # the algorithm, the cost model and the amortized workspace are set up
 # exactly once per worker instead of once per chunk (or per pair) — chunks
@@ -91,7 +128,8 @@ _WORKER_STATE: dict = {}
 
 
 def _init_worker(
-    trees_a, trees_b, algorithm, engine, cost_model, use_workspace, cutoff
+    trees_a, trees_b, algorithm, engine, cost_model, use_workspace, cutoff,
+    batch_kernel=False, pack_desc_a=None, pack_desc_b=None,
 ) -> None:
     _WORKER_STATE["trees_a"] = trees_a
     _WORKER_STATE["trees_b"] = trees_b if trees_b is not None else trees_a
@@ -103,6 +141,32 @@ def _init_worker(
     _WORKER_STATE["cost_model"] = cost_model
     _WORKER_STATE["cutoff"] = cutoff
     _WORKER_STATE["bounded_ok"] = _supports_cutoff(algo)
+    # Batch-kernel packs: attach the parent's shared-memory export
+    # (zero-copy) when descriptors came through; otherwise rebuild locally.
+    # Packs for both sides must share one interner so their codes agree —
+    # mixed attach/rebuild falls back to rebuilding both.
+    pack_a = pack_b = None
+    kernel_ws = _kernel_workspace(algo, batch_kernel)
+    if kernel_ws is not None:
+        if pack_desc_a is not None:
+            from .shared import attach_pack
+
+            pack_a = attach_pack(pack_desc_a)
+            if pack_a is not None:
+                if trees_b is None:
+                    pack_b = pack_a
+                elif pack_desc_b is not None:
+                    pack_b = attach_pack(pack_desc_b)
+        if pack_a is None or pack_b is None:
+            pack_a = build_corpus_pack(
+                trees_a, kernel_ws.interner, kernel_ws.small_pair_cutoff
+            )
+            pack_b = pack_a if trees_b is None else build_corpus_pack(
+                trees_b, kernel_ws.interner, kernel_ws.small_pair_cutoff
+            )
+    _WORKER_STATE["pack_a"] = pack_a
+    _WORKER_STATE["pack_b"] = pack_b
+    _WORKER_STATE["kernel_ws"] = kernel_ws
 
 
 def _supports_cutoff(algo: TEDAlgorithm) -> bool:
@@ -155,10 +219,20 @@ def _worker_chunk(pairs: List[Tuple[int, int]]) -> List[Tuple]:
     cost_model = _WORKER_STATE["cost_model"]
     cutoff = _WORKER_STATE["cutoff"]
     bounded_ok = _WORKER_STATE["bounded_ok"]
-    return [
-        _compute_entry(algo, trees_a[i], trees_b[j], i, j, cost_model, cutoff, bounded_ok)
-        for i, j in pairs
-    ]
+
+    def fallback(i, j):
+        return _compute_entry(
+            algo, trees_a[i], trees_b[j], i, j, cost_model, cutoff, bounded_ok
+        )
+
+    pack_a = _WORKER_STATE.get("pack_a")
+    if pack_a is not None:
+        return kernel_chunk_entries(
+            pack_a, _WORKER_STATE["pack_b"], pairs, cutoff, fallback,
+            workspace=_WORKER_STATE["kernel_ws"],
+            use_native=getattr(algo, "use_native", False),
+        )
+    return [fallback(i, j) for i, j in pairs]
 
 
 def _resolve_algorithm(
@@ -193,6 +267,7 @@ def batch_distances(
     collect_results: bool = True,
     workspace: WorkspaceLike = True,
     cutoff: Optional[float] = None,
+    batch_kernel: bool = True,
 ) -> List[Tuple]:
     """Exact TED for many index pairs: ``(i, j) → (i, j, distance, subproblems)``.
 
@@ -201,10 +276,27 @@ def batch_distances(
     trees, algorithm and cost model are pickled once per worker, so the
     per-pair overhead stays small; pass a registry *name* for ``algorithm``
     (instances and custom cost models must be picklable to cross the process
-    boundary).  ``on_chunk`` is invoked with every completed chunk in
-    completion order, enabling streaming consumption of a long batch;
-    ``collect_results=False`` then skips accumulating the full result list —
-    at millions of pairs the tuples dominate memory — and returns ``[]``.
+    boundary).  **A batch no larger than one ``chunk_size`` always runs
+    serially, even with ``workers > 1``** — pool startup would cost more
+    than the single chunk of work it parallelizes; the count a batch will
+    actually use is :func:`_effective_workers`, surfaced by the join as
+    ``JoinStats.verify_workers``.  ``on_chunk`` is invoked with every
+    completed chunk in completion order, enabling streaming consumption of
+    a long batch; ``collect_results=False`` then skips accumulating the
+    full result list — at millions of pairs the tuples dominate memory —
+    and returns ``[]``.
+
+    ``batch_kernel`` (default on) routes small unit-cost pairs through the
+    struct-of-arrays batch kernel (:mod:`repro.algorithms.batch_kernel`) —
+    one vectorized (or compiled, under ``engine="native"``) program per
+    chunk instead of one interpreted run per pair, bit-identical results
+    including subproblem counts and bounded aborts.  It engages only where
+    the scalar small-pair path would: registry-name algorithms with the
+    amortized workspace on a unit cost model; in the multiprocessing
+    fan-out the parent additionally exports the corpus pack once into
+    ``multiprocessing.shared_memory`` and workers attach zero-copy instead
+    of rebuilding it (:mod:`repro.join.shared`; graceful fallback to local
+    rebuilds).
 
     ``workspace`` controls the amortized execution layer (``DESIGN.md``,
     *Amortized batch execution*): ``True`` (default) shares one
@@ -238,19 +330,43 @@ def batch_distances(
         # one should fail loudly, not silently go unamortized).
         workspace.require(cost_model)
 
-    if workers <= 1 or len(pair_list) <= chunk_size:
+    if _effective_workers(workers, len(pair_list), chunk_size) <= 1:
         ws = _make_workspace(workspace, cost_model, corpus_a)
         algo = _resolve_algorithm(algorithm, engine, ws)
         bounded_ok = cutoff is None or _supports_cutoff(algo)
         lookup_b = corpus_b.trees if corpus_b is not None else corpus_a.trees
-        for chunk in _chunked(pair_list, chunk_size):
-            chunk_results = [
-                _compute_entry(
-                    algo, corpus_a.trees[i], lookup_b[j], i, j, cost_model, cutoff,
-                    bounded_ok,
+
+        def fallback(i, j):
+            return _compute_entry(
+                algo, corpus_a.trees[i], lookup_b[j], i, j, cost_model, cutoff,
+                bounded_ok,
+            )
+
+        # The batch-kernel fast path applies only to registry names — a
+        # pre-built instance runs exactly as configured, per-pair.
+        kernel_ws = (
+            _kernel_workspace(algo, batch_kernel)
+            if isinstance(algorithm, str)
+            else None
+        )
+        pack_a = pack_b = None
+        if kernel_ws is not None:
+            pack_a = corpus_a.pack(kernel_ws.small_pair_cutoff)
+            if pack_a is not None:
+                # Cross batches pack side b against side a's interner so the
+                # label codes of the two packs agree.
+                pack_b = pack_a if corpus_b is None else build_corpus_pack(
+                    corpus_b.trees, corpus_a.interner(), kernel_ws.small_pair_cutoff
                 )
-                for i, j in chunk
-            ]
+        for chunk in _chunked(pair_list, chunk_size):
+            if pack_b is not None:
+                chunk_results = kernel_chunk_entries(
+                    pack_a, pack_b, chunk, cutoff, fallback,
+                    workspace=kernel_ws,
+                    use_native=getattr(algo, "use_native", False),
+                )
+            else:
+                chunk_results = [fallback(i, j) for i, j in chunk]
             if collect_results:
                 results.extend(chunk_results)
             if on_chunk is not None:
@@ -259,27 +375,74 @@ def batch_distances(
 
     import multiprocessing
 
-    context = multiprocessing.get_context()
-    with context.Pool(
-        processes=workers,
-        initializer=_init_worker,
-        initargs=(
-            corpus_a.trees,
-            corpus_b.trees if corpus_b is not None else None,
-            algorithm,
-            engine,
-            cost_model,
-            workspace is not False and workspace is not None,
-            cutoff,
-        ),
-    ) as pool:
-        for chunk_results in pool.imap_unordered(
-            _worker_chunk, _chunked(pair_list, chunk_size)
-        ):
-            if collect_results:
-                results.extend(chunk_results)
-            if on_chunk is not None:
-                on_chunk(chunk_results)
+    # Export the corpus pack(s) into shared memory once so workers attach
+    # zero-copy instead of each rebuilding the struct-of-arrays tables.
+    # All-or-nothing per side pair: packs must share one interner, so a
+    # partial export (cross batch with one exportable side) is discarded
+    # and workers rebuild both sides locally.
+    pack_desc_a = pack_desc_b = None
+    shared_handles = []
+    if (
+        batch_kernel
+        and kernel_available()
+        and isinstance(algorithm, str)
+        and workspace is not False
+        and workspace is not None
+    ):
+        probe = (
+            workspace
+            if isinstance(workspace, TedWorkspace)
+            else TedWorkspace(cost_model)
+        )
+        if probe.unit_cost:
+            from .shared import export_pack
+
+            pack_a = corpus_a.pack(probe.small_pair_cutoff)
+            exported = export_pack(pack_a) if pack_a is not None else None
+            if exported is not None:
+                handle, pack_desc_a = exported
+                shared_handles.append(handle)
+                if corpus_b is not None:
+                    pack_b = build_corpus_pack(
+                        corpus_b.trees, corpus_a.interner(), probe.small_pair_cutoff
+                    )
+                    exported_b = export_pack(pack_b)
+                    if exported_b is None:  # pragma: no cover - shm race
+                        pack_desc_a = None
+                    else:
+                        handle_b, pack_desc_b = exported_b
+                        shared_handles.append(handle_b)
+
+    try:
+        context = multiprocessing.get_context()
+        with context.Pool(
+            processes=workers,
+            initializer=_init_worker,
+            initargs=(
+                corpus_a.trees,
+                corpus_b.trees if corpus_b is not None else None,
+                algorithm,
+                engine,
+                cost_model,
+                workspace is not False and workspace is not None,
+                cutoff,
+                batch_kernel,
+                pack_desc_a,
+                pack_desc_b,
+            ),
+        ) as pool:
+            for chunk_results in pool.imap_unordered(
+                _worker_chunk, _chunked(pair_list, chunk_size)
+            ):
+                if collect_results:
+                    results.extend(chunk_results)
+                if on_chunk is not None:
+                    on_chunk(chunk_results)
+    finally:
+        # The parent owns the shared blocks; unlink only after the pool has
+        # fully joined (the with-block guarantees that, success or error).
+        for handle in shared_handles:
+            handle.close()
     return results
 
 
@@ -326,6 +489,7 @@ def batch_similarity_join(
     progress: Optional[Callable[[JoinStats], None]] = None,
     workspace: WorkspaceLike = True,
     bounded_verify: bool = True,
+    batch_kernel: bool = True,
 ) -> BatchJoinResult:
     """The corpus-indexed batch similarity join (``TED < threshold``).
 
@@ -341,9 +505,12 @@ def batch_similarity_join(
 
     Parameters mirror :func:`batch_distances` for the verification stage
     (``workers``, ``chunk_size``, ``workspace`` — the amortized execution
-    layer, on by default and bit-identical to per-call contexts); filtering
-    always runs in the parent process because it is cheap relative to exact
-    TED.
+    layer, on by default and bit-identical to per-call contexts — and
+    ``batch_kernel``, the vectorized/compiled small-pair fast path);
+    filtering always runs in the parent process because it is cheap
+    relative to exact TED.  Note that a survivor set no larger than one
+    chunk verifies serially even with ``workers > 1``;
+    ``JoinStats.verify_workers`` records the count actually used.
 
     ``bounded_verify`` (default on) runs the verifier with ``cutoff=τ``: a
     survivor's exact TED computation aborts as soon as ``d ≥ τ`` is proven,
@@ -419,6 +586,7 @@ def batch_similarity_join(
 
     # ---- stage 4: exact verification ------------------------------------ #
     tick = time.perf_counter()
+    stats.verify_workers = _effective_workers(workers, len(survivors), chunk_size)
 
     def on_chunk(chunk_results: List[Tuple]) -> None:
         for entry in chunk_results:
@@ -451,6 +619,7 @@ def batch_similarity_join(
         collect_results=False,
         workspace=workspace,
         cutoff=threshold if bounded_verify else None,
+        batch_kernel=batch_kernel,
     )
 
     matches.sort()

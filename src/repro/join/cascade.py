@@ -249,6 +249,12 @@ class JoinStats:
     before the exact distance was finished); a subset of the non-matching
     ``exact_computed`` pairs.  Zero when ``bounded_verify`` is off."""
 
+    verify_workers: int = 1
+    """The worker count the verification stage *actually* used: 1 whenever
+    the survivor set fit a single chunk (``batch_distances`` runs small
+    batches serially regardless of ``workers`` — pool startup would cost
+    more than the work), otherwise ``min(workers, number of chunks)``."""
+
     matches: int = 0
     total_subproblems: int = 0
     profile_time: float = 0.0
@@ -287,6 +293,7 @@ class JoinStats:
             "exact_computed": self.exact_computed,
             "exact_matched": self.exact_matched,
             "aborted_early": self.aborted_early,
+            "verify_workers": self.verify_workers,
             "matches": self.matches,
             "total_subproblems": self.total_subproblems,
             "filter_rate": self.filter_rate,

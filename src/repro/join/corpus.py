@@ -71,6 +71,8 @@ class TreeCorpus:
         self._branch_index: Optional[Dict[object, List[int]]] = None
         self._pq_index: Optional[Dict[object, List[int]]] = None
         self._interner = None
+        self._pack = None
+        self._pack_cutoff = None
 
     # ------------------------------------------------------------------ #
     def __len__(self) -> int:
@@ -130,6 +132,31 @@ class TreeCorpus:
 
             self._interner = LabelInterner()
         return self._interner
+
+    def pack(self, small_pair_cutoff: Optional[int] = None):
+        """The corpus's (cached) batch-kernel pack, or ``None`` sans NumPy.
+
+        A :class:`~repro.algorithms.batch_kernel.CorpusPack` built over
+        :meth:`interner` — the struct-of-arrays input of the batched
+        small-pair kernels.  Built once per ``small_pair_cutoff`` (the
+        cache holds the most recent cutoff; joins use one cutoff
+        throughout) and shared by every batch over this corpus, including
+        zero-copy export to worker processes via :mod:`repro.join.shared`.
+        """
+        from ..algorithms.batch_kernel import build_corpus_pack, kernel_available
+        from ..algorithms.workspace import SMALL_PAIR_CUTOFF
+
+        if not kernel_available():
+            return None
+        if small_pair_cutoff is None:
+            small_pair_cutoff = SMALL_PAIR_CUTOFF
+        small_pair_cutoff = int(small_pair_cutoff)
+        if self._pack is None or self._pack_cutoff != small_pair_cutoff:
+            self._pack = build_corpus_pack(
+                self.trees, self.interner(), small_pair_cutoff
+            )
+            self._pack_cutoff = small_pair_cutoff
+        return self._pack
 
     # ------------------------------------------------------------------ #
     # Inverted indexes

@@ -1,0 +1,176 @@
+"""Zero-copy sharing of corpus pack arrays across join worker processes.
+
+The multiprocessing paths of :func:`repro.join.batch.batch_distances` ship
+the corpus *trees* to each worker once (pickled through the pool init), and
+before this module every worker also had to rebuild its own
+:class:`~repro.algorithms.batch_kernel.CorpusPack` — an ``O(Σ n)`` packing
+pass plus a full duplicate of the struct-of-arrays tables per process.
+Here the parent serializes the pack **once** into a
+:class:`multiprocessing.shared_memory.SharedMemory` block and workers map
+the same physical pages read-only-by-convention, so attaching is ``O(1)``
+per worker and the per-tree arrays plus interned label codes exist once in
+RAM regardless of worker count.
+
+Lifecycle / ownership
+---------------------
+* The **parent** calls :func:`export_pack`, keeps the returned
+  :class:`SharedPackHandle` alive while the pool runs, and calls
+  :meth:`SharedPackHandle.close` (which unlinks) after ``pool.join()``.
+  ``atexit`` acts as a safety net for abandoned handles.
+* **Workers** call :func:`attach_pack` with the picklable descriptor.  The
+  attached pack's arrays are views into the mapped block; the mapping is
+  pinned by the pack's ``_shm`` anchor for the pack's lifetime.  Workers
+  never unlink.
+* Attaching unregisters the segment from the worker-side
+  :mod:`multiprocessing.resource_tracker`, otherwise every worker exit
+  would try to destroy the parent's segment (the well-known spurious
+  "leaked shared_memory" teardown).
+
+Everything degrades gracefully: platforms without ``shared_memory`` (or
+sandboxes denying ``/dev/shm``) make :func:`shared_available` return
+``False`` and the join falls back to per-worker pack rebuilds, bit-identical
+either way.
+"""
+
+from __future__ import annotations
+
+import atexit
+from typing import Any, Dict, List, Optional, Tuple
+
+try:  # Optional accelerator, mirroring repro.algorithms.workspace.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised only without numpy
+    _np = None
+
+from ..algorithms.batch_kernel import CorpusPack
+
+try:
+    from multiprocessing import shared_memory as _shm_mod
+except ImportError:  # pragma: no cover - ancient/embedded platforms
+    _shm_mod = None
+
+
+def shared_available() -> bool:
+    """Whether shared-memory pack export can be attempted at all."""
+    return _shm_mod is not None and _np is not None
+
+
+#: Scalar (non-array) pack fields carried inside the descriptor.
+_SCALAR_FIELDS = ("n_trees", "small_pair_cutoff", "pad_w")
+
+
+class SharedPackHandle:
+    """Parent-side owner of one exported pack's shared-memory block."""
+
+    __slots__ = ("_shm", "_closed")
+
+    def __init__(self, shm) -> None:
+        self._shm = shm
+        self._closed = False
+        atexit.register(self.close)
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    def close(self) -> None:
+        """Close and unlink the block (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._shm.close()
+            self._shm.unlink()
+        except (FileNotFoundError, OSError):  # pragma: no cover - teardown race
+            pass
+
+
+def export_pack(pack: CorpusPack):
+    """Serialize ``pack`` into one shared-memory block.
+
+    Returns ``(handle, descriptor)`` — the parent keeps ``handle`` alive
+    while workers run and closes it afterwards; ``descriptor`` is a small
+    picklable dict for :func:`attach_pack`.  Returns ``None`` when shared
+    memory is unavailable or the export fails (callers fall back to
+    rebuilding packs per worker).
+    """
+    if not shared_available():
+        return None
+    layout: List[Tuple[str, int, Tuple[int, ...], str]] = []
+    offset = 0
+    arrays = []
+    for field in CorpusPack.ARRAY_FIELDS:
+        arr = _np.ascontiguousarray(getattr(pack, field))
+        # 8-byte alignment for every field keeps attached views aligned
+        # regardless of the dtype mix (bool fields have 1-byte items).
+        offset = (offset + 7) & ~7
+        layout.append((field, offset, arr.shape, arr.dtype.str))
+        arrays.append((offset, arr))
+        offset += arr.nbytes
+    try:
+        shm = _shm_mod.SharedMemory(create=True, size=max(1, offset))
+    except (OSError, ValueError):  # pragma: no cover - /dev/shm unavailable
+        return None
+    try:
+        for off, arr in arrays:
+            dst = _np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf, offset=off)
+            dst[...] = arr
+    except Exception:  # pragma: no cover - defensive: never leak the block
+        shm.close()
+        shm.unlink()
+        raise
+    descriptor: Dict[str, Any] = {
+        "shm_name": shm.name,
+        "layout": layout,
+    }
+    for field in _SCALAR_FIELDS:
+        descriptor[field] = int(getattr(pack, field))
+    return SharedPackHandle(shm), descriptor
+
+
+def attach_pack(descriptor: Dict[str, Any]) -> Optional[CorpusPack]:
+    """Rebuild a :class:`CorpusPack` over an exported block, zero-copy.
+
+    Every array field is a view into the mapped segment — nothing is
+    copied, and the mapping stays alive exactly as long as the returned
+    pack (anchored through its ``_shm`` slot).  Returns ``None`` if the
+    segment cannot be attached (parent already gone, platform quirk);
+    callers then rebuild the pack locally.
+    """
+    if not shared_available():
+        return None
+    # Attaching must not register the segment with the resource tracker:
+    # ownership stays with the exporting parent, and (pre-3.13, where
+    # ``track=False`` landed) tracked attachments both spam tracker
+    # KeyErrors — forked workers share one tracker, so N attach/unregister
+    # cycles double-remove one cache entry — and race to destroy the
+    # parent's segment on worker exit.  Suppress registration around the
+    # attach instead of unregistering after it.
+    try:
+        from multiprocessing import resource_tracker
+
+        _register = resource_tracker.register
+
+        def _register_skip_shm(name, rtype):  # pragma: no cover - trivial
+            if rtype != "shared_memory":
+                _register(name, rtype)
+
+        resource_tracker.register = _register_skip_shm
+    except Exception:  # pragma: no cover - tracker is platform-dependent
+        resource_tracker = None
+        _register = None
+    try:
+        shm = _shm_mod.SharedMemory(name=descriptor["shm_name"])
+    except (OSError, FileNotFoundError):  # pragma: no cover - parent raced away
+        return None
+    finally:
+        if _register is not None:
+            resource_tracker.register = _register
+    fields: Dict[str, Any] = {"_shm": shm}
+    for name in _SCALAR_FIELDS:
+        fields[name] = descriptor[name]
+    for field, offset, shape, dtype in descriptor["layout"]:
+        fields[field] = _np.ndarray(
+            shape, dtype=_np.dtype(dtype), buffer=shm.buf, offset=offset
+        )
+    return CorpusPack(**fields)
