@@ -40,6 +40,7 @@ import os
 import shutil
 import subprocess
 import tempfile
+import time
 from typing import Optional, Sequence, Tuple
 
 try:  # Optional accelerator, mirroring repro.algorithms.workspace.
@@ -258,12 +259,49 @@ def _find_compiler() -> Optional[str]:
     return None
 
 
+#: How long a recorded compile failure suppresses further compiler
+#: invocations (seconds).  Long enough that a broken toolchain costs one
+#: ``cc`` call per session rather than one per TED call; short enough that
+#: a fixed toolchain is picked up without manual cache clearing.
+_FAILURE_MARKER_TTL = 600.0
+
+
+def _atomic_write(path: str, data: str) -> None:
+    """Write ``path`` via temp file + atomic rename (no torn reads ever)."""
+    directory = os.path.dirname(path)
+    with tempfile.NamedTemporaryFile(
+        "w", dir=directory, suffix=".tmp", delete=False
+    ) as tmp:
+        tmp.write(data)
+        tmp_path = tmp.name
+    os.replace(tmp_path, path)
+
+
+def _read_failure_marker(marker_path: str) -> Optional[str]:
+    """The recorded failure reason, or ``None`` if absent/expired."""
+    try:
+        age = time.time() - os.path.getmtime(marker_path)
+        if age > _FAILURE_MARKER_TTL:
+            os.unlink(marker_path)
+            return None
+        with open(marker_path) as handle:
+            return handle.read().strip() or "compile failed"
+    except OSError:
+        return None
+
+
 def _compile_cc_library():
     """Compile :data:`_C_SOURCE` and return the loaded ctypes library.
 
     The shared object is cached in the temp directory keyed by a source
     hash, so repeated processes (multiprocessing workers, test runs) reuse
     one compilation; the build itself is a single ~0.3 s compiler call.
+    Both the ``.c`` source and the ``.so`` are written via temp file +
+    atomic rename, so concurrent first calls (a worker pool warming up)
+    can never observe a torn file.  A failed compile is *negative-cached*
+    in a ``.failed`` marker next to the library for
+    :data:`_FAILURE_MARKER_TTL` seconds — a broken toolchain degrades to
+    the interpreted kernels without re-invoking ``cc`` on every probe.
     Any failure — no compiler, sandboxed temp dir, broken toolchain —
     propagates to the provider probe, which records the backend as
     unavailable.
@@ -277,10 +315,13 @@ def _compile_cc_library():
     cache_dir = os.path.join(tempfile.gettempdir(), "rted-native")
     os.makedirs(cache_dir, exist_ok=True)
     lib_path = os.path.join(cache_dir, f"ted_native_{digest}.so")
+    marker_path = lib_path + ".failed"
     if not os.path.exists(lib_path):
+        failure = _read_failure_marker(marker_path)
+        if failure is not None:
+            raise RuntimeError(f"compile previously failed (cached): {failure}")
         src_path = os.path.join(cache_dir, f"ted_native_{digest}.c")
-        with open(src_path, "w") as handle:
-            handle.write(_C_SOURCE)
+        _atomic_write(src_path, _C_SOURCE)
         with tempfile.NamedTemporaryFile(
             dir=cache_dir, suffix=".so", delete=False
         ) as tmp:
@@ -293,9 +334,25 @@ def _compile_cc_library():
                 timeout=120,
             )
             os.replace(tmp_path, lib_path)  # atomic vs. concurrent builders
+        except BaseException as exc:
+            reason = f"{type(exc).__name__}: {exc}"
+            stderr = getattr(exc, "stderr", None)
+            if stderr:
+                if isinstance(stderr, bytes):
+                    stderr = stderr.decode(errors="replace")
+                reason = f"{reason}\n{stderr}"
+            try:
+                _atomic_write(marker_path, reason)
+            except OSError:  # pragma: no cover - read-only cache dir
+                pass
+            raise
         finally:
             if os.path.exists(tmp_path):
                 os.unlink(tmp_path)
+    try:
+        os.unlink(marker_path)  # stale marker from a since-fixed toolchain
+    except OSError:
+        pass
     lib = ctypes.CDLL(lib_path)
     i64 = ctypes.c_int64
     pi64 = ctypes.POINTER(i64)

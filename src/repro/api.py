@@ -265,6 +265,15 @@ def similarity_join(
     larger than one chunk verifies serially regardless of ``workers``;
     ``result.stats.verify_workers`` records the count actually used.
 
+    The ``workers > 1`` verification stage is *supervised*
+    (:mod:`repro.join.supervisor`): crashed or hung workers are detected,
+    failed chunks retried with capped backoff, and execution degrades down
+    an exact-result ladder (shared-memory pack → local pack rebuild → no
+    batch kernel → in-process serial) instead of aborting the join.  Pass
+    ``policy=ExecutionPolicy(...)`` to tune retries and the hang timeout;
+    the recovery telemetry lands in ``result.stats`` (``retried_chunks``,
+    ``failed_workers``, ``degraded_to``, ``poisoned_pairs``).
+
     Examples
     --------
     >>> from repro import similarity_join

@@ -10,8 +10,13 @@ Installed as the ``rted`` console script.  Sub-commands:
 * ``rted join @collection.txt --threshold 3`` — corpus-indexed similarity
   self join (or ``--other @b.txt`` for a cross join) with the filter cascade
   and optional multiprocessing fan-out;
+* ``rted shm-reap`` — remove shared-memory blocks orphaned by killed joins;
 * ``rted experiment fig8|fig9|fig10|table1|table2|ablation`` — run one of the
   paper's experiments and print its table(s).
+
+Library failures (malformed trees, unknown algorithms, unreadable files,
+batch-execution aborts) exit with a one-line diagnostic on stderr and a
+distinct nonzero status — see :data:`EXIT_CODES` — instead of a traceback.
 """
 
 from __future__ import annotations
@@ -25,6 +30,14 @@ from .algorithms.base import ENGINES
 from .algorithms.registry import available_algorithms
 from .datasets.random_trees import random_tree
 from .datasets.shapes import SHAPE_GENERATORS, make_shape
+from .exceptions import (
+    BatchExecutionError,
+    ParseError,
+    ReproError,
+    TreeConstructionError,
+    UnknownAlgorithmError,
+    UnknownEngineError,
+)
 from .experiments import (
     ablation_strategy,
     fig8_subproblems,
@@ -36,6 +49,18 @@ from .experiments import (
 from .api import similarity_join
 from .io.bracket import parse_bracket_collection, to_bracket
 from .visualize import render_tree
+
+#: Exit codes per failure class (BSD ``sysexits.h`` conventions): usage
+#: errors 64, malformed input data 65, unreadable input files 66, an
+#: unrecoverable batch execution 69 (``EX_UNAVAILABLE``), any other library
+#: error 70 (``EX_SOFTWARE``).
+EXIT_CODES = {
+    "usage": 64,
+    "data": 65,
+    "noinput": 66,
+    "batch": 69,
+    "software": 70,
+}
 
 
 def _load_tree_argument(argument: str, fmt: Optional[str]):
@@ -157,7 +182,33 @@ def _build_parser() -> argparse.ArgumentParser:
         "either way)",
     )
     join.add_argument("--workers", type=int, default=1, help="verification processes")
+    join.add_argument(
+        "--chunk-timeout",
+        type=float,
+        default=None,
+        help="supervised verification: tear down and retry if no chunk "
+        "completes for this many seconds (hung-worker detection; default "
+        "off, or the RTED_CHUNK_TIMEOUT environment variable)",
+    )
+    join.add_argument(
+        "--chunk-retries",
+        type=int,
+        default=None,
+        help="supervised verification: failed attempts per chunk before it "
+        "falls back to in-process serial execution (default 3, or the "
+        "RTED_CHUNK_RETRIES environment variable)",
+    )
     join.add_argument("--stats", action="store_true", help="print per-stage join statistics")
+
+    shm_reap = subparsers.add_parser(
+        "shm-reap",
+        help="remove shared-memory blocks orphaned by killed join processes",
+    )
+    shm_reap.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="list the orphaned blocks without removing them",
+    )
 
     experiment = subparsers.add_parser("experiment", help="run one of the paper's experiments")
     experiment.add_argument(
@@ -167,10 +218,8 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point (returns a process exit code)."""
-    args = _build_parser().parse_args(argv)
-
+def _dispatch(args) -> int:
+    """Execute one parsed sub-command (library errors handled by ``main``)."""
     if args.command == "distance":
         tree_f = _load_tree_argument(args.tree_f, args.fmt)
         tree_g = _load_tree_argument(args.tree_g, args.fmt)
@@ -225,8 +274,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "join":
+        from .join.supervisor import ExecutionPolicy
+
         collection = _load_collection_argument(args.collection)
         other = _load_collection_argument(args.other) if args.other else None
+        policy = ExecutionPolicy.default()
+        if args.chunk_timeout is not None:
+            policy.chunk_timeout = args.chunk_timeout
+        if args.chunk_retries is not None:
+            policy.max_chunk_retries = args.chunk_retries
         result = similarity_join(
             collection,
             args.threshold,
@@ -239,6 +295,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             workspace=not args.no_workspace,
             bounded_verify=not args.no_bounded_verify,
             batch_kernel=not args.no_batch_kernel,
+            policy=policy,
         )
         for i, j, distance in result.matches:
             print(f"{i}\t{j}\t{distance:g}")
@@ -252,9 +309,26 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"# exact TED runs:   {stats.exact_computed}")
             print(f"# aborted early:    {stats.aborted_early}")
             print(f"# verify workers:   {stats.verify_workers}")
+            if stats.retried_chunks or stats.failed_workers:
+                print(f"# retried chunks:   {stats.retried_chunks}")
+                print(f"# failed workers:   {stats.failed_workers}")
+            if stats.degraded_to is not None:
+                print(f"# degraded to:      {stats.degraded_to}")
+            if stats.poisoned_pairs:
+                print(f"# poisoned pairs:   {stats.poisoned_pairs}")
             print(f"# matches:          {stats.matches}")
             print(f"# filter rate:      {stats.filter_rate:.3f}")
             print(f"# total time:       {stats.total_time:.4f}s")
+        return 0
+
+    if args.command == "shm-reap":
+        from .join.shared import reap_stale
+
+        reaped = reap_stale(dry_run=args.dry_run)
+        verb = "would reap" if args.dry_run else "reaped"
+        for name in reaped:
+            print(name)
+        print(f"# {verb} {len(reaped)} orphaned block(s)", file=sys.stderr)
         return 0
 
     if args.command == "experiment":
@@ -275,6 +349,43 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     return 1  # pragma: no cover - argparse enforces valid commands
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point (returns a process exit code).
+
+    Library errors are reported as a single ``rted: ...`` line on stderr
+    with a failure-class exit code (:data:`EXIT_CODES`) — a malformed tree
+    must not look like a crash.
+    """
+    args = _build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except ParseError as exc:
+        # Most parse messages already say "... at position N"; only append
+        # the offset when the message itself doesn't carry it.
+        where = ""
+        if exc.position is not None and str(exc.position) not in str(exc):
+            where = f" (at offset {exc.position})"
+        print(f"rted: parse error: {exc}{where}", file=sys.stderr)
+        return EXIT_CODES["data"]
+    except TreeConstructionError as exc:
+        print(f"rted: invalid tree: {exc}", file=sys.stderr)
+        return EXIT_CODES["data"]
+    except (UnknownAlgorithmError, UnknownEngineError) as exc:
+        print(f"rted: {exc}", file=sys.stderr)
+        return EXIT_CODES["usage"]
+    except BatchExecutionError as exc:
+        print(f"rted: batch execution failed: {exc}", file=sys.stderr)
+        return EXIT_CODES["batch"]
+    except ReproError as exc:
+        print(f"rted: error: {exc}", file=sys.stderr)
+        return EXIT_CODES["software"]
+    except OSError as exc:
+        name = getattr(exc, "filename", None)
+        where = f" ({name})" if name else ""
+        print(f"rted: cannot read input{where}: {exc.strerror or exc}", file=sys.stderr)
+        return EXIT_CODES["noinput"]
 
 
 if __name__ == "__main__":  # pragma: no cover

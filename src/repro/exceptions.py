@@ -49,3 +49,45 @@ class WorkspaceError(ReproError):
     """Raised when a :class:`~repro.algorithms.workspace.TedWorkspace` is
     used with a cost model other than the one it was created with (its cached
     cost tables would be silently wrong for the new model)."""
+
+
+class BatchExecutionError(ReproError):
+    """Raised when supervised batch execution cannot deliver a complete,
+    exact result set.
+
+    The supervised executor (:mod:`repro.join.supervisor`) only raises this
+    in *strict* mode (``ExecutionPolicy(strict=True)``); by default failures
+    are degraded through the recovery ladder and reported per pair in the
+    :class:`~repro.join.supervisor.ExecutionReport` instead of aborting the
+    batch."""
+
+
+class ChunkFailure(BatchExecutionError):
+    """One batch chunk exhausted its retry budget on every worker rung.
+
+    Carries the chunk index, the number of attempts made, and the error
+    message of each failed attempt.  Instances double as records inside
+    :attr:`~repro.join.supervisor.ExecutionReport.chunk_failures` — a chunk
+    rescued by the serial fallback still leaves its failure history there.
+    """
+
+    def __init__(self, chunk_index: int, attempts: int, errors) -> None:
+        self.chunk_index = int(chunk_index)
+        self.attempts = int(attempts)
+        self.errors = [str(error) for error in errors]
+        last = self.errors[-1] if self.errors else "unknown error"
+        super().__init__(
+            f"chunk {self.chunk_index} failed after {self.attempts} attempt(s): {last}"
+        )
+
+
+class FaultInjectionError(ReproError):
+    """Raised when an ``RTED_FAULT_INJECT`` specification cannot be parsed."""
+
+
+class InjectedFaultError(ReproError):
+    """Raised by the deterministic fault-injection layer (:mod:`repro.join.faults`).
+
+    Only ever seen when fault injection is active — e.g. a ``poison_pair``
+    fault makes the affected pair's computation raise this error on every
+    ladder rung, exercising the per-pair poisoned-result reporting."""

@@ -5,7 +5,9 @@ Two layers:
 * the **batch subsystem** (v2) — :class:`TreeCorpus` per-tree artifacts, the
   ordered filter cascade with inverted-index candidate generation, and the
   chunked/multiprocessing exact verifier (:func:`batch_similarity_join`,
-  :func:`batch_distances`);
+  :func:`batch_distances`), whose fan-out is supervised: dead/hung workers
+  recovered, failed chunks retried, degradation down an exact-result ladder
+  (:mod:`repro.join.supervisor`, testable via :mod:`repro.join.faults`);
 * the **legacy pairwise API** (:func:`similarity_self_join`,
   :func:`similarity_join`) kept for the Table 1 experiment and small
   collections.
@@ -31,7 +33,20 @@ from .cascade import (
     operations_threshold,
 )
 from .corpus import TreeCorpus, TreeProfile, branch_candidate_pairs
-from .shared import SharedPackHandle, attach_pack, export_pack, shared_available
+from .faults import FaultPlan
+from .shared import (
+    SharedPackHandle,
+    attach_pack,
+    export_pack,
+    reap_stale,
+    shared_available,
+)
+from .supervisor import (
+    ExecutionPolicy,
+    ExecutionReport,
+    PoisonedPair,
+    run_supervised,
+)
 from .similarity_join import (
     JoinResult,
     similarity_join,
@@ -47,7 +62,14 @@ __all__ = [
     "SharedPackHandle",
     "attach_pack",
     "export_pack",
+    "reap_stale",
     "shared_available",
+    # Supervised execution / fault tolerance
+    "ExecutionPolicy",
+    "ExecutionReport",
+    "PoisonedPair",
+    "run_supervised",
+    "FaultPlan",
     "BatchJoinResult",
     "batch_distances",
     "batch_self_join",

@@ -33,6 +33,16 @@ from ..algorithms.registry import make_algorithm
 from ..algorithms.workspace import TedWorkspace, WorkspaceTED
 from ..costs import CostModel
 from ..trees.tree import Tree
+from . import faults
+from .supervisor import (
+    ExecutionPolicy,
+    ExecutionReport,
+    RUNG_LOCAL_PACK,
+    RUNG_NO_KERNEL,
+    RUNG_SERIAL,
+    RUNG_SHM,
+    run_supervised,
+)
 from .cascade import (
     ACCEPT,
     CascadeContext,
@@ -129,8 +139,12 @@ _WORKER_STATE: dict = {}
 
 def _init_worker(
     trees_a, trees_b, algorithm, engine, cost_model, use_workspace, cutoff,
-    batch_kernel=False, pack_desc_a=None, pack_desc_b=None,
+    batch_kernel=False, pack_desc_a=None, pack_desc_b=None, fault_plan=None,
 ) -> None:
+    # Adopt the parent's fault-injection plan (usually None) before any
+    # other setup, so injected shm-attach failures can hit the pack attach
+    # below; this also marks the process as a supervised worker.
+    faults.mark_worker(fault_plan)
     _WORKER_STATE["trees_a"] = trees_a
     _WORKER_STATE["trees_b"] = trees_b if trees_b is not None else trees_a
     # Workspaces hold process-local caches, so each worker builds its own
@@ -235,6 +249,24 @@ def _worker_chunk(pairs: List[Tuple[int, int]]) -> List[Tuple]:
     return [fallback(i, j) for i, j in pairs]
 
 
+def _supervised_chunk(chunk_index: int, attempt: int, pairs: List[Tuple[int, int]]):
+    """One supervised work item, run inside a pool worker.
+
+    Returns ``("ok", chunk_index, results)`` or ``("err", chunk_index,
+    message)`` — exceptions are stringified *here* so an unpicklable
+    exception object can never wedge the pool result queue; only real
+    crashes and hangs surface as pool-level events, and the supervisor
+    handles both.  ``attempt`` exists so deterministic fault injection can
+    make a retry succeed where the first attempt crashed.
+    """
+    faults.fire_worker_faults(chunk_index, attempt)
+    try:
+        faults.check_pairs(pairs)
+        return ("ok", chunk_index, _worker_chunk(pairs))
+    except Exception as exc:
+        return ("err", chunk_index, f"{type(exc).__name__}: {exc}")
+
+
 def _resolve_algorithm(
     algorithm: Union[str, TEDAlgorithm],
     engine: Optional[str],
@@ -268,6 +300,8 @@ def batch_distances(
     workspace: WorkspaceLike = True,
     cutoff: Optional[float] = None,
     batch_kernel: bool = True,
+    policy: Optional[ExecutionPolicy] = None,
+    exec_report: Optional[ExecutionReport] = None,
 ) -> List[Tuple]:
     """Exact TED for many index pairs: ``(i, j) → (i, j, distance, subproblems)``.
 
@@ -318,6 +352,17 @@ def batch_distances(
     Pre-built algorithm instances whose ``compute`` predates the ``cutoff``
     keyword are computed unbounded (same tuple shape, exact distances,
     never aborted).
+
+    The multiprocessing fan-out is **supervised**
+    (:mod:`repro.join.supervisor`): dead or hung workers are detected,
+    failed chunks are retried with capped backoff, and execution degrades
+    along an explicit ladder (shared-memory pack → local pack rebuild → no
+    batch kernel → in-process serial) with bit-identical results at every
+    rung.  ``policy`` tunes retries/timeouts (default:
+    :meth:`ExecutionPolicy.default`, which honors ``RTED_CHUNK_TIMEOUT``
+    and ``RTED_CHUNK_RETRIES``); pass an :class:`ExecutionReport` as
+    ``exec_report`` to receive the recovery telemetry (retried chunks,
+    failed workers, the rung degraded to, poisoned pairs).
     """
     corpus_a = as_corpus(trees_a)
     corpus_b = as_corpus(trees_b) if trees_b is not None else None
@@ -373,7 +418,18 @@ def batch_distances(
                 on_chunk(chunk_results)
         return results
 
-    import multiprocessing
+    # ---- supervised multiprocessing fan-out ----------------------------- #
+    if policy is None:
+        policy = ExecutionPolicy.default()
+    report = exec_report if exec_report is not None else ExecutionReport()
+
+    kernel_eligible = (
+        batch_kernel
+        and kernel_available()
+        and isinstance(algorithm, str)
+        and workspace is not False
+        and workspace is not None
+    )
 
     # Export the corpus pack(s) into shared memory once so workers attach
     # zero-copy instead of each rebuilding the struct-of-arrays tables.
@@ -382,13 +438,7 @@ def batch_distances(
     # and workers rebuild both sides locally.
     pack_desc_a = pack_desc_b = None
     shared_handles = []
-    if (
-        batch_kernel
-        and kernel_available()
-        and isinstance(algorithm, str)
-        and workspace is not False
-        and workspace is not None
-    ):
+    if kernel_eligible:
         probe = (
             workspace
             if isinstance(workspace, TedWorkspace)
@@ -413,34 +463,83 @@ def batch_distances(
                         handle_b, pack_desc_b = exported_b
                         shared_handles.append(handle_b)
 
-    try:
-        context = multiprocessing.get_context()
-        with context.Pool(
-            processes=workers,
+    # The fault plan active in the parent is threaded explicitly through the
+    # pool initializer so workers never re-read the environment.
+    plan = faults.active_plan()
+    use_ws = workspace is not False and workspace is not None
+    trees_b_arg = corpus_b.trees if corpus_b is not None else None
+
+    def _initargs(rung: str) -> tuple:
+        desc_a = pack_desc_a if rung == RUNG_SHM else None
+        desc_b = pack_desc_b if rung == RUNG_SHM else None
+        kernel_on = batch_kernel and rung in (RUNG_SHM, RUNG_LOCAL_PACK)
+        return (
+            corpus_a.trees, trees_b_arg, algorithm, engine, cost_model,
+            use_ws, cutoff, kernel_on, desc_a, desc_b, plan,
+        )
+
+    def _executor_factory(rung: str, n_workers: int):
+        import multiprocessing
+        from concurrent.futures import ProcessPoolExecutor
+
+        return ProcessPoolExecutor(
+            max_workers=n_workers,
+            mp_context=multiprocessing.get_context(),
             initializer=_init_worker,
-            initargs=(
-                corpus_a.trees,
-                corpus_b.trees if corpus_b is not None else None,
-                algorithm,
-                engine,
-                cost_model,
-                workspace is not False and workspace is not None,
-                cutoff,
-                batch_kernel,
-                pack_desc_a,
-                pack_desc_b,
-            ),
-        ) as pool:
-            for chunk_results in pool.imap_unordered(
-                _worker_chunk, _chunked(pair_list, chunk_size)
-            ):
-                if collect_results:
-                    results.extend(chunk_results)
-                if on_chunk is not None:
-                    on_chunk(chunk_results)
+            initargs=_initargs(rung),
+        )
+
+    rungs = []
+    if pack_desc_a is not None:
+        rungs.append(RUNG_SHM)
+    if kernel_eligible:
+        rungs.append(RUNG_LOCAL_PACK)
+    rungs.extend((RUNG_NO_KERNEL, RUNG_SERIAL))
+
+    # Lazily-built in-process verifier for the serial rung (most batches
+    # never touch it).  Exceptions here poison single pairs, not the batch.
+    serial_state: dict = {}
+
+    def _serial_pair(i: int, j: int) -> Tuple:
+        if not serial_state:
+            ws = _make_workspace(
+                workspace if isinstance(workspace, TedWorkspace) else use_ws,
+                cost_model, corpus_a,
+            )
+            algo = _resolve_algorithm(algorithm, engine, ws)
+            serial_state["algo"] = algo
+            serial_state["bounded_ok"] = cutoff is None or _supports_cutoff(algo)
+            serial_state["lookup_b"] = (
+                corpus_b.trees if corpus_b is not None else corpus_a.trees
+            )
+        faults.check_pair(i, j)
+        return _compute_entry(
+            serial_state["algo"], corpus_a.trees[i], serial_state["lookup_b"][j],
+            i, j, cost_model, cutoff, serial_state["bounded_ok"],
+        )
+
+    def _consume_chunk(chunk_index: int, chunk_results: List[Tuple]) -> None:
+        if collect_results:
+            results.extend(chunk_results)
+        if on_chunk is not None:
+            on_chunk(chunk_results)
+
+    try:
+        run_supervised(
+            chunks=list(_chunked(pair_list, chunk_size)),
+            workers=_effective_workers(workers, len(pair_list), chunk_size),
+            rungs=rungs,
+            executor_factory=_executor_factory,
+            task=_supervised_chunk,
+            serial_pair=_serial_pair,
+            on_chunk=_consume_chunk,
+            policy=policy,
+            report=report,
+        )
     finally:
-        # The parent owns the shared blocks; unlink only after the pool has
-        # fully joined (the with-block guarantees that, success or error).
+        # The parent owns the shared blocks; unlink only after the pools
+        # have been torn down (run_supervised shuts each executor down
+        # before returning, success or failure).
         for handle in shared_handles:
             handle.close()
     return results
@@ -490,6 +589,7 @@ def batch_similarity_join(
     workspace: WorkspaceLike = True,
     bounded_verify: bool = True,
     batch_kernel: bool = True,
+    policy: Optional[ExecutionPolicy] = None,
 ) -> BatchJoinResult:
     """The corpus-indexed batch similarity join (``TED < threshold``).
 
@@ -521,6 +621,13 @@ def batch_similarity_join(
     change.  Disable it to record exact distances of non-matching survivors
     via :func:`batch_distances` semantics (the join itself never reports
     them either way).
+
+    The multiprocessing verification stage is supervised (see
+    :func:`batch_distances`): dead or hung workers are recovered, failed
+    chunks retried, and execution degrades down an exact-result ladder
+    rather than aborting the join.  ``policy`` tunes that behavior; the
+    recovery telemetry lands in ``JoinStats`` (``retried_chunks``,
+    ``failed_workers``, ``degraded_to``, ``poisoned_pairs``).
     """
     stats = JoinStats()
     started = time.perf_counter()
@@ -606,6 +713,7 @@ def batch_similarity_join(
         if progress is not None:
             progress(stats)
 
+    report = ExecutionReport()
     batch_distances(
         a,
         b,
@@ -620,7 +728,13 @@ def batch_similarity_join(
         workspace=workspace,
         cutoff=threshold if bounded_verify else None,
         batch_kernel=batch_kernel,
+        policy=policy,
+        exec_report=report,
     )
+    stats.retried_chunks = report.retried_chunks
+    stats.failed_workers = report.failed_workers
+    stats.degraded_to = report.degraded_to
+    stats.poisoned_pairs = len(report.poisoned_pairs)
 
     matches.sort()
     stats.matches = len(matches)

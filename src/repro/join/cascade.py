@@ -255,6 +255,24 @@ class JoinStats:
     batches serially regardless of ``workers`` — pool startup would cost
     more than the work), otherwise ``min(workers, number of chunks)``."""
 
+    retried_chunks: int = 0
+    """Verification chunks the supervisor re-submitted after a failed
+    attempt (worker crash, hang teardown, or in-chunk error)."""
+
+    failed_workers: int = 0
+    """Worker-pool failure events the supervisor recovered from during
+    verification (crashed pools, hang teardowns, failed pool creation)."""
+
+    degraded_to: Optional[str] = None
+    """The deepest degradation-ladder rung verification needed (``"shm"`` →
+    ``"local-pack"`` → ``"no-kernel"`` → ``"serial"``), or ``None`` when the
+    first rung sufficed.  Results are bit-identical at every rung."""
+
+    poisoned_pairs: int = 0
+    """Survivor pairs skipped because they failed on every ladder rung,
+    including the per-pair serial re-run (zero outside fault injection or a
+    genuinely broken pair)."""
+
     matches: int = 0
     total_subproblems: int = 0
     profile_time: float = 0.0
@@ -294,6 +312,10 @@ class JoinStats:
             "exact_matched": self.exact_matched,
             "aborted_early": self.aborted_early,
             "verify_workers": self.verify_workers,
+            "retried_chunks": self.retried_chunks,
+            "failed_workers": self.failed_workers,
+            "degraded_to": self.degraded_to,
+            "poisoned_pairs": self.poisoned_pairs,
             "matches": self.matches,
             "total_subproblems": self.total_subproblems,
             "filter_rate": self.filter_rate,

@@ -15,8 +15,13 @@ Lifecycle / ownership
 ---------------------
 * The **parent** calls :func:`export_pack`, keeps the returned
   :class:`SharedPackHandle` alive while the pool runs, and calls
-  :meth:`SharedPackHandle.close` (which unlinks) after ``pool.join()``.
-  ``atexit`` acts as a safety net for abandoned handles.
+  :meth:`SharedPackHandle.close` (which unlinks) after the pool has been
+  torn down.  A module-level ``atexit`` hook plus a polite ``SIGTERM``
+  handler (installed only when the process had none) unlink any still-open
+  handles on abnormal parent exit, and blocks are *named*
+  ``rted_pack_<pid>_<token>`` so :func:`reap_stale` can remove segments
+  orphaned by a parent that died uncleanly (``kill -9`` bypasses every
+  in-process hook).
 * **Workers** call :func:`attach_pack` with the picklable descriptor.  The
   attached pack's arrays are views into the mapped block; the mapping is
   pinned by the pack's ``_shm`` anchor for the pack's lifetime.  Workers
@@ -35,6 +40,10 @@ either way.
 from __future__ import annotations
 
 import atexit
+import os
+import secrets
+import signal
+import weakref
 from typing import Any, Dict, List, Optional, Tuple
 
 try:  # Optional accelerator, mirroring repro.algorithms.workspace.
@@ -43,6 +52,7 @@ except ImportError:  # pragma: no cover - exercised only without numpy
     _np = None
 
 from ..algorithms.batch_kernel import CorpusPack
+from . import faults
 
 try:
     from multiprocessing import shared_memory as _shm_mod
@@ -58,16 +68,66 @@ def shared_available() -> bool:
 #: Scalar (non-array) pack fields carried inside the descriptor.
 _SCALAR_FIELDS = ("n_trees", "small_pair_cutoff", "pad_w")
 
+#: Naming prefix of exported blocks.  Embedding the exporting pid lets
+#: :func:`reap_stale` distinguish orphans (owner dead) from live exports.
+SHM_PREFIX = "rted_pack_"
+
+#: Where POSIX shared memory surfaces as files (Linux).  ``reap_stale``
+#: is a no-op on platforms without it.
+_SHM_DIR = "/dev/shm"
+
+# Handles still owning a block, for the crash-exit safety nets below.  A
+# WeakSet so the hooks never keep an abandoned handle (or its mapped block)
+# alive — `__del__` unlinks a collected one instead.
+_LIVE_HANDLES: "weakref.WeakSet[SharedPackHandle]" = weakref.WeakSet()
+_HOOKS_INSTALLED = False
+
+
+def _cleanup_live_handles() -> None:
+    """Unlink every still-open exported block (atexit / signal safety net)."""
+    for handle in list(_LIVE_HANDLES):
+        handle.close()
+
+
+def _sigterm_cleanup(signum, frame):  # pragma: no cover - signal path
+    _cleanup_live_handles()
+    # Restore the default disposition and re-deliver, so the process still
+    # dies with the conventional termination status.
+    signal.signal(signum, signal.SIG_DFL)
+    os.kill(os.getpid(), signum)
+
+
+def _install_cleanup_hooks() -> None:
+    """One-time registration of the abnormal-exit safety nets.
+
+    ``atexit`` covers normal interpreter shutdown and unhandled exceptions;
+    a ``SIGTERM`` handler covers polite external kills — installed only
+    when the process has no handler of its own (never clobber an embedding
+    application's signal handling).  ``SIGKILL`` cannot be hooked; those
+    orphans are what :func:`reap_stale` is for.
+    """
+    global _HOOKS_INSTALLED
+    if _HOOKS_INSTALLED:
+        return
+    _HOOKS_INSTALLED = True
+    atexit.register(_cleanup_live_handles)
+    try:
+        if signal.getsignal(signal.SIGTERM) is signal.SIG_DFL:
+            signal.signal(signal.SIGTERM, _sigterm_cleanup)
+    except (ValueError, OSError, AttributeError):  # pragma: no cover
+        pass  # non-main thread or platform without SIGTERM
+
 
 class SharedPackHandle:
     """Parent-side owner of one exported pack's shared-memory block."""
 
-    __slots__ = ("_shm", "_closed")
+    __slots__ = ("_shm", "_closed", "__weakref__")
 
     def __init__(self, shm) -> None:
         self._shm = shm
         self._closed = False
-        atexit.register(self.close)
+        _install_cleanup_hooks()
+        _LIVE_HANDLES.add(self)
 
     @property
     def name(self) -> str:
@@ -78,11 +138,70 @@ class SharedPackHandle:
         if self._closed:
             return
         self._closed = True
+        _LIVE_HANDLES.discard(self)
         try:
             self._shm.close()
             self._shm.unlink()
         except (FileNotFoundError, OSError):  # pragma: no cover - teardown race
             pass
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        self.close()
+
+
+def _pid_alive(pid: int) -> bool:
+    """Whether ``pid`` names a live process (EPERM counts as alive)."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - someone else's process
+        return True
+    except OSError:  # pragma: no cover - exotic platforms
+        return True
+    return True
+
+
+def _owner_pid(block_name: str) -> Optional[int]:
+    """The exporting pid embedded in a block name, or ``None`` if foreign."""
+    if not block_name.startswith(SHM_PREFIX):
+        return None
+    rest = block_name[len(SHM_PREFIX):]
+    pid_text, _, _token = rest.partition("_")
+    try:
+        return int(pid_text)
+    except ValueError:
+        return None
+
+
+def reap_stale(dry_run: bool = False) -> List[str]:
+    """Remove orphaned exported blocks whose owning process is gone.
+
+    Scans ``/dev/shm`` for ``rted_pack_<pid>_*`` entries and unlinks those
+    whose pid is dead — the leftovers of a parent killed with ``SIGKILL``
+    (no in-process hook can run there).  Blocks of live processes and
+    foreign ``psm_*`` segments are never touched.  Returns the names of the
+    blocks removed (or, with ``dry_run``, the ones that would be).
+    Exposed on the CLI as ``rted shm-reap``.
+    """
+    try:
+        entries = os.listdir(_SHM_DIR)
+    except OSError:  # pragma: no cover - non-Linux or masked /dev/shm
+        return []
+    reaped: List[str] = []
+    for entry in entries:
+        pid = _owner_pid(entry)
+        if pid is None or pid == os.getpid() or _pid_alive(pid):
+            continue
+        if not dry_run:
+            try:
+                os.unlink(os.path.join(_SHM_DIR, entry))
+            except OSError:  # pragma: no cover - concurrent reap
+                continue
+        reaped.append(entry)
+    return reaped
 
 
 def export_pack(pack: CorpusPack):
@@ -107,10 +226,25 @@ def export_pack(pack: CorpusPack):
         layout.append((field, offset, arr.shape, arr.dtype.str))
         arrays.append((offset, arr))
         offset += arr.nbytes
-    try:
-        shm = _shm_mod.SharedMemory(create=True, size=max(1, offset))
-    except (OSError, ValueError):  # pragma: no cover - /dev/shm unavailable
-        return None
+    shm = None
+    size = max(1, offset)
+    # Named blocks (pid + random token) so orphans are attributable and
+    # reap-able; fall back to an anonymous block if naming ever collides
+    # or the platform rejects our names.
+    for _ in range(3):
+        name = f"{SHM_PREFIX}{os.getpid()}_{secrets.token_hex(4)}"
+        try:
+            shm = _shm_mod.SharedMemory(create=True, size=size, name=name)
+            break
+        except FileExistsError:  # pragma: no cover - 32-bit token collision
+            continue
+        except (OSError, ValueError):  # pragma: no cover - naming quirk
+            break
+    if shm is None:
+        try:
+            shm = _shm_mod.SharedMemory(create=True, size=size)
+        except (OSError, ValueError):  # pragma: no cover - /dev/shm unavailable
+            return None
     try:
         for off, arr in arrays:
             dst = _np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf, offset=off)
@@ -138,6 +272,10 @@ def attach_pack(descriptor: Dict[str, Any]) -> Optional[CorpusPack]:
     callers then rebuild the pack locally.
     """
     if not shared_available():
+        return None
+    if faults.shm_attach_fails():
+        # Deterministic fault injection: pretend the attach failed so the
+        # local-rebuild fallback is exercised (results stay bit-identical).
         return None
     # Attaching must not register the segment with the resource tracker:
     # ownership stays with the exporting parent, and (pre-3.13, where
