@@ -23,7 +23,9 @@ from .api import (
     compute,
     edit_mapping,
     edit_script,
+    knn,
     parse_tree,
+    range_query,
     similarity_join,
     tree_edit_distance,
     tree_to_bracket,
@@ -60,7 +62,15 @@ from .exceptions import (
     TreeConstructionError,
     UnknownAlgorithmError,
 )
-from .join import BatchJoinResult, JoinStats, TreeCorpus, batch_distances
+from .join import (
+    BatchJoinResult,
+    JoinStats,
+    QueryEngine,
+    QueryResult,
+    TreeCorpus,
+    VPTree,
+    batch_distances,
+)
 from .trees import Node, Tree, tree_from_nested, tree_from_parent_array
 
 __version__ = "1.0.0"
@@ -75,8 +85,13 @@ __all__ = [
     "compare_algorithms",
     "parse_tree",
     "tree_to_bracket",
-    # Batch joins
+    # Batch joins and queries
     "similarity_join",
+    "knn",
+    "range_query",
+    "QueryEngine",
+    "QueryResult",
+    "VPTree",
     "TreeCorpus",
     "BatchJoinResult",
     "JoinStats",

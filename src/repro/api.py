@@ -28,6 +28,8 @@ from .io.newick import parse_newick
 from .io.xml import xml_to_tree
 from .join.batch import BatchJoinResult, batch_similarity_join
 from .join.cascade import JoinStats
+from .join.corpus import TreeCorpus
+from .join.query import QueryResult, query_engine
 from .trees.node import Node
 from .trees.tree import Tree
 
@@ -300,6 +302,105 @@ def similarity_join(
         batch_kernel=batch_kernel,
         **kwargs,
     )
+
+
+def _query_corpus(collection) -> TreeCorpus:
+    """Resolve a collection argument into a (frozen) :class:`TreeCorpus`.
+
+    Passing a prebuilt :class:`TreeCorpus` is the warm path: repeated
+    queries against the same corpus object reuse the cached profiles,
+    inverted indexes, batch-kernel pack and the lazily built metric index
+    (engines are cached per corpus by :func:`repro.join.query.query_engine`).
+    A plain sequence is parsed and wrapped fresh on every call.
+    """
+    if isinstance(collection, TreeCorpus):
+        return collection
+    return TreeCorpus([parse_tree(tree) for tree in collection])
+
+
+def knn(
+    query: TreeLike,
+    corpus: Union[TreeCorpus, Sequence[TreeLike]],
+    k: int,
+    algorithm: str = "rted",
+    cost_model: Optional[CostModel] = None,
+    engine: Optional[str] = None,
+    workers: int = 1,
+    use_cascade: bool = True,
+    use_metric_index: bool = True,
+    **kwargs,
+) -> QueryResult:
+    """The ``k`` corpus trees nearest to ``query`` (exact, ties by index).
+
+    Runs the best-first metric-index search of
+    :class:`~repro.join.query.QueryEngine` when the cost model is provably
+    a metric, and a sound linear scan otherwise; either way the result is
+    exactly the first ``k`` entries of the brute-force ``(distance, index)``
+    ranking.  ``corpus`` may be a sequence of trees/parseable descriptions
+    or a prebuilt :class:`~repro.join.corpus.TreeCorpus` — pass the corpus
+    object to amortize indexes across a query stream.  Extra keyword
+    arguments reach the :class:`QueryEngine` (``chunk_size``, ``leaf_size``,
+    ``workspace``, ``batch_kernel``, ``policy``, ...).
+
+    Examples
+    --------
+    >>> from repro import knn
+    >>> result = knn("{a{b}{c}}", ["{a{b}{c}{d}}", "{x{y}}", "{a{b}}"], k=2)
+    >>> result.indices
+    [0, 2]
+    """
+    engine_obj = query_engine(
+        _query_corpus(corpus),
+        algorithm=algorithm,
+        cost_model=cost_model,
+        engine=engine,
+        workers=workers,
+        use_cascade=use_cascade,
+        use_metric_index=use_metric_index,
+        **kwargs,
+    )
+    return engine_obj.knn(parse_tree(query), k)
+
+
+def range_query(
+    query: TreeLike,
+    corpus: Union[TreeCorpus, Sequence[TreeLike]],
+    threshold: float,
+    algorithm: str = "rted",
+    cost_model: Optional[CostModel] = None,
+    engine: Optional[str] = None,
+    workers: int = 1,
+    use_cascade: bool = True,
+    use_metric_index: bool = True,
+    **kwargs,
+) -> QueryResult:
+    """Every corpus tree with ``TED(query, tree) < threshold``, exactly.
+
+    The one-vs-corpus counterpart of :func:`similarity_join` (same strict
+    ``< τ`` match semantics), run through the planner/filter/refiner
+    pipeline with metric-index candidate generation when the cost model
+    passes the metric gate.  Results are ``(index, distance)`` sorted by
+    ``(distance, index)``; distances are always exact.  See :func:`knn`
+    for the ``corpus`` and keyword-argument conventions.
+
+    Examples
+    --------
+    >>> from repro import range_query
+    >>> result = range_query("{a{b}{c}}", ["{a{b}{c}{d}}", "{x{y}}", "{a{b}}"], 2.0)
+    >>> result.indices
+    [0, 2]
+    """
+    engine_obj = query_engine(
+        _query_corpus(corpus),
+        algorithm=algorithm,
+        cost_model=cost_model,
+        engine=engine,
+        workers=workers,
+        use_cascade=use_cascade,
+        use_metric_index=use_metric_index,
+        **kwargs,
+    )
+    return engine_obj.range_query(parse_tree(query), threshold)
 
 
 def tree_to_bracket(tree: TreeLike) -> str:

@@ -10,6 +10,9 @@ Installed as the ``rted`` console script.  Sub-commands:
 * ``rted join @collection.txt --threshold 3`` — corpus-indexed similarity
   self join (or ``--other @b.txt`` for a cross join) with the filter cascade
   and optional multiprocessing fan-out;
+* ``rted query QUERY @collection.txt --top-k 5`` (or ``--range 3``) —
+  one-vs-corpus retrieval through the query engine (metric-index search
+  when the cost model allows, sound linear scan otherwise);
 * ``rted shm-reap`` — remove shared-memory blocks orphaned by killed joins;
 * ``rted experiment fig8|fig9|fig10|table1|table2|ablation`` — run one of the
   paper's experiments and print its table(s).
@@ -33,6 +36,7 @@ from .datasets.shapes import SHAPE_GENERATORS, make_shape
 from .exceptions import (
     BatchExecutionError,
     ParseError,
+    QueryError,
     ReproError,
     TreeConstructionError,
     UnknownAlgorithmError,
@@ -198,7 +202,57 @@ def _build_parser() -> argparse.ArgumentParser:
         "falls back to in-process serial execution (default 3, or the "
         "RTED_CHUNK_RETRIES environment variable)",
     )
-    join.add_argument("--stats", action="store_true", help="print per-stage join statistics")
+    join.add_argument(
+        "--stats",
+        action="store_true",
+        help="print per-stage join statistics to stderr (results on stdout "
+        "stay machine-parseable)",
+    )
+
+    query = subparsers.add_parser(
+        "query",
+        help="one-vs-corpus retrieval: top-k nearest or range query",
+    )
+    query.add_argument("query", help="query tree (inline or @file)")
+    query.add_argument(
+        "collection",
+        help="corpus file as @path (one bracket-notation tree per line, "
+        "blank lines and # comments ignored)",
+    )
+    mode = query.add_mutually_exclusive_group(required=True)
+    mode.add_argument(
+        "--top-k", type=int, default=None, help="return the k nearest corpus trees"
+    )
+    mode.add_argument(
+        "--range",
+        dest="range_threshold",
+        type=float,
+        default=None,
+        help="return every corpus tree with TED < τ",
+    )
+    query.add_argument(
+        "--algorithm", default="rted", choices=available_algorithms(), help="exact verifier"
+    )
+    query.add_argument("--engine", default=None, choices=list(ENGINES))
+    query.add_argument("--format", dest="fmt", default=None, help="bracket | newick | xml")
+    query.add_argument(
+        "--no-cascade",
+        action="store_true",
+        help="disable the filter cascade (refine every candidate exactly)",
+    )
+    query.add_argument(
+        "--no-metric-index",
+        action="store_true",
+        help="disable VP-tree candidate generation (always linear scan; "
+        "results are identical either way)",
+    )
+    query.add_argument("--workers", type=int, default=1, help="refinement processes")
+    query.add_argument(
+        "--stats",
+        action="store_true",
+        help="print query statistics to stderr (results on stdout stay "
+        "machine-parseable)",
+    )
 
     shm_reap = subparsers.add_parser(
         "shm-reap",
@@ -300,25 +354,70 @@ def _dispatch(args) -> int:
         for i, j, distance in result.matches:
             print(f"{i}\t{j}\t{distance:g}")
         if args.stats:
+            # Stats go to stderr so piped stdout stays machine-parseable.
             stats = result.stats
-            print(f"# pairs total:      {stats.pairs_total}")
-            print(f"# candidates:       {stats.candidate_pairs} (index pruned {stats.index_pruned})")
+            err = sys.stderr
+            print(f"# pairs total:      {stats.pairs_total}", file=err)
+            print(
+                f"# candidates:       {stats.candidate_pairs} (index pruned {stats.index_pruned})",
+                file=err,
+            )
             for stage, count in stats.stage_pruned.items():
-                print(f"# pruned by {stage}: {count}")
-            print(f"# accepted early:   {stats.accepted_early}")
-            print(f"# exact TED runs:   {stats.exact_computed}")
-            print(f"# aborted early:    {stats.aborted_early}")
-            print(f"# verify workers:   {stats.verify_workers}")
+                print(f"# pruned by {stage}: {count}", file=err)
+            print(f"# accepted early:   {stats.accepted_early}", file=err)
+            print(f"# exact TED runs:   {stats.exact_computed}", file=err)
+            print(f"# aborted early:    {stats.aborted_early}", file=err)
+            print(f"# verify workers:   {stats.verify_workers}", file=err)
             if stats.retried_chunks or stats.failed_workers:
-                print(f"# retried chunks:   {stats.retried_chunks}")
-                print(f"# failed workers:   {stats.failed_workers}")
+                print(f"# retried chunks:   {stats.retried_chunks}", file=err)
+                print(f"# failed workers:   {stats.failed_workers}", file=err)
             if stats.degraded_to is not None:
-                print(f"# degraded to:      {stats.degraded_to}")
+                print(f"# degraded to:      {stats.degraded_to}", file=err)
             if stats.poisoned_pairs:
-                print(f"# poisoned pairs:   {stats.poisoned_pairs}")
-            print(f"# matches:          {stats.matches}")
-            print(f"# filter rate:      {stats.filter_rate:.3f}")
-            print(f"# total time:       {stats.total_time:.4f}s")
+                print(f"# poisoned pairs:   {stats.poisoned_pairs}", file=err)
+            print(f"# matches:          {stats.matches}", file=err)
+            print(f"# filter rate:      {stats.filter_rate:.3f}", file=err)
+            print(f"# total time:       {stats.total_time:.4f}s", file=err)
+        return 0
+
+    if args.command == "query":
+        from .api import knn, range_query
+        from .join.corpus import TreeCorpus
+
+        query_tree = _load_tree_argument(args.query, args.fmt)
+        corpus = TreeCorpus(_load_collection_argument(args.collection))
+        options = dict(
+            algorithm=args.algorithm,
+            engine=args.engine,
+            workers=args.workers,
+            use_cascade=not args.no_cascade,
+            use_metric_index=not args.no_metric_index,
+        )
+        if args.top_k is not None:
+            result = knn(query_tree, corpus, args.top_k, **options)
+        else:
+            result = range_query(query_tree, corpus, args.range_threshold, **options)
+        for index, distance in result.matches:
+            print(f"{index}\t{distance:g}")
+        if args.stats:
+            # Stats go to stderr so piped stdout stays machine-parseable.
+            stats = result.stats
+            err = sys.stderr
+            print(f"# corpus size:      {stats.corpus_size}", file=err)
+            print(f"# metric index:     {'used' if stats.metric_index_used else 'off'}", file=err)
+            if stats.metric_index_used:
+                print(f"# vp nodes visited: {stats.vp_nodes_visited}", file=err)
+                print(f"# vp pruned trees:  {stats.vp_pruned_subtrees}", file=err)
+            print(
+                f"# candidates:       {stats.candidate_pairs} (index pruned {stats.index_pruned})",
+                file=err,
+            )
+            for stage, count in stats.stage_pruned.items():
+                print(f"# pruned by {stage}: {count}", file=err)
+            print(f"# exact TED runs:   {stats.exact_computed}", file=err)
+            print(f"# aborted early:    {stats.aborted_early}", file=err)
+            print(f"# matches:          {stats.matches}", file=err)
+            print(f"# total time:       {stats.total_time:.4f}s", file=err)
         return 0
 
     if args.command == "shm-reap":
@@ -372,7 +471,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     except TreeConstructionError as exc:
         print(f"rted: invalid tree: {exc}", file=sys.stderr)
         return EXIT_CODES["data"]
-    except (UnknownAlgorithmError, UnknownEngineError) as exc:
+    except (UnknownAlgorithmError, UnknownEngineError, QueryError) as exc:
         print(f"rted: {exc}", file=sys.stderr)
         return EXIT_CODES["usage"]
     except BatchExecutionError as exc:

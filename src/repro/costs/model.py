@@ -53,6 +53,24 @@ class CostModel:
         """
         return None
 
+    def is_metric(self) -> bool:
+        """Whether the induced tree edit distance is provably a metric.
+
+        ``True`` only when the label-level costs form a metric on
+        ``labels ∪ {ε}`` — symmetric (``delete(l) == insert(l)``,
+        ``rename(a, b) == rename(b, a)``) and satisfying the triangle
+        inequality (in particular ``rename(a, b) ≤ delete(a) + insert(b)``)
+        — which makes the TED itself symmetric and triangle-respecting
+        (Zhang & Shasha).  Metric-space indexes
+        (:mod:`repro.join.metric_index`) prune with the triangle
+        inequality, so they consult this flag and **soundly fall back to a
+        linear scan** whenever it is ``False``.  The base implementation
+        returns ``False``: a model that cannot *prove* metricity must not
+        claim it (an unsound ``True`` silently drops query results; a
+        conservative ``False`` only costs speed).
+        """
+        return False
+
     # ------------------------------------------------------------------ #
     def validate(self, sample_labels: Tuple[object, ...] = ("a", "b", "")) -> None:
         """Raise :class:`CostModelError` if the model breaks basic invariants."""
@@ -81,6 +99,11 @@ class UnitCostModel(CostModel):
     def min_operation_cost(self) -> Optional[float]:
         return 1.0
 
+    def is_metric(self) -> bool:
+        # Unit costs are the canonical label metric: symmetric, and
+        # rename (1) never beats delete + insert (2).
+        return True
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "UnitCostModel()"
 
@@ -108,6 +131,16 @@ class WeightedCostModel(CostModel):
 
     def min_operation_cost(self) -> Optional[float]:
         return min(self._delete, self._insert, self._rename)
+
+    def is_metric(self) -> bool:
+        # Symmetry needs delete == insert; the only non-trivial triangle
+        # constraint is rename(a, b) ≤ delete(a) + insert(b) (rename via
+        # delete + insert) — all other combinations hold for any
+        # non-negative constants.
+        return (
+            self._delete == self._insert
+            and self._rename <= self._delete + self._insert
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -160,6 +193,20 @@ class PerLabelCostModel(CostModel):
             + list(self._insert_costs.values())
         )
 
+    def is_metric(self) -> bool:
+        # Conservative: symmetry needs identical delete/insert tables, and
+        # with per-label deletion costs the triangle inequality needs both
+        # rename ≤ cheapest delete + cheapest insert (rename via ε) and
+        # max delete ≤ rename + min delete (delete via rename + delete).
+        if (
+            self._delete_costs != self._insert_costs
+            or self._default_delete != self._default_insert
+        ):
+            return False
+        costs = [self._default_delete] + list(self._delete_costs.values())
+        lo, hi = min(costs), max(costs)
+        return self._rename <= 2 * lo and hi <= self._rename + lo
+
 
 class StringRenameCostModel(CostModel):
     """Rename cost proportional to the normalized edit distance of the labels.
@@ -190,6 +237,12 @@ class StringRenameCostModel(CostModel):
         # provable per-operation infimum is 0 — which correctly disables
         # operation-count lower-bound pruning for this model.
         return 0.0
+
+    def is_metric(self) -> bool:
+        # Length-normalized edit distance (ld / max length) violates the
+        # triangle inequality on some label triples, so the induced TED is
+        # not provably a metric; metric-index pruning must not engage.
+        return False
 
 
 class CallableCostModel(CostModel):

@@ -81,6 +81,20 @@ class ChunkFailure(BatchExecutionError):
         )
 
 
+class MetricGateError(CostModelError):
+    """Raised when a metric-space index is built over a non-metric cost model.
+
+    Triangle-inequality pruning under a cost model that is not provably a
+    metric silently drops true results, so
+    :meth:`~repro.join.metric_index.VPTree.build` refuses outright; callers
+    that cannot prove metricity (:func:`~repro.join.metric_index.metric_eligible`)
+    must fall back to a linear scan."""
+
+
+class QueryError(ReproError):
+    """Raised when a retrieval query is malformed (e.g. ``k < 0``)."""
+
+
 class FaultInjectionError(ReproError):
     """Raised when an ``RTED_FAULT_INJECT`` specification cannot be parsed."""
 

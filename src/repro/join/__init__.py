@@ -1,12 +1,18 @@
-"""Similarity joins over tree collections.
+"""Similarity joins and query-centric retrieval over tree collections.
 
-Two layers:
+Three layers:
 
-* the **batch subsystem** (v2) — :class:`TreeCorpus` per-tree artifacts, the
-  ordered filter cascade with inverted-index candidate generation, and the
-  chunked/multiprocessing exact verifier (:func:`batch_similarity_join`,
-  :func:`batch_distances`), whose fan-out is supervised: dead/hung workers
-  recovered, failed chunks retried, degradation down an exact-result ladder
+* the **retrieval core** — the planner/filter/refiner pipeline
+  (:mod:`repro.join.pipeline`) composing candidate sources (inverted
+  indexes, the :mod:`repro.join.metric_index` VP-tree), the ordered filter
+  cascade and the batched exact refiner; the all-pairs join
+  (:func:`batch_similarity_join`) and one-vs-corpus queries
+  (:class:`~repro.join.query.QueryEngine` — ``knn`` / ``range_query``) are
+  both compositions of it;
+* the **batch subsystem** (v2) — :class:`TreeCorpus` per-tree artifacts and
+  the chunked/multiprocessing exact verifier (:func:`batch_distances`),
+  whose fan-out is supervised: dead/hung workers recovered, failed chunks
+  retried, degradation down an exact-result ladder
   (:mod:`repro.join.supervisor`, testable via :mod:`repro.join.faults`);
 * the **legacy pairwise API** (:func:`similarity_self_join`,
   :func:`similarity_join`) kept for the Table 1 experiment and small
@@ -19,6 +25,21 @@ from .batch import (
     batch_self_join,
     batch_similarity_join,
 )
+from .metric_index import VPTree, metric_eligible
+from .pipeline import (
+    AllPairsSource,
+    BatchRefiner,
+    CandidateSet,
+    CandidateSource,
+    Filter,
+    JoinIndexSource,
+    Planner,
+    QueryIndexSource,
+    Refiner,
+    RetrievalPlan,
+    execute_plan,
+)
+from .query import QueryEngine, QueryResult, QueryStats, query_engine
 from .cascade import (
     BinaryBranchFilter,
     CascadeContext,
@@ -55,6 +76,24 @@ from .similarity_join import (
 )
 
 __all__ = [
+    # Retrieval core (planner / filter / refiner)
+    "CandidateSource",
+    "Filter",
+    "Refiner",
+    "CandidateSet",
+    "AllPairsSource",
+    "JoinIndexSource",
+    "QueryIndexSource",
+    "BatchRefiner",
+    "Planner",
+    "RetrievalPlan",
+    "execute_plan",
+    "VPTree",
+    "metric_eligible",
+    "QueryEngine",
+    "QueryResult",
+    "QueryStats",
+    "query_engine",
     # Batch subsystem (v2)
     "TreeCorpus",
     "TreeProfile",

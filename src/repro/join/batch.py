@@ -43,18 +43,8 @@ from .supervisor import (
     RUNG_SHM,
     run_supervised,
 )
-from .cascade import (
-    ACCEPT,
-    CascadeContext,
-    FilterStage,
-    JoinStats,
-    PQGramFilter,
-    PRUNE,
-    default_cascade,
-    operations_threshold,
-    run_cascade,
-)
-from .corpus import TreeCorpus, branch_candidate_pairs
+from .cascade import FilterStage, JoinStats
+from .corpus import TreeCorpus
 
 CorpusLike = Union[TreeCorpus, Sequence[Tree]]
 
@@ -399,10 +389,19 @@ def batch_distances(
             pack_a = corpus_a.pack(kernel_ws.small_pair_cutoff)
             if pack_a is not None:
                 # Cross batches pack side b against side a's interner so the
-                # label codes of the two packs agree.
-                pack_b = pack_a if corpus_b is None else build_corpus_pack(
-                    corpus_b.trees, corpus_a.interner(), kernel_ws.small_pair_cutoff
-                )
+                # label codes of the two packs agree; when the corpora already
+                # share one interner (e.g. a per-query corpus built with
+                # interner=corpus.interner()) side b's cached pack qualifies
+                # as-is — crucial for queries, where rebuilding the big
+                # corpus-side pack per call would dwarf the query itself.
+                if corpus_b is None:
+                    pack_b = pack_a
+                elif corpus_b.shares_interner(corpus_a):
+                    pack_b = corpus_b.pack(kernel_ws.small_pair_cutoff)
+                else:
+                    pack_b = build_corpus_pack(
+                        corpus_b.trees, corpus_a.interner(), kernel_ws.small_pair_cutoff
+                    )
         for chunk in _chunked(pair_list, chunk_size):
             if pack_b is not None:
                 chunk_results = kernel_chunk_entries(
@@ -453,9 +452,12 @@ def batch_distances(
                 handle, pack_desc_a = exported
                 shared_handles.append(handle)
                 if corpus_b is not None:
-                    pack_b = build_corpus_pack(
-                        corpus_b.trees, corpus_a.interner(), probe.small_pair_cutoff
-                    )
+                    if corpus_b.shares_interner(corpus_a):
+                        pack_b = corpus_b.pack(probe.small_pair_cutoff)
+                    else:
+                        pack_b = build_corpus_pack(
+                            corpus_b.trees, corpus_a.interner(), probe.small_pair_cutoff
+                        )
                     exported_b = export_pack(pack_b)
                     if exported_b is None:  # pragma: no cover - shm race
                         pack_desc_a = None
@@ -629,6 +631,8 @@ def batch_similarity_join(
     recovery telemetry lands in ``JoinStats`` (``retried_chunks``,
     ``failed_workers``, ``degraded_to``, ``poisoned_pairs``).
     """
+    from .pipeline import BatchRefiner, Planner, execute_plan
+
     stats = JoinStats()
     started = time.perf_counter()
 
@@ -642,103 +646,39 @@ def batch_similarity_join(
     else:
         stats.pairs_total = len(a) * len(b)
 
-    ctx = CascadeContext(
-        threshold=threshold,
-        ops_threshold=operations_threshold(threshold, cm),
-        cost_model=cm,
-    )
-
-    # ---- stage 1+2: profiles and candidate generation ------------------- #
-    tick = time.perf_counter()
-    if use_cascade and use_candidate_index:
-        candidates, skipped = branch_candidate_pairs(a, b, ctx.ops_threshold)
-        candidate_pairs = sorted(candidates)
-        stats.index_pruned = skipped
-    else:
-        if b is None:
-            candidate_pairs = [
-                (i, j) for i in range(len(a)) for j in range(i + 1, len(a))
-            ]
-        else:
-            candidate_pairs = [(i, j) for i in range(len(a)) for j in range(len(b))]
-    stats.candidate_pairs = len(candidate_pairs)
-    stats.candidate_time = time.perf_counter() - tick
-    if progress is not None:
-        progress(stats)
-
-    # ---- stage 3: per-pair filter cascade ------------------------------- #
-    matches: List[Tuple[int, int, float]] = []
-    tick = time.perf_counter()
-    if use_cascade:
-        stages = list(cascade) if cascade is not None else default_cascade()
-        if approximate:
-            stages.insert(-1, PQGramFilter(a, b, cutoff=pq_gram_cutoff))
-        if not early_accept:
-            stages = [s for s in stages if not s.is_accept_stage]
-        profiles_b = b if b is not None else a
-        survivors: List[Tuple[int, int]] = []
-        for i, j in candidate_pairs:
-            decision = run_cascade(stages, a.profile(i), profiles_b.profile(j), ctx, stats)
-            if decision == ACCEPT:
-                # The accepting stage certified a mapping below τ and left its
-                # cost in ctx.accept_value; report that as the distance.
-                matches.append((i, j, ctx.accept_value))
-            elif decision != PRUNE:
-                survivors.append((i, j))
-    else:
-        survivors = candidate_pairs
-    stats.cascade_time = time.perf_counter() - tick
-    if progress is not None:
-        progress(stats)
-
-    # ---- stage 4: exact verification ------------------------------------ #
-    tick = time.perf_counter()
-    stats.verify_workers = _effective_workers(workers, len(survivors), chunk_size)
-
-    def on_chunk(chunk_results: List[Tuple]) -> None:
-        for entry in chunk_results:
-            i, j, distance, subproblems = entry[:4]
-            stats.exact_computed += 1
-            stats.total_subproblems += subproblems
-            if len(entry) > 4 and entry[4]:
-                stats.aborted_early += 1
-            # Bounded entries carry a lower bound ≥ τ in the distance field,
-            # so the strict match test is correct for both tuple shapes.
-            if distance < threshold:
-                stats.exact_matched += 1
-                matches.append((i, j, distance))
-        stats.matches = len(matches)
-        stats.verify_time = time.perf_counter() - tick
-        stats.total_time = time.perf_counter() - started
-        if progress is not None:
-            progress(stats)
-
-    report = ExecutionReport()
-    batch_distances(
+    # The join is one composition of the planner/filter/refiner pipeline
+    # (repro.join.pipeline) — the same architecture that runs range queries
+    # and backs the kNN engine; execute_plan owns the stage loop, streaming
+    # stats and the progress cadence.
+    refiner = BatchRefiner(
         a,
         b,
-        survivors,
         algorithm=algorithm,
         cost_model=cost_model,
         engine=engine,
         workers=workers,
         chunk_size=chunk_size,
-        on_chunk=on_chunk,
-        collect_results=False,
         workspace=workspace,
-        cutoff=threshold if bounded_verify else None,
         batch_kernel=batch_kernel,
         policy=policy,
-        exec_report=report,
     )
-    stats.retried_chunks = report.retried_chunks
-    stats.failed_workers = report.failed_workers
-    stats.degraded_to = report.degraded_to
-    stats.poisoned_pairs = len(report.poisoned_pairs)
+    plan = Planner(cm).plan_join(
+        a,
+        b,
+        threshold,
+        refiner,
+        use_cascade=use_cascade,
+        cascade=cascade,
+        use_candidate_index=use_candidate_index,
+        early_accept=early_accept,
+        approximate=approximate,
+        pq_gram_cutoff=pq_gram_cutoff,
+        bounded_verify=bounded_verify,
+    )
+    matches = execute_plan(plan, stats, progress=progress, started=started)
 
     matches.sort()
     stats.matches = len(matches)
-    stats.verify_time = time.perf_counter() - tick
     stats.total_time = time.perf_counter() - started
     return BatchJoinResult(
         algorithm=algo.name, threshold=threshold, matches=matches, stats=stats

@@ -61,20 +61,47 @@ class TreeCorpus:
     its first :meth:`profile` access and cached; only the pq-gram artifacts,
     which no sound stage consumes, are deferred further until
     :meth:`pq_profile` / :meth:`pq_index` is called.
+
+    **A corpus is frozen at construction.**  Every derived artifact —
+    profiles, inverted indexes, the label interner, the batch-kernel pack
+    and any metric index built over the corpus — is cached under the
+    assumption that the tree list never changes; a post-construction
+    mutation would silently serve stale indexes (wrong join/query results
+    with no error).  The tree sequence is therefore stored as a tuple:
+    ``corpus.trees[i] = t`` raises ``TypeError``, ``corpus.trees.append``
+    raises ``AttributeError`` and rebinding ``corpus.trees`` raises
+    ``AttributeError`` — stale-index bugs surface as errors at the mutation
+    site.  To change membership, build a new :class:`TreeCorpus`.
+
+    ``interner`` optionally shares another corpus's label dictionary (see
+    :meth:`interner`), so that e.g. a one-tree query corpus produces label
+    codes compatible with the main corpus's cached batch-kernel pack.
     """
 
-    def __init__(self, trees: Sequence[Tree], p: int = 2, q: int = 3) -> None:
-        self.trees: List[Tree] = list(trees)
+    def __init__(
+        self,
+        trees: Sequence[Tree],
+        p: int = 2,
+        q: int = 3,
+        interner=None,
+    ) -> None:
+        self._trees: Tuple[Tree, ...] = tuple(trees)
         self.p = p
         self.q = q
-        self._profiles: List[Optional[TreeProfile]] = [None] * len(self.trees)
+        self._profiles: List[Optional[TreeProfile]] = [None] * len(self._trees)
         self._branch_index: Optional[Dict[object, List[int]]] = None
         self._pq_index: Optional[Dict[object, List[int]]] = None
-        self._interner = None
+        self._size_order: Optional[Tuple[List[int], List[int]]] = None
+        self._interner = interner
         self._pack = None
         self._pack_cutoff = None
 
     # ------------------------------------------------------------------ #
+    @property
+    def trees(self) -> Tuple[Tree, ...]:
+        """The corpus's trees, frozen at construction (see the class docs)."""
+        return self._trees
+
     def __len__(self) -> int:
         return len(self.trees)
 
@@ -133,6 +160,16 @@ class TreeCorpus:
             self._interner = LabelInterner()
         return self._interner
 
+    def shares_interner(self, other: "TreeCorpus") -> bool:
+        """Whether both corpora already hold the *same* label dictionary.
+
+        True only when the interners exist and are one object (e.g. this
+        corpus was built with ``interner=other.interner()``), in which case
+        their packs' label codes agree and cached packs can be mixed in one
+        batch.  Deliberately side-effect free: it never creates an interner.
+        """
+        return self._interner is not None and self._interner is other._interner
+
     def pack(self, small_pair_cutoff: Optional[int] = None):
         """The corpus's (cached) batch-kernel pack, or ``None`` sans NumPy.
 
@@ -180,6 +217,55 @@ class TreeCorpus:
                     index[gram].append(i)
             self._pq_index = dict(index)
         return self._pq_index
+
+    def size_order(self) -> Tuple[List[int], List[int]]:
+        """``(indices, sizes)`` of the corpus trees in ascending size order.
+
+        Cached; used by one-vs-corpus candidate generation (the small-tree
+        sweep) and by query planners that want to examine near-sized trees
+        first.
+        """
+        if self._size_order is None:
+            order = sorted(range(len(self.trees)), key=lambda i: self.trees[i].n)
+            self._size_order = (order, [self.trees[i].n for i in order])
+        return self._size_order
+
+    def query_candidates(
+        self, profile: TreeProfile, ops_threshold: float
+    ) -> Tuple[Set[int], int]:
+        """Sound one-vs-corpus candidate generation from the branch index.
+
+        The asymmetric counterpart of :func:`branch_candidate_pairs`: for a
+        *query* profile (typically from a one-tree corpus, not from this
+        one) returns ``(candidates, pruned)`` where ``candidates`` is the
+        set of corpus tree indices that may still satisfy
+        ``TED(query, tree) < τ`` — trees sharing at least one binary branch
+        with the query, plus trees small enough to pass with a disjoint
+        branch profile — and ``pruned`` counts the corpus trees eliminated
+        without ever being examined.  ``ops_threshold`` is the threshold in
+        operation-count space (``τ / min_operation_cost``); ``inf``
+        disables pruning (every tree is a candidate).
+
+        Soundness: ``BBD(F, G) ≤ 5 · TED_ops`` (Yang et al., SIGMOD 2005)
+        and disjoint branch profiles force ``BBD = |F| + |G|``, so a
+        disjoint-profile tree can only match when
+        ``|F| + |G| < 5 · τ_ops``.
+        """
+        n = len(self.trees)
+        if ops_threshold == float("inf"):
+            return set(range(n)), 0
+        candidates: Set[int] = set()
+        index = self.branch_index()
+        for branch in profile.branch_profile:
+            postings = index.get(branch)
+            if postings:
+                candidates.update(postings)
+        # Small-tree sweep: trees below the size budget stay candidates even
+        # with a fully disjoint branch profile.
+        order, sizes = self.size_order()
+        limit = bisect_left(sizes, 5.0 * ops_threshold - profile.size)
+        candidates.update(order[:limit])
+        return candidates, n - len(candidates)
 
 
 def _small_pairs(

@@ -1,0 +1,475 @@
+"""The planner / filter / refiner architecture of the retrieval core.
+
+Before this module existed the retrieval stack was hardwired to one
+workload: the symmetric all-pairs similarity join
+(:func:`~repro.join.batch.batch_similarity_join`) enumerated candidate
+pairs from one corpus, ran them through the filter cascade and verified
+survivors exactly.  Query-centric workloads — one-vs-corpus top-k, range
+queries — need the same three capabilities wired differently, so the
+pipeline is factored into three small protocols:
+
+* :class:`CandidateSource` — produces the pairs that may still satisfy the
+  predicate, pruning what it can *without materializing it* (inverted
+  indexes, metric-index traversals, or plain enumeration);
+* :class:`Filter` — a per-pair stage deciding ``PRUNE`` / ``ACCEPT`` /
+  ``CONTINUE`` from cached per-tree profiles (structurally identical to
+  :class:`~repro.join.cascade.FilterStage`, which remains the concrete
+  base class — the cascade of PR 3 *is* the filter layer);
+* :class:`Refiner` — computes exact (optionally τ-bounded) distances for
+  the surviving pairs; :class:`BatchRefiner` wraps
+  :func:`~repro.join.batch.batch_distances`, so every refinement — join
+  verification and query refinement alike — runs through the same
+  amortized kernels and the same supervised multiprocessing fan-out.
+
+:class:`Planner` composes the three into a :class:`RetrievalPlan` and
+:func:`execute_plan` runs one: candidates → filters → refinement, with
+streaming :class:`~repro.join.cascade.JoinStats`.  The legacy all-pairs
+join is *one composition* of these pieces (``plan_join``); asymmetric
+range queries are another (``plan_range``); the best-first kNN search of
+:mod:`repro.join.query` reuses the same sources, filters and refiner under
+its own control loop because its threshold shrinks while it runs.
+
+The evaluation path is **asymmetric** throughout: a plan carries two
+profile accessors (``profile_a`` for the left side of every pair,
+``profile_b`` for the right), so "query profile vs corpus profile" and
+"corpus profile vs corpus profile" are the same code path.  Pair
+orientation is preserved into the refiner — distances are computed as
+``d(tree_a[i], tree_b[j])`` — which keeps non-symmetric cost models
+correct for one-vs-corpus queries (side *a* is the query).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Protocol, Sequence, Tuple
+
+from ..costs import CostModel
+from .cascade import (
+    ACCEPT,
+    CascadeContext,
+    FilterStage,
+    JoinStats,
+    PQGramFilter,
+    PRUNE,
+    default_cascade,
+    operations_threshold,
+    run_cascade,
+)
+from .corpus import TreeCorpus, TreeProfile, branch_candidate_pairs
+
+PairKey = Tuple[int, int]
+
+
+# --------------------------------------------------------------------------- #
+# Protocols
+# --------------------------------------------------------------------------- #
+@dataclass
+class CandidateSet:
+    """What a :class:`CandidateSource` hands to the executor.
+
+    ``pairs`` still need filtering and refinement; ``prerefined`` carries
+    pairs whose **exact** distance the source already computed as a side
+    effect of candidate generation (e.g. vantage points of a metric-index
+    traversal) — the executor consumes the distance instead of recomputing
+    it; ``pruned`` counts the pairs eliminated without being materialized.
+    """
+
+    pairs: List[PairKey]
+    prerefined: List[Tuple[int, int, float]] = field(default_factory=list)
+    pruned: int = 0
+
+
+class CandidateSource(Protocol):
+    """Generates the candidate pairs of a retrieval plan."""
+
+    def candidates(self, ctx: CascadeContext) -> CandidateSet: ...
+
+
+class Filter(Protocol):
+    """A per-pair cascade stage (see :class:`~repro.join.cascade.FilterStage`).
+
+    The protocol exists so type annotations don't force the concrete base
+    class; every :class:`FilterStage` satisfies it.
+    """
+
+    name: str
+    requires_ops_threshold: bool
+    is_accept_stage: bool
+
+    def apply(self, a: TreeProfile, b: TreeProfile, ctx: CascadeContext) -> str: ...
+
+
+class Refiner(Protocol):
+    """Computes exact (optionally τ-bounded) distances for candidate pairs."""
+
+    def effective_workers(self, n_pairs: int) -> int: ...
+
+    def refine(
+        self,
+        pairs: Sequence[PairKey],
+        cutoff: Optional[float],
+        on_chunk: Callable[[List[Tuple]], None],
+    ): ...
+
+
+# --------------------------------------------------------------------------- #
+# Candidate sources
+# --------------------------------------------------------------------------- #
+class AllPairsSource:
+    """Every pair: ``i < j`` within one corpus, or the full cross product."""
+
+    def __init__(self, corpus_a: TreeCorpus, corpus_b: Optional[TreeCorpus]) -> None:
+        self.corpus_a = corpus_a
+        self.corpus_b = corpus_b
+
+    def candidates(self, ctx: CascadeContext) -> CandidateSet:
+        n_a = len(self.corpus_a)
+        if self.corpus_b is None:
+            pairs = [(i, j) for i in range(n_a) for j in range(i + 1, n_a)]
+        else:
+            pairs = [(i, j) for i in range(n_a) for j in range(len(self.corpus_b))]
+        return CandidateSet(pairs=pairs)
+
+
+class JoinIndexSource:
+    """Symmetric candidate generation from the binary-branch inverted index.
+
+    Wraps :func:`~repro.join.corpus.branch_candidate_pairs`; sound for any
+    cost model with a positive ``min_operation_cost`` (``ctx.ops_threshold``
+    is already in operation-count space, ``inf`` disables pruning).
+    """
+
+    def __init__(self, corpus_a: TreeCorpus, corpus_b: Optional[TreeCorpus]) -> None:
+        self.corpus_a = corpus_a
+        self.corpus_b = corpus_b
+
+    def candidates(self, ctx: CascadeContext) -> CandidateSet:
+        found, skipped = branch_candidate_pairs(
+            self.corpus_a, self.corpus_b, ctx.ops_threshold
+        )
+        return CandidateSet(pairs=sorted(found), pruned=skipped)
+
+
+class QueryIndexSource:
+    """Asymmetric one-vs-corpus candidate generation from the branch index.
+
+    Emits ``(0, j)`` pairs — side *a* is a one-tree query corpus — for the
+    corpus trees that may still match the query profile
+    (:meth:`TreeCorpus.query_candidates`).
+    """
+
+    def __init__(self, corpus: TreeCorpus, query_profile: TreeProfile) -> None:
+        self.corpus = corpus
+        self.query_profile = query_profile
+
+    def candidates(self, ctx: CascadeContext) -> CandidateSet:
+        found, skipped = self.corpus.query_candidates(
+            self.query_profile, ctx.ops_threshold
+        )
+        return CandidateSet(pairs=[(0, j) for j in sorted(found)], pruned=skipped)
+
+
+# --------------------------------------------------------------------------- #
+# The batch refiner
+# --------------------------------------------------------------------------- #
+class BatchRefiner:
+    """The exact-distance refiner: a bound :func:`batch_distances` call.
+
+    Binds the two corpora plus every execution knob of the batch layer
+    (algorithm, engine, amortized workspace, batch kernel, worker fan-out,
+    supervision policy) so plans and query engines can refine pair lists
+    without re-threading a dozen parameters.  Refinement inherits all the
+    batch-layer guarantees: bit-identical amortized kernels, the shared
+    corpus pack, and the PR 7 supervised degradation ladder when
+    ``workers > 1``.
+    """
+
+    def __init__(
+        self,
+        corpus_a: TreeCorpus,
+        corpus_b: Optional[TreeCorpus],
+        algorithm="rted",
+        cost_model: Optional[CostModel] = None,
+        engine: Optional[str] = None,
+        workers: int = 1,
+        chunk_size: int = 256,
+        workspace=True,
+        batch_kernel: bool = True,
+        policy=None,
+    ) -> None:
+        self.corpus_a = corpus_a
+        self.corpus_b = corpus_b
+        self.algorithm = algorithm
+        self.cost_model = cost_model
+        self.engine = engine
+        self.workers = workers
+        self.chunk_size = chunk_size
+        self.workspace = workspace
+        self.batch_kernel = batch_kernel
+        self.policy = policy
+
+    def effective_workers(self, n_pairs: int) -> int:
+        from .batch import _effective_workers
+
+        return _effective_workers(self.workers, n_pairs, self.chunk_size)
+
+    def refine(
+        self,
+        pairs: Sequence[PairKey],
+        cutoff: Optional[float],
+        on_chunk: Callable[[List[Tuple]], None],
+    ):
+        """Run the pairs through :func:`batch_distances`, streaming chunks.
+
+        Returns the :class:`~repro.join.supervisor.ExecutionReport` with the
+        recovery telemetry of the (supervised) run.
+        """
+        from .batch import batch_distances
+        from .supervisor import ExecutionReport
+
+        report = ExecutionReport()
+        batch_distances(
+            self.corpus_a,
+            self.corpus_b,
+            pairs,
+            algorithm=self.algorithm,
+            cost_model=self.cost_model,
+            engine=self.engine,
+            workers=self.workers,
+            chunk_size=self.chunk_size,
+            on_chunk=on_chunk,
+            collect_results=False,
+            workspace=self.workspace,
+            cutoff=cutoff,
+            batch_kernel=self.batch_kernel,
+            policy=self.policy,
+            exec_report=report,
+        )
+        return report
+
+
+# --------------------------------------------------------------------------- #
+# Plans, the planner and the executor
+# --------------------------------------------------------------------------- #
+@dataclass
+class RetrievalPlan:
+    """One composed retrieval pipeline, ready for :func:`execute_plan`.
+
+    ``profile_a(i)`` / ``profile_b(j)`` resolve the two sides of a pair key
+    to their cached :class:`TreeProfile` artifacts — symmetric joins pass
+    the same corpus accessor twice, queries pass the one-tree query corpus
+    on side *a*.  ``refine_cutoff`` is the τ handed to the refiner
+    (``None`` → unbounded verification).
+    """
+
+    ctx: CascadeContext
+    source: CandidateSource
+    filters: List[FilterStage]
+    refiner: Refiner
+    profile_a: Callable[[int], TreeProfile]
+    profile_b: Callable[[int], TreeProfile]
+    refine_cutoff: Optional[float] = None
+
+
+class Planner:
+    """Builds :class:`RetrievalPlan` compositions for the known workloads.
+
+    The planner owns the workload-independent decisions: converting the
+    distance threshold into operation-count space (the cost-model soundness
+    rule), choosing the candidate source (inverted index vs plain
+    enumeration vs a caller-supplied metric-index traversal), assembling
+    the filter stage list, and stripping accept stages when exact distances
+    are required.
+    """
+
+    def __init__(self, cost_model: CostModel) -> None:
+        self.cost_model = cost_model
+
+    def _context(self, threshold: float) -> CascadeContext:
+        return CascadeContext(
+            threshold=threshold,
+            ops_threshold=operations_threshold(threshold, self.cost_model),
+            cost_model=self.cost_model,
+        )
+
+    def plan_join(
+        self,
+        corpus_a: TreeCorpus,
+        corpus_b: Optional[TreeCorpus],
+        threshold: float,
+        refiner: Refiner,
+        use_cascade: bool = True,
+        cascade: Optional[Sequence[FilterStage]] = None,
+        use_candidate_index: bool = True,
+        early_accept: bool = True,
+        approximate: bool = False,
+        pq_gram_cutoff: float = 0.8,
+        bounded_verify: bool = True,
+    ) -> RetrievalPlan:
+        """The symmetric all-pairs similarity join as one plan.
+
+        This *is* the legacy :func:`batch_similarity_join` pipeline — the
+        join calls this planner, so there is exactly one composition, not a
+        legacy path and a refactored one.
+        """
+        ctx = self._context(threshold)
+        if use_cascade and use_candidate_index:
+            source: CandidateSource = JoinIndexSource(corpus_a, corpus_b)
+        else:
+            source = AllPairsSource(corpus_a, corpus_b)
+        filters: List[FilterStage] = []
+        if use_cascade:
+            filters = list(cascade) if cascade is not None else default_cascade()
+            if approximate:
+                filters.insert(-1, PQGramFilter(corpus_a, corpus_b, cutoff=pq_gram_cutoff))
+            if not early_accept:
+                filters = [s for s in filters if not s.is_accept_stage]
+        profiles_b = corpus_b if corpus_b is not None else corpus_a
+        return RetrievalPlan(
+            ctx=ctx,
+            source=source,
+            filters=filters,
+            refiner=refiner,
+            profile_a=corpus_a.profile,
+            profile_b=profiles_b.profile,
+            refine_cutoff=threshold if bounded_verify else None,
+        )
+
+    def plan_range(
+        self,
+        corpus: TreeCorpus,
+        query_corpus: TreeCorpus,
+        threshold: float,
+        refiner: Refiner,
+        use_cascade: bool = True,
+        cascade: Optional[Sequence[FilterStage]] = None,
+        early_accept: bool = False,
+        source: Optional[CandidateSource] = None,
+        bounded_verify: bool = True,
+    ) -> RetrievalPlan:
+        """A one-vs-corpus range query (``TED(query, tree) < τ``) as a plan.
+
+        ``query_corpus`` is a one-tree corpus wrapping the query (side *a*
+        of every pair, so non-symmetric cost models are oriented
+        query → corpus tree).  ``source`` overrides the candidate source —
+        the query engine passes its metric-index traversal here; the
+        default is the asymmetric inverted-index source (or plain
+        enumeration with the cascade off).  ``early_accept`` defaults to
+        *off* for queries: an accepted pair reports the upper-bound mapping
+        cost instead of the exact distance, which is fine for a join's
+        match set but wrong for result ranking.
+        """
+        ctx = self._context(threshold)
+        query_profile = query_corpus.profile(0)
+        if source is None:
+            if use_cascade:
+                source = QueryIndexSource(corpus, query_profile)
+            else:
+                source = AllPairsSource(query_corpus, corpus)
+        filters: List[FilterStage] = []
+        if use_cascade:
+            filters = list(cascade) if cascade is not None else default_cascade()
+            if not early_accept:
+                filters = [s for s in filters if not s.is_accept_stage]
+        return RetrievalPlan(
+            ctx=ctx,
+            source=source,
+            filters=filters,
+            refiner=refiner,
+            profile_a=query_corpus.profile,
+            profile_b=corpus.profile,
+            refine_cutoff=threshold if bounded_verify else None,
+        )
+
+
+def execute_plan(
+    plan: RetrievalPlan,
+    stats: JoinStats,
+    progress: Optional[Callable[[JoinStats], None]] = None,
+    started: Optional[float] = None,
+) -> List[Tuple[int, int, float]]:
+    """Run a retrieval plan: candidates → filter cascade → refinement.
+
+    Returns the matched pairs as ``(i, j, distance)`` triples (unsorted —
+    early accepts first, then refined matches in chunk completion order)
+    and fills ``stats`` exactly as the historical join loop did, including
+    the per-stage timings and the ``progress`` callback cadence (after
+    candidate generation, after the cascade, after every refined chunk).
+    """
+    if started is None:
+        started = time.perf_counter()
+    ctx = plan.ctx
+
+    # ---- candidates ------------------------------------------------------ #
+    tick = time.perf_counter()
+    generated = plan.source.candidates(ctx)
+    candidate_pairs = generated.pairs
+    stats.index_pruned = generated.pruned
+    stats.candidate_pairs = len(candidate_pairs) + len(generated.prerefined)
+    stats.candidate_time = time.perf_counter() - tick
+    if progress is not None:
+        progress(stats)
+
+    # ---- filter cascade -------------------------------------------------- #
+    matches: List[Tuple[int, int, float]] = []
+    tick = time.perf_counter()
+    for i, j, distance in generated.prerefined:
+        # Exact distances computed during candidate generation (metric-index
+        # vantage points): consume, don't recompute.
+        stats.exact_computed += 1
+        if distance < ctx.threshold:
+            stats.exact_matched += 1
+            matches.append((i, j, distance))
+    if plan.filters:
+        survivors: List[PairKey] = []
+        for i, j in candidate_pairs:
+            decision = run_cascade(
+                plan.filters, plan.profile_a(i), plan.profile_b(j), ctx, stats
+            )
+            if decision == ACCEPT:
+                # The accepting stage certified a mapping below τ and left its
+                # cost in ctx.accept_value; report that as the distance.
+                matches.append((i, j, ctx.accept_value))
+            elif decision != PRUNE:
+                survivors.append((i, j))
+    else:
+        survivors = list(candidate_pairs)
+    stats.cascade_time = time.perf_counter() - tick
+    if progress is not None:
+        progress(stats)
+
+    # ---- refinement ------------------------------------------------------ #
+    tick = time.perf_counter()
+    stats.verify_workers = plan.refiner.effective_workers(len(survivors))
+
+    def on_chunk(chunk_results: List[Tuple]) -> None:
+        for entry in chunk_results:
+            i, j, distance, subproblems = entry[:4]
+            stats.exact_computed += 1
+            stats.total_subproblems += subproblems
+            if len(entry) > 4 and entry[4]:
+                stats.aborted_early += 1
+            # Bounded entries carry a lower bound ≥ τ in the distance field,
+            # so the strict match test is correct for both tuple shapes.
+            if distance < ctx.threshold:
+                stats.exact_matched += 1
+                matches.append((i, j, distance))
+        stats.matches = len(matches)
+        stats.verify_time = time.perf_counter() - tick
+        stats.total_time = time.perf_counter() - started
+        if progress is not None:
+            progress(stats)
+
+    report = plan.refiner.refine(survivors, plan.refine_cutoff, on_chunk)
+    if report is not None:
+        stats.retried_chunks += report.retried_chunks
+        stats.failed_workers += report.failed_workers
+        if report.degraded_to is not None:
+            stats.degraded_to = report.degraded_to
+        stats.poisoned_pairs += len(report.poisoned_pairs)
+
+    stats.matches = len(matches)
+    stats.verify_time = time.perf_counter() - tick
+    stats.total_time = time.perf_counter() - started
+    return matches

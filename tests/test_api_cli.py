@@ -195,9 +195,46 @@ class TestCli:
         path = tmp_path / "collection.txt"
         path.write_text("{a{b}{c}}\n{a{b}{d}}\n{x{y{z{w{v}}}}}\n")
         assert cli_main(["join", f"@{path}", "--threshold", "2", "--stats"]) == 0
-        output = capsys.readouterr().out
-        assert output.splitlines()[0].split("\t")[:2] == ["0", "1"]
-        assert "# matches:" in output and "# pairs total:      3" in output
+        captured = capsys.readouterr()
+        assert captured.out.splitlines()[0].split("\t")[:2] == ["0", "1"]
+        # Stats go to stderr so piped stdout stays machine-parseable.
+        assert "#" not in captured.out
+        assert "# matches:" in captured.err and "# pairs total:      3" in captured.err
+
+    def test_query_knn_command(self, tmp_path, capsys):
+        path = tmp_path / "collection.txt"
+        path.write_text("{a{b}{c}{d}}\n{x{y}}\n{a{b}}\n")
+        assert cli_main(
+            ["query", "{a{b}{c}}", f"@{path}", "--top-k", "2", "--stats"]
+        ) == 0
+        captured = capsys.readouterr()
+        lines = [line.split("\t") for line in captured.out.splitlines()]
+        assert [line[0] for line in lines] == ["0", "2"]
+        assert "#" not in captured.out
+        assert "# corpus size:      3" in captured.err
+        assert "# matches:          2" in captured.err
+
+    def test_query_range_command(self, tmp_path, capsys):
+        path = tmp_path / "collection.txt"
+        path.write_text("{a{b}{c}{d}}\n{x{y}}\n{a{b}}\n")
+        assert cli_main(["query", "{a{b}{c}}", f"@{path}", "--range", "2"]) == 0
+        lines = [line.split("\t") for line in capsys.readouterr().out.splitlines()]
+        assert [line[0] for line in lines] == ["0", "2"]
+        assert all(float(line[1]) < 2.0 for line in lines)
+
+    def test_query_modes_are_exclusive(self, tmp_path, capsys):
+        path = tmp_path / "collection.txt"
+        path.write_text("{a}\n")
+        with pytest.raises(SystemExit):
+            cli_main(["query", "{a}", f"@{path}", "--top-k", "1", "--range", "1"])
+        with pytest.raises(SystemExit):
+            cli_main(["query", "{a}", f"@{path}"])
+
+    def test_query_negative_k_is_usage_error(self, tmp_path, capsys):
+        path = tmp_path / "collection.txt"
+        path.write_text("{a}\n")
+        assert cli_main(["query", "{a}", f"@{path}", "--top-k", "-1"]) == 64
+        assert "rted:" in capsys.readouterr().err
 
     def test_join_command_cross_and_no_cascade(self, tmp_path, capsys):
         path_a = tmp_path / "a.txt"

@@ -477,8 +477,8 @@ class TestBoundedCLI:
             ["join", f"@{collection}", "--threshold", "2", "--stats"]
         )
         assert code == 0
-        out = capsys.readouterr().out
-        assert "# aborted early:" in out
+        # Stats go to stderr (stdout carries only the match lines).
+        assert "# aborted early:" in capsys.readouterr().err
 
     def test_join_no_bounded_verify_flag(self, capsys, tmp_path):
         collection = tmp_path / "trees.txt"
@@ -490,8 +490,7 @@ class TestBoundedCLI:
             ]
         )
         assert code == 0
-        out = capsys.readouterr().out
-        assert "# aborted early:    0" in out
+        assert "# aborted early:    0" in capsys.readouterr().err
 
 
 class TestWorkspaceBounded:

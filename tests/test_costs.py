@@ -144,3 +144,43 @@ class TestCostModelsInDistances:
         model = WeightedCostModel(delete_cost=3.0, insert_cost=1.0)
         assert RTED().distance(t1, t2, cost_model=model) == 3.0
         assert RTED().distance(t2, t1, cost_model=model) == 1.0
+
+
+class TestIsMetric:
+    """is_metric() — the soundness gate for triangle-inequality indexing.
+
+    A wrong True silently drops query results, so every case that cannot be
+    proven metric must answer False (conservatism only costs speed)."""
+
+    def test_unit_model_is_metric(self):
+        assert UnitCostModel().is_metric()
+
+    def test_base_class_defaults_to_false(self):
+        assert not CostModel().is_metric()
+        assert not CallableCostModel(
+            lambda l: 1.0, lambda l: 1.0, lambda a, b: 0.0 if a == b else 1.0
+        ).is_metric()
+
+    def test_weighted_symmetric_models(self):
+        assert WeightedCostModel(0.5, 0.5, 0.5).is_metric()
+        assert WeightedCostModel(1.0, 1.0, 2.0).is_metric()
+        # rename > delete + insert breaks the triangle via ε.
+        assert not WeightedCostModel(1.0, 1.0, 2.5).is_metric()
+        # delete != insert breaks symmetry.
+        assert not WeightedCostModel(1.0, 2.0, 1.5).is_metric()
+
+    def test_per_label_models(self):
+        assert PerLabelCostModel().is_metric()
+        # Asymmetric tables break symmetry.
+        assert not PerLabelCostModel(delete_costs={"a": 2.0}).is_metric()
+        # Symmetric tables within the triangle bounds stay metric.
+        assert PerLabelCostModel(
+            delete_costs={"a": 1.5}, insert_costs={"a": 1.5}, rename_cost=1.0
+        ).is_metric()
+        # A label far cheaper than the rename route breaks delete-via-rename.
+        assert not PerLabelCostModel(
+            delete_costs={"a": 0.1}, insert_costs={"a": 0.1}, rename_cost=1.0
+        ).is_metric()
+
+    def test_string_rename_model_is_not_metric(self):
+        assert not StringRenameCostModel().is_metric()

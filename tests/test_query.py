@@ -1,0 +1,200 @@
+"""Query-engine correctness: knn / range_query vs brute force, metric gating,
+corpus freezing, and the planner pipeline invariants."""
+
+import random
+
+import pytest
+
+from repro import knn, range_query
+from repro.costs import StringRenameCostModel, UnitCostModel, WeightedCostModel
+from repro.datasets.random_trees import random_tree
+from repro.exceptions import MetricGateError, QueryError
+from repro.join import (
+    QueryEngine,
+    TreeCorpus,
+    VPTree,
+    batch_distances,
+    metric_eligible,
+)
+
+ALPHABET = list("abcde")
+
+#: The three property-suite cost models: the canonical unit model, a
+#: fractional metric (min_operation_cost < 1 exercises threshold scaling),
+#: and a non-symmetric model that must never take the VP-tree pruning path.
+COST_MODELS = {
+    "unit": UnitCostModel(),
+    "fractional": WeightedCostModel(0.5, 0.5, 0.5),
+    "non-symmetric": WeightedCostModel(1.0, 2.0, 1.5),
+}
+
+
+def _random_trees(count, rng, lo=2, hi=12):
+    return [random_tree(rng.randint(lo, hi), alphabet=ALPHABET, rng=rng) for _ in range(count)]
+
+
+def _brute_ranking(query, corpus, cost_model):
+    """The reference ranking: ``(distance, index)`` ascending, from the
+    unfiltered batch verifier (query → corpus orientation)."""
+    query_corpus = TreeCorpus([query], interner=corpus.interner())
+    entries = batch_distances(
+        query_corpus, corpus, [(0, j) for j in range(len(corpus))], cost_model=cost_model
+    )
+    return sorted((distance, j) for _, j, distance, *_ in entries)
+
+
+class TestPropertySuite:
+    """knn/range_query return exactly the brute-force result sets.
+
+    ≥ 200 random queries spread over the three cost models; every query is
+    checked at several k values and several thresholds, with exact
+    result-set (and distance) equality.
+    """
+
+    @pytest.mark.parametrize("model_name", sorted(COST_MODELS))
+    def test_queries_match_brute_force(self, model_name):
+        cost_model = COST_MODELS[model_name]
+        rng = random.Random(hash(model_name) & 0xFFFF)
+        corpus = TreeCorpus(_random_trees(50, rng))
+        engine = QueryEngine(corpus, cost_model=cost_model)
+        metric = metric_eligible(cost_model)
+        for _ in range(70):
+            query = random_tree(rng.randint(2, 12), alphabet=ALPHABET, rng=rng)
+            ranking = _brute_ranking(query, corpus, cost_model)
+            for k in (1, 5, len(corpus) + 3):
+                result = engine.knn(query, k)
+                assert result.matches == [(j, d) for d, j in ranking[:k]]
+                assert result.stats.metric_index_used == metric
+            for threshold in (1.0, 2.5, 4.0):
+                result = engine.range_query(query, threshold)
+                expected = sorted(
+                    ((j, d) for d, j in ranking if d < threshold),
+                    key=lambda entry: (entry[1], entry[0]),
+                )
+                assert result.matches == expected
+                assert result.stats.metric_index_used == (metric and threshold > 0)
+
+    def test_non_metric_models_never_take_vp_path(self):
+        rng = random.Random(7)
+        corpus = TreeCorpus(_random_trees(30, rng))
+        for cost_model in (COST_MODELS["non-symmetric"], StringRenameCostModel()):
+            assert not metric_eligible(cost_model)
+            engine = QueryEngine(corpus, cost_model=cost_model)
+            query = _random_trees(1, rng)[0]
+            assert engine.knn(query, 3).stats.metric_index_used is False
+            assert engine.range_query(query, 2.0).stats.metric_index_used is False
+            assert engine.metric_index() is None
+            with pytest.raises(MetricGateError):
+                VPTree.build(corpus, cost_model=cost_model)
+
+
+class TestQueryEngine:
+    def test_scan_and_index_paths_agree(self):
+        rng = random.Random(11)
+        corpus = TreeCorpus(_random_trees(40, rng))
+        indexed = QueryEngine(corpus, use_metric_index=True)
+        scanned = QueryEngine(corpus, use_metric_index=False)
+        for _ in range(10):
+            query = _random_trees(1, rng)[0]
+            assert indexed.knn(query, 4).matches == scanned.knn(query, 4).matches
+            assert (
+                indexed.range_query(query, 3.0).matches
+                == scanned.range_query(query, 3.0).matches
+            )
+
+    def test_no_cascade_path_agrees(self):
+        rng = random.Random(13)
+        corpus = TreeCorpus(_random_trees(25, rng))
+        plain = QueryEngine(corpus, use_cascade=False, use_metric_index=False)
+        full = QueryEngine(corpus)
+        query = _random_trees(1, rng)[0]
+        assert plain.knn(query, 5).matches == full.knn(query, 5).matches
+        assert plain.range_query(query, 2.5).matches == full.range_query(query, 2.5).matches
+
+    def test_knn_edge_cases(self):
+        corpus = TreeCorpus(_random_trees(5, random.Random(3)))
+        engine = QueryEngine(corpus)
+        query = _random_trees(1, random.Random(4))[0]
+        assert engine.knn(query, 0).matches == []
+        assert len(engine.knn(query, 100).matches) == len(corpus)
+        with pytest.raises(QueryError):
+            engine.knn(query, -1)
+        empty = QueryEngine(TreeCorpus([]))
+        assert empty.knn(query, 3).matches == []
+        assert empty.range_query(query, 2.0).matches == []
+
+    def test_range_nonpositive_threshold_is_empty(self):
+        corpus = TreeCorpus(_random_trees(8, random.Random(5)))
+        engine = QueryEngine(corpus)
+        query = corpus.trees[0]
+        # Strict semantics: TED < 0 is impossible; TED < 0.0 likewise.
+        assert engine.range_query(query, 0.0).matches == []
+        assert engine.range_query(query, -1.0).matches == []
+
+    def test_range_includes_exact_duplicates(self):
+        trees = _random_trees(6, random.Random(6))
+        corpus = TreeCorpus(trees + [trees[0]])
+        engine = QueryEngine(corpus)
+        result = engine.range_query(trees[0], 0.5)
+        assert (0, 0.0) in result.matches and (len(trees), 0.0) in result.matches
+
+    def test_metric_index_examines_fewer_than_scan(self):
+        # Clustered corpus, tight radius: triangle pruning must cut the
+        # number of exact evaluations well below the corpus size.
+        from repro.datasets.workloads import clustered_corpus
+
+        trees = clustered_corpus(
+            num_clusters=12, cluster_size=8, tree_size=10, num_edits=1,
+            rng=random.Random(8),
+        )
+        corpus = TreeCorpus(trees)
+        engine = QueryEngine(corpus)
+        result = engine.knn(trees[0], 3)
+        assert result.stats.metric_index_used
+        assert result.stats.exact_computed < len(corpus)
+        assert result.stats.vp_pruned_subtrees > 0
+
+    def test_prebuilt_metric_index_reuse(self):
+        corpus = TreeCorpus(_random_trees(20, random.Random(9)))
+        vp = VPTree.build(corpus)
+        engine = QueryEngine(corpus, metric_index=vp)
+        assert engine.metric_index() is vp
+        other = TreeCorpus(_random_trees(5, random.Random(10)))
+        with pytest.raises(QueryError):
+            QueryEngine(other, metric_index=vp)
+
+    def test_api_accepts_corpus_and_sequences(self):
+        from repro import parse_tree
+
+        trees = ["{a{b}{c}{d}}", "{x{y}}", "{a{b}}"]
+        assert knn("{a{b}{c}}", trees, 2).indices == [0, 2]
+        corpus = TreeCorpus([parse_tree(t) for t in trees])
+        assert knn("{a{b}{c}}", corpus, 2).indices == [0, 2]
+        assert range_query("{a{b}{c}}", corpus, 2.0).indices == [0, 2]
+
+
+class TestCorpusFreeze:
+    """A TreeCorpus is frozen at construction: post-construction mutation of
+    the tree list must raise instead of silently serving stale indexes."""
+
+    def test_item_assignment_raises(self):
+        corpus = TreeCorpus(_random_trees(4, random.Random(1)))
+        with pytest.raises(TypeError):
+            corpus.trees[0] = corpus.trees[1]
+
+    def test_append_raises(self):
+        corpus = TreeCorpus(_random_trees(4, random.Random(1)))
+        with pytest.raises(AttributeError):
+            corpus.trees.append(corpus.trees[0])
+
+    def test_rebinding_raises(self):
+        corpus = TreeCorpus(_random_trees(4, random.Random(1)))
+        with pytest.raises(AttributeError):
+            corpus.trees = ()
+
+    def test_constructor_snapshots_input_list(self):
+        trees = _random_trees(4, random.Random(2))
+        corpus = TreeCorpus(trees)
+        corpus.branch_index()
+        trees.append(trees[0])  # mutating the caller's list must not leak in
+        assert len(corpus) == 4
