@@ -50,6 +50,8 @@ from __future__ import annotations
 from math import ceil
 from typing import Callable, List, Optional, Sequence, Tuple
 
+from ..runtime import active_deadline
+
 try:  # Optional accelerator, mirroring repro.algorithms.workspace.
     import numpy as _np
 except ImportError:  # pragma: no cover - exercised only without numpy
@@ -275,6 +277,7 @@ def run_batch(
     if lanes == 0:
         return values, cells, aborted
 
+    deadline = active_deadline()
     total = pack_a.prog_len[fi] * pack_b.kr_count[gi]
     order = _np.argsort(-total, kind="stable")
     start = 0
@@ -282,7 +285,7 @@ def run_batch(
         t_blk = int(total[order[start]])
         block = max(1, _LANE_ELEMENT_BUDGET // max(1, t_blk))
         sel = order[start : start + block]
-        v, c, a = _run_block(pack_a, pack_b, fi[sel], gi[sel], cutoff)
+        v, c, a = _run_block(pack_a, pack_b, fi[sel], gi[sel], cutoff, deadline)
         values[sel] = v
         cells[sel] = c
         aborted[sel] = a
@@ -290,7 +293,7 @@ def run_batch(
     return values, cells, aborted
 
 
-def _run_block(pack_a, pack_b, fi, gi, cutoff):
+def _run_block(pack_a, pack_b, fi, gi, cutoff, deadline=None):
     """One lane block in lockstep; lanes arrive sorted by descending work."""
     lanes = fi.size
     n = pack_a.sizes[fi]
@@ -369,6 +372,10 @@ def _run_block(pack_a, pack_b, fi, gi, cutoff):
             act_stale = True
         if limit == 0:
             break
+        if deadline is not None:
+            # One lockstep step is a whole vectorized row update across
+            # every active lane, so weight the tick by the lane count.
+            deadline.tick(limit)
         if act_stale:
             act = lane_idx[:limit][alive[:limit]]
             act_stale = False
@@ -510,6 +517,13 @@ def kernel_chunk_entries(
         if use_native:
             from .native import native_batch
 
+            deadline = active_deadline()
+            if deadline is not None:
+                # The compiled backend runs a whole chunk to completion, so
+                # check once up front: a chunk is bounded (small pairs only)
+                # and the granularity matches the supervisor's per-chunk
+                # deadline handling.
+                deadline.check()
             out = native_batch(pack_a, pack_b, lane_i, lane_j, cutoff=cutoff)
             if out is not None and workspace is not None:
                 workspace.stats.native_runs += len(lane_pos)

@@ -33,5 +33,8 @@ class DemaineTED(TEDAlgorithm):
         tree_g: Tree,
         cost_model: Optional[CostModel] = None,
         cutoff: Optional[float] = None,
+        deadline=None,
     ) -> TEDResult:
-        return self._gted.compute(tree_f, tree_g, cost_model=cost_model, cutoff=cutoff)
+        return self._gted.compute(
+            tree_f, tree_g, cost_model=cost_model, cutoff=cutoff, deadline=deadline
+        )

@@ -40,6 +40,7 @@ from contextlib import contextmanager
 from typing import Dict, Iterator, Optional, Tuple
 
 from ..costs import CostModel
+from ..runtime import active_deadline
 from ..trees.tree import Tree
 from .base import resolve_cost_model
 from .strategies import SIDE_F, Strategy
@@ -106,6 +107,9 @@ class DecompositionEngine:
         self._memo: Dict[Tuple[ForestKey, ForestKey], float] = {}
         #: Number of distinct (non-trivial) forest-pair subproblems evaluated.
         self.subproblems = 0
+        #: Ambient cooperative deadline, captured once (see repro.runtime);
+        #: ticked per fresh subproblem in the recursion.
+        self._deadline = active_deadline()
 
         cm = self.cost_model
         labels_f, labels_g = tree_f.labels, tree_g.labels
@@ -161,6 +165,9 @@ class DecompositionEngine:
         if cached is not None:
             return cached
         self.subproblems += 1
+        deadline = self._deadline
+        if deadline is not None:
+            deadline.tick()
 
         f_is_tree = len(roots_f) == 1
         g_is_tree = len(roots_g) == 1

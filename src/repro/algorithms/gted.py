@@ -26,6 +26,7 @@ from __future__ import annotations
 from typing import List, Optional, Set, Tuple
 
 from ..costs import CostModel
+from ..runtime import as_deadline, deadline_scope
 from ..trees.tree import HEAVY, LEFT, RIGHT, Tree
 from .base import (
     ENGINE_AUTO,
@@ -266,6 +267,17 @@ class GTED(TEDAlgorithm):
         tree_g: Tree,
         cost_model: Optional[CostModel] = None,
         cutoff: Optional[float] = None,
+        deadline=None,
+    ) -> TEDResult:
+        with deadline_scope(as_deadline(deadline)):
+            return self._compute(tree_f, tree_g, cost_model, cutoff)
+
+    def _compute(
+        self,
+        tree_f: Tree,
+        tree_g: Tree,
+        cost_model: Optional[CostModel],
+        cutoff: Optional[float],
     ) -> TEDResult:
         engine = ENGINE_SPF if self.engine == ENGINE_AUTO else self.engine
         watch = Stopwatch()

@@ -49,14 +49,17 @@ except ImportError:  # pragma: no cover - exercised only without numpy
     _np = None
 
 
-#: Environment kill-switch: any non-empty value other than ``0`` disables
-#: every compiled provider (CI base legs set it to pin the fallback path).
+#: Environment kill-switch: a truthy value (``1``/``true``/``yes``/``on``)
+#: disables every compiled provider (CI base legs set it to pin the fallback
+#: path).  Parsed with warn-and-fallback semantics — an unrecognized word
+#: warns and leaves the providers enabled instead of silently killing them.
 KILL_SWITCH = "RTED_NO_NATIVE"
 
 
 def _killed() -> bool:
-    value = os.environ.get(KILL_SWITCH, "")
-    return value not in ("", "0")
+    from ..runtime import env_flag
+
+    return env_flag(KILL_SWITCH, default=False)
 
 
 # --------------------------------------------------------------------------- #

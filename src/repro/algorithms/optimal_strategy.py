@@ -39,6 +39,7 @@ from __future__ import annotations
 
 from typing import List, Sequence
 
+from ..runtime import active_deadline
 from ..trees.tree import HEAVY, LEFT, RIGHT, Tree
 from .strategies import ALL_FIXED_CHOICES, EncodedStrategy, PathChoice
 
@@ -182,7 +183,11 @@ def _optimal_strategy_python(tree_f: Tree, tree_g: Tree) -> OptimalStrategyResul
     choice_codes: List[List[int]] = [[0] * n_g for _ in range(n_f)]
     costs: List[List[int]] = [[0] * n_g for _ in range(n_f)]
 
+    deadline = active_deadline()
     for v in range(n_f):
+        if deadline is not None:
+            # One v-row is O(n_g) scalar work; weight the tick accordingly.
+            deadline.tick(n_g)
         size_v = sizes_f[v]
         full_v = full_f[v]
         left_v = left_f[v]
@@ -336,8 +341,12 @@ def _optimal_strategy_numpy(
     costs = np.zeros((n_f, n_g), dtype=np.int64)
     zero = np.zeros((3, 1, 1), dtype=np.int64)  # broadcastable leaf-level sums
 
+    deadline = active_deadline()
     for col, size_col, fac_col, on_col, kids_g, seg_g in levels_g:
         for row, size_row, fac_row, on_row, kids_f, seg_f in levels_f:
+            if deadline is not None:
+                # One level-pair block is a batch of whole-row vector ops.
+                deadline.tick(len(row) * len(col))
             # Cost sums over relevant subtrees, all three kinds at once:
             # gathered from the children's contribution rows/columns.
             if kids_f is None:

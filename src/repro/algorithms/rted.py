@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Optional
 
 from ..costs import CostModel
+from ..runtime import active_deadline, as_deadline, deadline_scope
 from ..trees.tree import Tree
 from .base import (
     ENGINE_AUTO,
@@ -63,6 +64,17 @@ class RTED(TEDAlgorithm):
         tree_g: Tree,
         cost_model: Optional[CostModel] = None,
         cutoff: Optional[float] = None,
+        deadline=None,
+    ) -> TEDResult:
+        with deadline_scope(as_deadline(deadline)):
+            return self._compute(tree_f, tree_g, cost_model, cutoff)
+
+    def _compute(
+        self,
+        tree_f: Tree,
+        tree_g: Tree,
+        cost_model: Optional[CostModel],
+        cutoff: Optional[float],
     ) -> TEDResult:
         engine = ENGINE_SPF if self.engine == ENGINE_AUTO else self.engine
         extra: dict = {"engine": engine}
@@ -81,6 +93,13 @@ class RTED(TEDAlgorithm):
         strategy_watch.start()
         strategy_result: OptimalStrategyResult = optimal_strategy(tree_f, tree_g)
         strategy_time = strategy_watch.elapsed()
+
+        ambient = active_deadline()
+        if ambient is not None:
+            # The strategy phase is O(n²) and uninstrumented; settle its
+            # bill here so an already-blown budget never enters the
+            # (potentially much larger) distance phase.
+            ambient.check()
 
         distance_watch = Stopwatch()
         distance_watch.start()

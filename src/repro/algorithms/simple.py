@@ -19,6 +19,7 @@ import sys
 from typing import Dict, Optional, Tuple
 
 from ..costs import CostModel
+from ..runtime import as_deadline, deadline_scope
 from ..trees.tree import Tree
 from .base import BoundedResult, Stopwatch, TEDAlgorithm, TEDResult, resolve_cost_model
 
@@ -39,6 +40,7 @@ class SimpleTED(TEDAlgorithm):
         tree_g: Tree,
         cost_model: Optional[CostModel] = None,
         cutoff: Optional[float] = None,
+        deadline=None,
     ) -> TEDResult:
         cm = resolve_cost_model(cost_model)
         watch = Stopwatch()
@@ -68,6 +70,8 @@ class SimpleTED(TEDAlgorithm):
             return sum(insert_cost[r] for r in roots)
 
         def dist(rf: Tuple[int, ...], rg: Tuple[int, ...]) -> float:
+            if dl is not None:
+                dl.tick()
             if not rf and not rg:
                 return 0.0
             if not rg:
@@ -100,7 +104,10 @@ class SimpleTED(TEDAlgorithm):
         old_limit = sys.getrecursionlimit()
         sys.setrecursionlimit(max(old_limit, 10000 + 20 * (tree_f.n + tree_g.n)))
         try:
-            value = dist((tree_f.root,), (tree_g.root,))
+            # ``deadline_scope`` yields the effective deadline: the explicit
+            # one, or the ambient one a batch/serving caller installed.
+            with deadline_scope(as_deadline(deadline)) as dl:
+                value = dist((tree_f.root,), (tree_g.root,))
         finally:
             sys.setrecursionlimit(old_limit)
 

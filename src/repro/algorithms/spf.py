@@ -45,6 +45,7 @@ from math import nan
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..costs import CostModel
+from ..runtime import active_deadline
 from ..trees.tree import HEAVY, LEFT, RIGHT, Tree
 from .base import CutoffExceeded, check_row_cutoff, cutoff_band, cutoff_slack, resolve_cost_model
 from .strategies import SIDE_F, SIDE_G
@@ -312,6 +313,11 @@ class SinglePathContext:
             cutoff_band(self.cost_model) if cutoff is not None else None
         )
         self._cutoff_slack = cutoff_slack(self.cost_model)
+        #: Ambient cooperative deadline (:mod:`repro.runtime`), captured once
+        #: per context; the row kernels test it amortized.  ``None`` on the
+        #: (common) deadline-free path — every check is guarded, so the
+        #: arithmetic and results are untouched either way.
+        self.deadline = active_deadline()
 
         if self.use_numpy:
             if workspace is not None:
@@ -560,6 +566,7 @@ class SinglePathContext:
                 unit_codes=unit_codes,
                 abort=abort,
                 native_region=native_region,
+                deadline=self.deadline,
             )
         else:
             unit_codes = self._unit_codes(dec_which, oth_which, kind, as_numpy=False)
@@ -567,7 +574,10 @@ class SinglePathContext:
                 side, dec, oth, del_costs, ins_costs, unit_codes, abort
             )
             cells = 0
+            deadline = self.deadline
             for kf in dec_keyroots:
+                if deadline is not None:
+                    deadline.tick()
                 for kg in oth_keyroots:
                     cells += kernel(kf, kg)
         self.cells += cells
@@ -633,7 +643,10 @@ class SinglePathContext:
             if side == SIDE_G:
                 cm_rename = rename
                 rename = lambda a, b: cm_rename(b, a)  # noqa: E731
-            _np_kernel.inner_spine(dec_tree, chain, frame, dec_costs, rename, base)
+            _np_kernel.inner_spine(
+                dec_tree, chain, frame, dec_costs, rename, base,
+                deadline=self.deadline,
+            )
         else:
             self._inner_spine_py(side, dec_tree, chain, frame, dec_costs)
         # Count subproblems in the paper's currency — one per (chain step,
@@ -751,12 +764,20 @@ class SinglePathContext:
         cost_post = frame.cost_post
         labels_post = frame.labels_post
 
+        deadline = self.deadline
+        # Region-granular deadline amortization (see :func:`_region_py`):
+        # narrow grids pay one weighted tick per chain position; wide grids —
+        # where a tick call is dwarfed by the row's inner loop — also check
+        # per row.
+        row_deadline = deadline if (deadline is not None and width >= 64) else None
         rows: Dict[int, List[List[float]]] = {n: frame.ins_sum}
         for s in range(n - 1, -1, -1):
             u = nodes[s]
             del_u = chain_costs[s]
             row_next = rows[s + 1]
             base = del_sum[s]
+            if deadline is not None:
+                deadline.tick(width * width)
             table: List[List[float]] = [None] * width  # type: ignore[list-item]
 
             if on_path[s]:
@@ -768,6 +789,8 @@ class SinglePathContext:
                 rename_row = [rename(label_u, labels_post[p]) for p in range(m)]
                 du_path = [nan] * m
                 for x in range(m, -1, -1):
+                    if row_deadline is not None:
+                        row_deadline.tick(width)
                     trow = [0.0] * width
                     nrow = row_next[x]
                     jrow = ins_sum[x]
@@ -800,6 +823,8 @@ class SinglePathContext:
                 du = read_d_row(u)
                 jump_row = rows[jump[s]]
                 for x in range(width):
+                    if row_deadline is not None:
+                        row_deadline.tick(width)
                     trow = [0.0] * width
                     nrow = row_next[x]
                     jrow = jump_row[x]
@@ -826,6 +851,8 @@ class SinglePathContext:
                 jump_row = rows[jump[s]]
                 table[m] = [base] * width
                 for x in range(m - 1, -1, -1):
+                    if row_deadline is not None:
+                        row_deadline.tick(width)
                     p = post_of_pre[x]
                     cost_x = cost_pre[x]
                     jrow = jump_row[x + size_pre[x]]
@@ -907,6 +934,7 @@ class SinglePathContext:
             def write(node_post: int, col_post: int, value: float) -> None:
                 D[col_post][node_post] = value
 
+        deadline = self.deadline
         if unit_codes is not None:
             codes_dec, codes_oth = unit_codes
 
@@ -914,7 +942,7 @@ class SinglePathContext:
                 cut = abort[2:] if abort is not None and (kf, kg) == abort[:2] else None
                 return _region_py_unit(
                     dec, oth, kf, kg, codes_dec, codes_oth,
-                    to_post_dec, to_post_oth, read_row, write, cut,
+                    to_post_dec, to_post_oth, read_row, write, cut, deadline,
                 )
 
             return kernel
@@ -923,7 +951,7 @@ class SinglePathContext:
             cut = abort[2:] if abort is not None and (kf, kg) == abort[:2] else None
             return _region_py(
                 dec, oth, kf, kg, del_costs, ins_costs, rename,
-                to_post_dec, to_post_oth, read_row, write, cut,
+                to_post_dec, to_post_oth, read_row, write, cut, deadline,
             )
 
         return kernel
@@ -942,6 +970,7 @@ def _region_py(
     read_row: Callable[[int, List[int]], List[float]],
     write: Callable[[int, int, float], None],
     cut: Optional[Tuple[float, float, float]] = None,
+    deadline=None,
 ) -> int:
     """Fill one keyroot-pair forest-distance table (pure-Python kernel).
 
@@ -958,6 +987,16 @@ def _region_py(
     lf, lg = lml_f[kf], lml_g[kg]
     rows = kf - lf + 2
     cols = kg - lg + 2
+
+    # Deadline amortization: most regions are tiny (a handful of rows), so a
+    # per-row tick call would dominate their cost.  Small regions pay one
+    # weighted tick at entry; only wide regions — where a tick is dwarfed by
+    # the row's inner loop — also check per row.
+    row_deadline = None
+    if deadline is not None:
+        deadline.tick((rows - 1) * (cols - 1))
+        if cols >= 64:
+            row_deadline = deadline
 
     col_posts = to_post_oth[lg : kg + 1]
 
@@ -999,6 +1038,8 @@ def _region_py(
                 row[j] = best
         if cut is not None:
             check_row_cutoff(row, cols, rows - 1 - i, cut[0], cut[1], slack=cut[2])
+        if row_deadline is not None:
+            row_deadline.tick(cols)
 
     return (rows - 1) * (cols - 1)
 
@@ -1015,6 +1056,7 @@ def _region_py_unit(
     read_row: Callable[[int, List[int]], List[float]],
     write: Callable[[int, int, float], None],
     cut: Optional[Tuple[float, float, float]] = None,
+    deadline=None,
 ) -> int:
     """Unit-cost specialization of :func:`_region_py`.
 
@@ -1029,6 +1071,13 @@ def _region_py_unit(
     lf, lg = lml_f[kf], lml_g[kg]
     rows = kf - lf + 2
     cols = kg - lg + 2
+
+    # Same region-granular deadline amortization as :func:`_region_py`.
+    row_deadline = None
+    if deadline is not None:
+        deadline.tick((rows - 1) * (cols - 1))
+        if cols >= 64:
+            row_deadline = deadline
 
     col_posts = to_post_oth[lg : kg + 1]
 
@@ -1069,6 +1118,8 @@ def _region_py_unit(
                 row[j] = best
         if cut is not None:
             check_row_cutoff(row, cols, rows - 1 - i, cut[0], cut[1], slack=cut[2])
+        if row_deadline is not None:
+            row_deadline.tick(cols)
 
     return (rows - 1) * (cols - 1)
 

@@ -19,11 +19,11 @@ is the decomposed tree — the caller passes ``D`` itself or its transposed
 
 from __future__ import annotations
 
-import os
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..runtime import env_int
 from .base import CutoffExceeded
 
 
@@ -93,17 +93,6 @@ def _frame_arrays(frame) -> Dict[str, np.ndarray]:
     return arrays
 
 
-def _env_int(name: str, default: int) -> int:
-    """Integer environment override; malformed values fall back to the default."""
-    raw = os.environ.get(name)
-    if raw is None:
-        return default
-    try:
-        return max(2, int(raw))
-    except ValueError:
-        return default
-
-
 #: Minimum region width (columns) for the vectorized kernel.  Rows are swept
 #: with ``O(cols)`` array operations whose fixed overhead (~a dozen ufunc
 #: dispatches) only pays off for wide tables; narrow regions — the vast
@@ -111,7 +100,7 @@ def _env_int(name: str, default: int) -> int:
 #: The default is set from ``benchmarks/bench_vector_cols.py`` (see the
 #: rationale in ``DESIGN.md``); override with ``RTED_MIN_VECTOR_COLS`` for
 #: hardware where the crossover sits elsewhere.
-MIN_VECTOR_COLS = _env_int("RTED_MIN_VECTOR_COLS", 16)
+MIN_VECTOR_COLS = env_int("RTED_MIN_VECTOR_COLS", 16, minimum=2)
 
 
 def run_regions(
@@ -127,6 +116,7 @@ def run_regions(
     unit_codes: Optional[Tuple[np.ndarray, np.ndarray]] = None,
     abort: Optional[Tuple[int, int, float, float, float]] = None,
     native_region: Optional[Callable] = None,
+    deadline=None,
 ) -> int:
     """Fill every keyroot-pair table of the given keyroot lists.
 
@@ -160,6 +150,12 @@ def run_regions(
     for kg in oth_keyroots:
         vectorize = kg - oth_lml[kg] + 1 >= MIN_VECTOR_COLS
         for kf in dec_keyroots:
+            if deadline is not None:
+                # Region-granular check; the vectorized/native sweeps below
+                # additionally tick per row through the ``deadline`` argument
+                # of :func:`_region` (compiled regions run to completion —
+                # they are bounded by one keyroot region).
+                deadline.tick()
             if vectorize:
                 cut = abort[2:] if abort is not None and (kf, kg) == abort[:2] else None
                 if native_region is not None:
@@ -178,7 +174,7 @@ def run_regions(
                 cells += _region(
                     dec, oth, kf, kg, del_costs, ins_costs, rename, base,
                     dec_arrays["to_post"], oth_arrays["to_post"], oth_arrays["lml"],
-                    unit_codes, cut,
+                    unit_codes, cut, deadline,
                 )
             else:
                 cells += fallback(kf, kg)
@@ -211,6 +207,7 @@ def _region(
     lml_g_array: np.ndarray,
     unit_codes: Optional[Tuple[np.ndarray, np.ndarray]] = None,
     cut: Optional[Tuple[float, float, float]] = None,
+    deadline=None,
 ) -> int:
     """One keyroot-pair forest-distance table, swept row-by-row.
 
@@ -270,6 +267,8 @@ def _region(
         rem_g = np.arange(cols - 1, -1, -1, dtype=np.float64)
 
     for i in range(1, rows):
+        if deadline is not None:
+            deadline.tick()
         node_f = lf + i - 1
         previous = fd[i - 1]
         delete_cost = 1.0 if deletes is None else deletes[i - 1]
@@ -385,6 +384,7 @@ def inner_spine(
     dec_costs: Sequence[float],
     rename: Callable[[object, object], float],
     base: np.ndarray,
+    deadline=None,
 ) -> None:
     """Vectorized inner-path spine kernel (Δ_A / Δ_H).
 
@@ -440,12 +440,16 @@ def inner_spine(
         del_u = chain_costs[s]
         row_next = rows[s + 1]
         base_val = del_sum[s]
+        if deadline is not None:
+            # Whole-grid sweeps below are O(width²) vector work; weight the
+            # tick accordingly so detection latency tracks actual cost.
+            deadline.tick(width)
 
         if on_path[s]:
             table = _inner_row_path(
                 u, del_u, base_val, row_next, base, o_lo, m, width,
                 post_of_pre, pre_of_post, cost_post, ins_sum, mask_right,
-                jump_y, ren_rows[path_index[u]],
+                jump_y, ren_rows[path_index[u]], deadline,
             )
         elif remove_right[s]:
             du = base[u, o_lo : o_lo + m]
@@ -497,6 +501,7 @@ def _inner_row_path(
     mask_right: np.ndarray,
     jump_y: np.ndarray,
     ren_row: np.ndarray,
+    deadline=None,
 ) -> np.ndarray:
     """One path-node row: fills the grid and writes ``D[u][·]`` for all pairs.
 
@@ -509,6 +514,8 @@ def _inner_row_path(
     du_path = np.full(m, np.nan, dtype=np.float64)
     cumulative = np.empty(width, dtype=np.float64)
     for x in range(m, -1, -1):
+        if deadline is not None:
+            deadline.tick()
         next_row = row_next[x]
         valid = mask_right[x]
         match = np.where(valid, du_path + ins_sum[x][jump_y], np.inf)

@@ -56,12 +56,12 @@ this with exact equality.
 
 from __future__ import annotations
 
-import os as _os
 from math import ceil, inf, nan
 from typing import Dict, List, Optional, Tuple
 
 from ..costs import CostModel, UnitCostModel
 from ..exceptions import WorkspaceError
+from ..runtime import active_deadline, as_deadline, deadline_scope, env_int
 from ..trees.tree import LEFT, RIGHT, Tree
 from .base import (
     BoundedResult,
@@ -179,24 +179,13 @@ class WorkspaceStats:
 #: takes over.
 MAX_DENSE_ALPHABET = 2048
 
-def _env_int(name: str, default: int) -> int:
-    """Integer environment override; malformed values fall back to the default."""
-    raw = _os.environ.get(name)
-    if raw is None:
-        return default
-    try:
-        return max(1, int(raw))
-    except ValueError:
-        return default
-
-
 #: Largest tree size (both sides) routed through the flat unit-cost
 #: small-pair kernel.  Above it the region kernels (with their NumPy row
 #: sweeps) win; below it the executor/task machinery dominates the actual DP.
 #: Override with ``RTED_SMALL_PAIR_CUTOFF`` (mirroring ``RTED_MIN_VECTOR_COLS``)
 #: on hardware where the crossover sits elsewhere; the default is set from
 #: the sweep mode of ``benchmarks/bench_batch_kernel.py``.
-SMALL_PAIR_CUTOFF = _env_int("RTED_SMALL_PAIR_CUTOFF", 64)
+SMALL_PAIR_CUTOFF = env_int("RTED_SMALL_PAIR_CUTOFF", 64, minimum=1)
 
 
 class TedWorkspace:
@@ -547,7 +536,7 @@ class TedWorkspace:
 
         return self._small_pair_regions(
             n, m, cutoff, band_w, lml_f, keyroots_f, codes_f,
-            lml_g, keyroots_g, codes_g, D, fd,
+            lml_g, keyroots_g, codes_g, D, fd, active_deadline(),
         )
 
     def compute_small_native(
@@ -591,7 +580,7 @@ class TedWorkspace:
 
     def _small_pair_regions(
         self, n, m, cutoff, band_w, lml_f, keyroots_f, codes_f,
-        lml_g, keyroots_g, codes_g, D, fd,
+        lml_g, keyroots_g, codes_g, D, fd, deadline=None,
     ) -> Tuple[float, int]:
         """The keyroot-region sweep of :meth:`compute_small` (both modes).
 
@@ -614,6 +603,8 @@ class TedWorkspace:
                     row[j] = float(j)
                 if band_w is None:
                     for i in range(1, rows):
+                        if deadline is not None:
+                            deadline.tick()
                         node_f = lf + i - 1
                         spans_f = lml_f[node_f] == lf
                         code_f = codes_f[node_f]
@@ -652,6 +643,8 @@ class TedWorkspace:
                 # hence the inf sentinels flanking each row and the explicit
                 # band predicates on split/subtree reads.
                 for i in range(1, rows):
+                    if deadline is not None:
+                        deadline.tick()
                     lo = i - band_w
                     if lo < 1:
                         lo = 1
@@ -779,6 +772,20 @@ class WorkspaceTED(TEDAlgorithm):
         tree_g: Tree,
         cost_model: Optional[CostModel] = None,
         cutoff: Optional[float] = None,
+        deadline=None,
+    ) -> TEDResult:
+        # The scope makes the deadline ambient (:mod:`repro.runtime`) so the
+        # small-pair kernel and the wrapped algorithm's contexts pick it up
+        # without needing a ``deadline`` keyword of their own.
+        with deadline_scope(as_deadline(deadline)):
+            return self._compute(tree_f, tree_g, cost_model, cutoff)
+
+    def _compute(
+        self,
+        tree_f: Tree,
+        tree_g: Tree,
+        cost_model: Optional[CostModel],
+        cutoff: Optional[float],
     ) -> TEDResult:
         workspace = self.workspace
         if workspace.matches(cost_model):

@@ -20,6 +20,7 @@ from math import ceil
 from typing import List, Optional
 
 from ..costs import CostModel
+from ..runtime import active_deadline, as_deadline, deadline_scope
 from ..trees.tree import Tree
 from .base import (
     BoundedResult,
@@ -47,6 +48,17 @@ class _ZhangShashaBase(TEDAlgorithm):
         tree_g: Tree,
         cost_model: Optional[CostModel] = None,
         cutoff: Optional[float] = None,
+        deadline=None,
+    ) -> TEDResult:
+        with deadline_scope(as_deadline(deadline)):
+            return self._compute(tree_f, tree_g, cost_model, cutoff)
+
+    def _compute(
+        self,
+        tree_f: Tree,
+        tree_g: Tree,
+        cost_model: Optional[CostModel],
+        cutoff: Optional[float],
     ) -> TEDResult:
         cm = resolve_cost_model(cost_model)
         watch = Stopwatch()
@@ -157,6 +169,7 @@ def zhang_shasha_distance(
 
     tree_dist: List[List[float]] = [[0.0] * n_g for _ in range(n_f)]
     subproblems = 0
+    deadline = active_deadline()
 
     try:
         for keyroot_f in tree_f.keyroots_left():
@@ -176,6 +189,7 @@ def zhang_shasha_distance(
                     tree_dist,
                     cut=(cutoff, band, slack) if band is not None and final else None,
                     band_w=band_w,
+                    deadline=deadline,
                 )
     except CutoffExceeded as exceeded:
         # Report the cells of the completed regions, same currency as
@@ -206,6 +220,7 @@ def _forest_distance(
     tree_dist: List[List[float]],
     cut=None,
     band_w=None,
+    deadline=None,
 ) -> int:
     """Fill the forest-distance table for one keyroot pair.
 
@@ -233,6 +248,8 @@ def _forest_distance(
 
     if band_w is None:
         for i in range(1, rows):
+            if deadline is not None:
+                deadline.tick()
             node_f = lf + i - 1
             f_spans_from_lf = lml_f[node_f] == lf
             for j in range(1, cols):
@@ -256,6 +273,8 @@ def _forest_distance(
     inf = float("inf")
     cells = 0
     for i in range(1, rows):
+        if deadline is not None:
+            deadline.tick()
         lo = i - band_w
         if lo < 1:
             lo = 1

@@ -30,6 +30,7 @@ from .join.batch import BatchJoinResult, batch_similarity_join
 from .join.cascade import JoinStats
 from .join.corpus import TreeCorpus
 from .join.query import QueryResult, query_engine
+from .runtime import as_deadline, deadline_scope
 from .trees.node import Node
 from .trees.tree import Tree
 
@@ -80,6 +81,7 @@ def tree_edit_distance(
     cost_model: Optional[CostModel] = None,
     engine: Optional[str] = None,
     cutoff: Optional[float] = None,
+    deadline: Optional[float] = None,
 ) -> float:
     """The tree edit distance between two trees.
 
@@ -114,6 +116,12 @@ def tree_edit_distance(
         ``distance ≥ τ`` is proven, which is much cheaper than finishing it.
         Use :func:`compute` to obtain the proving lower bound instead of
         ``inf``.
+    deadline:
+        Optional compute budget in seconds (or a pre-built
+        :class:`~repro.runtime.Deadline`).  The kernels test it
+        cooperatively at row granularity and raise
+        :class:`~repro.exceptions.ComputeTimeoutError` once it expires;
+        runs that finish in time are bit-identical to deadline-free runs.
 
     Examples
     --------
@@ -125,7 +133,7 @@ def tree_edit_distance(
     """
     result = compute(
         tree_f, tree_g, algorithm=algorithm, cost_model=cost_model, engine=engine,
-        cutoff=cutoff,
+        cutoff=cutoff, deadline=deadline,
     )
     if result.bounded:
         return math.inf
@@ -139,6 +147,7 @@ def compute(
     cost_model: Optional[CostModel] = None,
     engine: Optional[str] = None,
     cutoff: Optional[float] = None,
+    deadline: Optional[float] = None,
 ) -> Union[TEDResult, BoundedResult]:
     """Full computation result (distance, subproblem count, timings).
 
@@ -151,12 +160,21 @@ def compute(
     and a :class:`~repro.algorithms.base.BoundedResult` sentinel — carrying
     the lower bound that proves ``distance ≥ τ`` — otherwise.  Discriminate
     with ``result.bounded``.
+
+    ``deadline`` (seconds or a :class:`~repro.runtime.Deadline`) arms the
+    cooperative cancellation layer: the kernels check it amortized at row
+    granularity and the call raises
+    :class:`~repro.exceptions.ComputeTimeoutError` once the budget runs out.
+    It is installed as the *ambient* deadline (:func:`repro.runtime.deadline_scope`)
+    around the whole computation, so registered algorithms that predate the
+    keyword still honor it through their instrumented kernels.
     """
     algo = make_algorithm(algorithm, engine=engine)
     f, g = parse_tree(tree_f), parse_tree(tree_g)
-    if cutoff is None:
-        return algo.compute(f, g, cost_model=cost_model)
-    return algo.compute(f, g, cost_model=cost_model, cutoff=cutoff)
+    with deadline_scope(as_deadline(deadline)):
+        if cutoff is None:
+            return algo.compute(f, g, cost_model=cost_model)
+        return algo.compute(f, g, cost_model=cost_model, cutoff=cutoff)
 
 
 def edit_mapping(
@@ -328,6 +346,7 @@ def knn(
     workers: int = 1,
     use_cascade: bool = True,
     use_metric_index: bool = True,
+    deadline: Optional[float] = None,
     **kwargs,
 ) -> QueryResult:
     """The ``k`` corpus trees nearest to ``query`` (exact, ties by index).
@@ -340,7 +359,10 @@ def knn(
     or a prebuilt :class:`~repro.join.corpus.TreeCorpus` — pass the corpus
     object to amortize indexes across a query stream.  Extra keyword
     arguments reach the :class:`QueryEngine` (``chunk_size``, ``leaf_size``,
-    ``workspace``, ``batch_kernel``, ``policy``, ...).
+    ``workspace``, ``batch_kernel``, ``policy``, ...).  ``deadline``
+    (seconds or a :class:`~repro.runtime.Deadline`) is per *call*, not part
+    of the cached engine: on expiry the best results examined so far come
+    back with ``result.stats.partial = True``.
 
     Examples
     --------
@@ -359,7 +381,7 @@ def knn(
         use_metric_index=use_metric_index,
         **kwargs,
     )
-    return engine_obj.knn(parse_tree(query), k)
+    return engine_obj.knn(parse_tree(query), k, deadline=deadline)
 
 
 def range_query(
@@ -372,6 +394,7 @@ def range_query(
     workers: int = 1,
     use_cascade: bool = True,
     use_metric_index: bool = True,
+    deadline: Optional[float] = None,
     **kwargs,
 ) -> QueryResult:
     """Every corpus tree with ``TED(query, tree) < threshold``, exactly.
@@ -381,7 +404,9 @@ def range_query(
     pipeline with metric-index candidate generation when the cost model
     passes the metric gate.  Results are ``(index, distance)`` sorted by
     ``(distance, index)``; distances are always exact.  See :func:`knn`
-    for the ``corpus`` and keyword-argument conventions.
+    for the ``corpus``, keyword-argument and ``deadline`` conventions (on
+    expiry the matches found so far return with ``stats.partial = True`` —
+    a subset of the full answer, never a wrong superset).
 
     Examples
     --------
@@ -400,7 +425,7 @@ def range_query(
         use_metric_index=use_metric_index,
         **kwargs,
     )
-    return engine_obj.range_query(parse_tree(query), threshold)
+    return engine_obj.range_query(parse_tree(query), threshold, deadline=deadline)
 
 
 def tree_to_bracket(tree: TreeLike) -> str:

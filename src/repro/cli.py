@@ -13,6 +13,8 @@ Installed as the ``rted`` console script.  Sub-commands:
 * ``rted query QUERY @collection.txt --top-k 5`` (or ``--range 3``) —
   one-vs-corpus retrieval through the query engine (metric-index search
   when the cost model allows, sound linear scan otherwise);
+* ``rted serve @collection.txt --port 8617`` — HTTP serving layer with
+  per-request deadlines, admission control and SIGTERM graceful drain;
 * ``rted shm-reap`` — remove shared-memory blocks orphaned by killed joins;
 * ``rted experiment fig8|fig9|fig10|table1|table2|ablation`` — run one of the
   paper's experiments and print its table(s).
@@ -35,6 +37,7 @@ from .datasets.random_trees import random_tree
 from .datasets.shapes import SHAPE_GENERATORS, make_shape
 from .exceptions import (
     BatchExecutionError,
+    ComputeTimeoutError,
     ParseError,
     QueryError,
     ReproError,
@@ -57,13 +60,16 @@ from .visualize import render_tree
 #: Exit codes per failure class (BSD ``sysexits.h`` conventions): usage
 #: errors 64, malformed input data 65, unreadable input files 66, an
 #: unrecoverable batch execution 69 (``EX_UNAVAILABLE``), any other library
-#: error 70 (``EX_SOFTWARE``).
+#: error 70 (``EX_SOFTWARE``), an exceeded compute deadline 124 (matching
+#: ``timeout(1)``), and Ctrl-C 130 (128 + SIGINT, the shell convention).
 EXIT_CODES = {
     "usage": 64,
     "data": 65,
     "noinput": 66,
     "batch": 69,
     "software": 70,
+    "timeout": 124,
+    "interrupted": 130,
 }
 
 
@@ -116,6 +122,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="bounded computation: print the exact distance when it is below "
         "the cutoff, or '>= <bound>' once distance >= cutoff is proven "
         "(aborting early instead of finishing the computation)",
+    )
+    distance.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="wall-clock budget in seconds; on expiry exit 124 with a "
+        "one-line diagnostic (cooperative: no partial output is printed)",
     )
     distance.add_argument("--verbose", action="store_true", help="print timings and subproblems")
 
@@ -203,6 +216,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "RTED_CHUNK_RETRIES environment variable)",
     )
     join.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="wall-clock budget in seconds for the whole join; on expiry the "
+        "worker pool is torn down, shared memory unlinked, and the command "
+        "exits 124",
+    )
+    join.add_argument(
         "--stats",
         action="store_true",
         help="print per-stage join statistics to stderr (results on stdout "
@@ -248,10 +269,66 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     query.add_argument("--workers", type=int, default=1, help="refinement processes")
     query.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="wall-clock budget in seconds; on expiry the verified-so-far "
+        "matches are printed with a '# partial result' marker on stderr "
+        "(always a subset of the full answer) and the command exits 0",
+    )
+    query.add_argument(
         "--stats",
         action="store_true",
         help="print query statistics to stderr (results on stdout stay "
         "machine-parseable)",
+    )
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="serve distances/queries/joins over HTTP with per-request "
+        "deadlines, admission control and graceful drain",
+    )
+    serve.add_argument(
+        "corpora",
+        nargs="*",
+        help="corpus files as @path (registered as 'default', 'corpus1', "
+        "...) or NAME=@path to pick the registration name",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8617,
+        help="listen port (0 binds an ephemeral port, printed on stderr)",
+    )
+    serve.add_argument(
+        "--algorithm", default="rted", choices=available_algorithms(),
+        help="default algorithm for requests that name none",
+    )
+    serve.add_argument("--engine", default=None, choices=list(ENGINES))
+    serve.add_argument(
+        "--workers", type=int, default=1, help="processes per join/refinement fan-out"
+    )
+    serve.add_argument(
+        "--max-inflight", type=int, default=4,
+        help="compute requests running concurrently",
+    )
+    serve.add_argument(
+        "--max-queue", type=int, default=16,
+        help="admitted requests allowed to wait; beyond max-inflight + "
+        "max-queue the service sheds with 503 + Retry-After",
+    )
+    serve.add_argument(
+        "--default-deadline", type=float, default=None,
+        help="budget (seconds) for requests that set no deadline",
+    )
+    serve.add_argument(
+        "--max-deadline", type=float, default=None,
+        help="upper clamp on client-requested deadlines",
+    )
+    serve.add_argument(
+        "--drain-grace", type=float, default=5.0,
+        help="seconds SIGTERM waits for in-flight work before cancelling it",
     )
 
     shm_reap = subparsers.add_parser(
@@ -279,7 +356,7 @@ def _dispatch(args) -> int:
         tree_g = _load_tree_argument(args.tree_g, args.fmt)
         result = compute(
             tree_f, tree_g, algorithm=args.algorithm, engine=args.engine,
-            cutoff=args.cutoff,
+            cutoff=args.cutoff, deadline=args.deadline,
         )
         if args.verbose:
             print(f"algorithm:   {result.algorithm}")
@@ -350,6 +427,7 @@ def _dispatch(args) -> int:
             bounded_verify=not args.no_bounded_verify,
             batch_kernel=not args.no_batch_kernel,
             policy=policy,
+            deadline=args.deadline,
         )
         for i, j, distance in result.matches:
             print(f"{i}\t{j}\t{distance:g}")
@@ -394,11 +472,15 @@ def _dispatch(args) -> int:
             use_metric_index=not args.no_metric_index,
         )
         if args.top_k is not None:
-            result = knn(query_tree, corpus, args.top_k, **options)
+            result = knn(query_tree, corpus, args.top_k, deadline=args.deadline, **options)
         else:
-            result = range_query(query_tree, corpus, args.range_threshold, **options)
+            result = range_query(
+                query_tree, corpus, args.range_threshold, deadline=args.deadline, **options
+            )
         for index, distance in result.matches:
             print(f"{index}\t{distance:g}")
+        if result.stats.partial:
+            print("# partial result: deadline expired mid-search", file=sys.stderr)
         if args.stats:
             # Stats go to stderr so piped stdout stays machine-parseable.
             stats = result.stats
@@ -419,6 +501,35 @@ def _dispatch(args) -> int:
             print(f"# matches:          {stats.matches}", file=err)
             print(f"# total time:       {stats.total_time:.4f}s", file=err)
         return 0
+
+    if args.command == "serve":
+        from .join.corpus import TreeCorpus
+        from .service import ServiceConfig, run_server
+
+        corpora = {}
+        for position, spec in enumerate(args.corpora):
+            name, sep, path = spec.partition("=")
+            if not sep:
+                name, path = ("default" if position == 0 else f"corpus{position}"), spec
+            if name in corpora:
+                raise SystemExit(f"duplicate corpus name {name!r}")
+            corpora[name] = TreeCorpus(_load_collection_argument(path))
+        config = ServiceConfig(
+            host=args.host,
+            port=args.port,
+            max_inflight=args.max_inflight,
+            max_queue=args.max_queue,
+            default_deadline=args.default_deadline,
+            max_deadline=args.max_deadline,
+            drain_grace=args.drain_grace,
+        )
+        return run_server(
+            corpora,
+            config,
+            algorithm=args.algorithm,
+            engine=args.engine,
+            workers=args.workers,
+        )
 
     if args.command == "shm-reap":
         from .join.shared import reap_stale
@@ -477,6 +588,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     except BatchExecutionError as exc:
         print(f"rted: batch execution failed: {exc}", file=sys.stderr)
         return EXIT_CODES["batch"]
+    except ComputeTimeoutError as exc:
+        print(f"rted: {exc}", file=sys.stderr)
+        return EXIT_CODES["timeout"]
+    except KeyboardInterrupt:
+        # The supervised fan-out has already torn down its worker pool and
+        # unlinked exported shared memory on the way up (supervisor._drain
+        # re-raises only after a hard shutdown); report the conventional
+        # SIGINT status instead of a traceback.
+        print("rted: interrupted", file=sys.stderr)
+        return EXIT_CODES["interrupted"]
     except ReproError as exc:
         print(f"rted: error: {exc}", file=sys.stderr)
         return EXIT_CODES["software"]

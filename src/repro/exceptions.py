@@ -81,6 +81,19 @@ class ChunkFailure(BatchExecutionError):
         )
 
 
+class ComputeTimeoutError(ReproError):
+    """Raised when a computation exceeds its cooperative deadline.
+
+    Armed via ``compute(..., deadline=...)`` (see :mod:`repro.runtime`): the
+    DP kernels test the deadline amortized at row-loop granularity and raise
+    as soon as the budget is exhausted or the attached
+    :class:`~repro.runtime.CancelToken` is cancelled.  Unlike the ``cutoff``
+    machinery, a deadline expiry carries no partial answer for a single
+    pair, so it propagates as an exception through the public API; the
+    retrieval layer (:meth:`~repro.join.query.QueryEngine.knn`) instead
+    catches it and returns best-so-far results marked ``partial``."""
+
+
 class MetricGateError(CostModelError):
     """Raised when a metric-space index is built over a non-metric cost model.
 

@@ -32,6 +32,7 @@ from ..algorithms.batch_kernel import (
 from ..algorithms.registry import make_algorithm
 from ..algorithms.workspace import TedWorkspace, WorkspaceTED
 from ..costs import CostModel
+from ..runtime import active_deadline, as_deadline, deadline_scope
 from ..trees.tree import Tree
 from . import faults
 from .supervisor import (
@@ -292,6 +293,7 @@ def batch_distances(
     batch_kernel: bool = True,
     policy: Optional[ExecutionPolicy] = None,
     exec_report: Optional[ExecutionReport] = None,
+    deadline=None,
 ) -> List[Tuple]:
     """Exact TED for many index pairs: ``(i, j) → (i, j, distance, subproblems)``.
 
@@ -353,11 +355,22 @@ def batch_distances(
     and ``RTED_CHUNK_RETRIES``); pass an :class:`ExecutionReport` as
     ``exec_report`` to receive the recovery telemetry (retried chunks,
     failed workers, the rung degraded to, poisoned pairs).
+
+    ``deadline`` (seconds or a :class:`~repro.runtime.Deadline`) bounds the
+    whole batch: serial chunks honor it through the ambient scope, and the
+    supervised fan-out checks it between chunk completions — on expiry the
+    worker pool is hard-killed, shared-memory packs are unlinked, and
+    :class:`~repro.exceptions.ComputeTimeoutError` propagates.  When omitted,
+    an ambient deadline installed by an enclosing ``compute``/service request
+    applies automatically.
     """
     corpus_a = as_corpus(trees_a)
     corpus_b = as_corpus(trees_b) if trees_b is not None else None
     pair_list = list(pairs)
     results: List[Tuple[int, int, float, int]] = []
+    dl = as_deadline(deadline)
+    if dl is None:
+        dl = active_deadline()
 
     if isinstance(workspace, TedWorkspace):
         # Enforce the invalidation rule up front, for every execution mode
@@ -402,19 +415,20 @@ def batch_distances(
                     pack_b = build_corpus_pack(
                         corpus_b.trees, corpus_a.interner(), kernel_ws.small_pair_cutoff
                     )
-        for chunk in _chunked(pair_list, chunk_size):
-            if pack_b is not None:
-                chunk_results = kernel_chunk_entries(
-                    pack_a, pack_b, chunk, cutoff, fallback,
-                    workspace=kernel_ws,
-                    use_native=getattr(algo, "use_native", False),
-                )
-            else:
-                chunk_results = [fallback(i, j) for i, j in chunk]
-            if collect_results:
-                results.extend(chunk_results)
-            if on_chunk is not None:
-                on_chunk(chunk_results)
+        with deadline_scope(dl):
+            for chunk in _chunked(pair_list, chunk_size):
+                if pack_b is not None:
+                    chunk_results = kernel_chunk_entries(
+                        pack_a, pack_b, chunk, cutoff, fallback,
+                        workspace=kernel_ws,
+                        use_native=getattr(algo, "use_native", False),
+                    )
+                else:
+                    chunk_results = [fallback(i, j) for i, j in chunk]
+                if collect_results:
+                    results.extend(chunk_results)
+                if on_chunk is not None:
+                    on_chunk(chunk_results)
         return results
 
     # ---- supervised multiprocessing fan-out ----------------------------- #
@@ -527,17 +541,22 @@ def batch_distances(
             on_chunk(chunk_results)
 
     try:
-        run_supervised(
-            chunks=list(_chunked(pair_list, chunk_size)),
-            workers=_effective_workers(workers, len(pair_list), chunk_size),
-            rungs=rungs,
-            executor_factory=_executor_factory,
-            task=_supervised_chunk,
-            serial_pair=_serial_pair,
-            on_chunk=_consume_chunk,
-            policy=policy,
-            report=report,
-        )
+        # The scope covers the in-process serial rung (workers poll no
+        # ambient state across the process boundary; the supervisor's own
+        # per-completion deadline check governs the pool rungs instead).
+        with deadline_scope(dl):
+            run_supervised(
+                chunks=list(_chunked(pair_list, chunk_size)),
+                workers=_effective_workers(workers, len(pair_list), chunk_size),
+                rungs=rungs,
+                executor_factory=_executor_factory,
+                task=_supervised_chunk,
+                serial_pair=_serial_pair,
+                on_chunk=_consume_chunk,
+                policy=policy,
+                report=report,
+                deadline=dl,
+            )
     finally:
         # The parent owns the shared blocks; unlink only after the pools
         # have been torn down (run_supervised shuts each executor down
@@ -592,6 +611,7 @@ def batch_similarity_join(
     bounded_verify: bool = True,
     batch_kernel: bool = True,
     policy: Optional[ExecutionPolicy] = None,
+    deadline=None,
 ) -> BatchJoinResult:
     """The corpus-indexed batch similarity join (``TED < threshold``).
 
@@ -675,7 +695,11 @@ def batch_similarity_join(
         pq_gram_cutoff=pq_gram_cutoff,
         bounded_verify=bounded_verify,
     )
-    matches = execute_plan(plan, stats, progress=progress, started=started)
+    # The ambient scope covers the whole pipeline — candidate generation,
+    # filter cascade, and exact verification (whose batch_distances call
+    # inherits it) — so one budget governs the join end to end.
+    with deadline_scope(as_deadline(deadline)):
+        matches = execute_plan(plan, stats, progress=progress, started=started)
 
     matches.sort()
     stats.matches = len(matches)

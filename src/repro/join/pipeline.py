@@ -56,6 +56,7 @@ from .cascade import (
     operations_threshold,
     run_cascade,
 )
+from ..runtime import active_deadline
 from .corpus import TreeCorpus, TreeProfile, branch_candidate_pairs
 
 PairKey = Tuple[int, int]
@@ -388,6 +389,7 @@ def execute_plan(
     stats: JoinStats,
     progress: Optional[Callable[[JoinStats], None]] = None,
     started: Optional[float] = None,
+    sink: Optional[List[Tuple[int, int, float]]] = None,
 ) -> List[Tuple[int, int, float]]:
     """Run a retrieval plan: candidates → filter cascade → refinement.
 
@@ -396,10 +398,20 @@ def execute_plan(
     and fills ``stats`` exactly as the historical join loop did, including
     the per-stage timings and the ``progress`` callback cadence (after
     candidate generation, after the cascade, after every refined chunk).
+
+    ``sink``, when given, is used as the match accumulator itself — so a
+    caller running under a deadline still holds every match streamed before
+    a :class:`~repro.exceptions.ComputeTimeoutError` aborted the plan (the
+    query engine's explicit partial-result path).
     """
     if started is None:
         started = time.perf_counter()
     ctx = plan.ctx
+    # One ambient budget governs the whole plan.  Refinement inherits it
+    # through batch_distances; the cascade loop below ticks per candidate
+    # pair, since its stages (traversal-string edit distance in particular)
+    # do real per-pair work that would otherwise run unchecked.
+    dl = active_deadline()
 
     # ---- candidates ------------------------------------------------------ #
     tick = time.perf_counter()
@@ -412,7 +424,7 @@ def execute_plan(
         progress(stats)
 
     # ---- filter cascade -------------------------------------------------- #
-    matches: List[Tuple[int, int, float]] = []
+    matches: List[Tuple[int, int, float]] = sink if sink is not None else []
     tick = time.perf_counter()
     for i, j, distance in generated.prerefined:
         # Exact distances computed during candidate generation (metric-index
@@ -424,6 +436,8 @@ def execute_plan(
     if plan.filters:
         survivors: List[PairKey] = []
         for i, j in candidate_pairs:
+            if dl is not None:
+                dl.tick()
             decision = run_cascade(
                 plan.filters, plan.profile_a(i), plan.profile_b(j), ctx, stats
             )

@@ -48,7 +48,8 @@ from weakref import WeakKeyDictionary
 from ..algorithms.base import TEDAlgorithm, resolve_cost_model
 from ..algorithms.workspace import TedWorkspace
 from ..costs import CostModel
-from ..exceptions import QueryError
+from ..exceptions import ComputeTimeoutError, QueryError
+from ..runtime import active_deadline, as_deadline, deadline_scope
 from ..trees.tree import Tree
 from .batch import DEFAULT_CHUNK_SIZE, _resolve_algorithm, _supports_cutoff
 from .cascade import (
@@ -122,6 +123,11 @@ class QueryStats(JoinStats):
     """Corpus trees inside subtrees discarded by triangle-inequality bounds
     (never examined individually)."""
 
+    partial: bool = False
+    """``True`` when a deadline expired mid-query: the matches are the best
+    results found before the budget ran out, explicitly marked — never a
+    silently truncated full answer."""
+
     def as_dict(self) -> Dict[str, object]:
         data = super().as_dict()
         data.update(
@@ -130,6 +136,7 @@ class QueryStats(JoinStats):
                 "metric_index_used": self.metric_index_used,
                 "vp_nodes_visited": self.vp_nodes_visited,
                 "vp_pruned_subtrees": self.vp_pruned_subtrees,
+                "partial": self.partial,
             }
         )
         return data
@@ -413,34 +420,51 @@ class QueryEngine:
         return result.distance
 
     # ------------------------------------------------------------------ #
-    def knn(self, query: Tree, k: int) -> QueryResult:
+    def knn(self, query: Tree, k: int, deadline=None) -> QueryResult:
         """The ``k`` nearest corpus trees, exactly (ties broken by index).
 
         Equivalent to sorting the brute-force distance list by
         ``(distance, index)`` and taking the first ``k`` — the metric index
         and the shrinking-cutoff refinement only change *how much work* that
         takes, never the result (asserted by the property suite).
+
+        ``deadline`` (seconds or a :class:`~repro.runtime.Deadline`) bounds
+        the search.  On expiry the engine returns the best results examined
+        so far with ``stats.partial = True`` — an explicit marker, never a
+        silently truncated exact answer.  An ambient deadline (installed by
+        an enclosing service request) applies when the argument is omitted.
         """
         if k < 0:
             raise QueryError(f"k must be non-negative, got {k}")
         started = time.perf_counter()
         stats = QueryStats()
         stats.corpus_size = stats.pairs_total = len(self.corpus)
+        dl = as_deadline(deadline)
+        if dl is None:
+            dl = active_deadline()
         top = _TopK(k)
         if k > 0 and len(self.corpus) > 0:
-            query_corpus = self._query_corpus(query)
-            profile = query_corpus.profile(0)
-            refiner = self._refiner(query_corpus)
-            ctx = CascadeContext(
-                threshold=_INF, ops_threshold=_INF, cost_model=self.cost_model
-            )
-            filters = self._query_filters()
-            vp = self.metric_index()
-            if vp is not None:
-                stats.metric_index_used = True
-                self._knn_best_first(vp, query, profile, ctx, filters, refiner, top, stats)
-            else:
-                self._knn_scan(query, profile, ctx, filters, refiner, top, stats)
+            try:
+                with deadline_scope(dl):
+                    query_corpus = self._query_corpus(query)
+                    profile = query_corpus.profile(0)
+                    refiner = self._refiner(query_corpus)
+                    ctx = CascadeContext(
+                        threshold=_INF, ops_threshold=_INF, cost_model=self.cost_model
+                    )
+                    filters = self._query_filters()
+                    vp = self.metric_index()
+                    if vp is not None:
+                        stats.metric_index_used = True
+                        self._knn_best_first(
+                            vp, query, profile, ctx, filters, refiner, top, stats
+                        )
+                    else:
+                        self._knn_scan(query, profile, ctx, filters, refiner, top, stats)
+            except ComputeTimeoutError:
+                # The _TopK accumulator already holds every result verified
+                # before the budget ran out — return it, explicitly marked.
+                stats.partial = True
         matches = top.items()
         stats.matches = stats.exact_matched = len(matches)
         stats.total_time = time.perf_counter() - started
@@ -619,32 +643,48 @@ class QueryEngine:
             self._refine_candidates(top, block, profile, ctx, filters, refiner, stats)
 
     # ------------------------------------------------------------------ #
-    def range_query(self, query: Tree, threshold: float) -> QueryResult:
+    def range_query(self, query: Tree, threshold: float, deadline=None) -> QueryResult:
         """Every corpus tree with ``TED(query, tree) < threshold``, exactly.
 
         One planner composition (:meth:`Planner.plan_range`): metric-index
         traversal (when eligible) or the asymmetric inverted index as the
         candidate source, the cascade at τ, the τ-bounded batched refiner.
+
+        ``deadline`` bounds the query like :meth:`knn`: on expiry the
+        matches streamed before the budget ran out come back with
+        ``stats.partial = True`` (the match list is then a *subset* of the
+        full answer, never a wrong superset — refinement only ever appends
+        verified matches).
         """
         started = time.perf_counter()
         stats = QueryStats()
         stats.corpus_size = stats.pairs_total = len(self.corpus)
-        query_corpus = self._query_corpus(query)
-        refiner = self._refiner(query_corpus)
-        source = None
-        vp = self.metric_index() if threshold > 0 else None
-        if vp is not None:
-            stats.metric_index_used = True
-            source = _MetricRangeSource(self, vp, query, stats)
-        plan = self._planner.plan_range(
-            self.corpus,
-            query_corpus,
-            threshold,
-            refiner,
-            use_cascade=self.use_cascade,
-            source=source,
-        )
-        triples = execute_plan(plan, stats, started=started)
+        dl = as_deadline(deadline)
+        if dl is None:
+            dl = active_deadline()
+        triples: List[Tuple[int, int, float]] = []
+        try:
+            with deadline_scope(dl):
+                query_corpus = self._query_corpus(query)
+                refiner = self._refiner(query_corpus)
+                source = None
+                vp = self.metric_index() if threshold > 0 else None
+                if vp is not None:
+                    stats.metric_index_used = True
+                    source = _MetricRangeSource(self, vp, query, stats)
+                plan = self._planner.plan_range(
+                    self.corpus,
+                    query_corpus,
+                    threshold,
+                    refiner,
+                    use_cascade=self.use_cascade,
+                    source=source,
+                )
+                # The sink keeps already-verified matches reachable if the
+                # deadline aborts the plan mid-refinement.
+                execute_plan(plan, stats, started=started, sink=triples)
+        except ComputeTimeoutError:
+            stats.partial = True
         matches = sorted(
             ((j, distance) for _, j, distance in triples),
             key=lambda entry: (entry[1], entry[0]),

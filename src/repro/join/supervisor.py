@@ -40,12 +40,12 @@ Every recovery path is exercised deterministically through
 
 from __future__ import annotations
 
-import os
 import time
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple
 
-from ..exceptions import BatchExecutionError, ChunkFailure
+from ..exceptions import BatchExecutionError, ChunkFailure, ComputeTimeoutError
+from ..runtime import env_float, env_int
 
 #: Ladder rung names, fastest first.  ``batch_distances`` assembles the
 #: subset that applies to a given batch (e.g. no ``shm`` rung when the pack
@@ -58,28 +58,6 @@ RUNG_SERIAL = "serial"
 #: Poll interval for the completion wait loop (also bounds how stale the
 #: stall detector can be).
 _POLL_SECONDS = 0.1
-
-
-def _env_positive_float(name: str) -> Optional[float]:
-    text = os.environ.get(name, "").strip()
-    if not text:
-        return None
-    try:
-        value = float(text)
-    except ValueError:
-        return None
-    return value if value > 0 else None
-
-
-def _env_non_negative_int(name: str) -> Optional[int]:
-    text = os.environ.get(name, "").strip()
-    if not text:
-        return None
-    try:
-        value = int(text)
-    except ValueError:
-        return None
-    return value if value >= 0 else None
 
 
 @dataclass
@@ -112,12 +90,18 @@ class ExecutionPolicy:
     @classmethod
     def default(cls) -> "ExecutionPolicy":
         """Default policy with ``RTED_CHUNK_TIMEOUT`` / ``RTED_CHUNK_RETRIES``
-        environment overrides applied."""
+        environment overrides applied.
+
+        Both are parsed with warn-and-fallback semantics
+        (:mod:`repro.runtime`): a malformed value like
+        ``RTED_CHUNK_TIMEOUT=abc`` emits a :class:`RuntimeWarning` and keeps
+        the built-in default instead of raising.
+        """
         policy = cls()
-        timeout = _env_positive_float("RTED_CHUNK_TIMEOUT")
+        timeout = env_float("RTED_CHUNK_TIMEOUT", positive=True)
         if timeout is not None:
             policy.chunk_timeout = timeout
-        retries = _env_non_negative_int("RTED_CHUNK_RETRIES")
+        retries = env_int("RTED_CHUNK_RETRIES", minimum=0)
         if retries is not None:
             policy.max_chunk_retries = retries
         return policy
@@ -226,6 +210,7 @@ def _drain(
     on_chunk: Callable[[int, List[Tuple]], None],
     policy: ExecutionPolicy,
     report: ExecutionReport,
+    deadline=None,
 ) -> Tuple[Optional[str], int]:
     """Run ``todo`` chunks on ``executor`` until done or the pool fails.
 
@@ -240,6 +225,13 @@ def _drain(
     a small window means one crash charges a retry attempt to a handful of
     in-flight chunks instead of the entire remaining batch (the chunks
     still queued here are resubmitted free of charge).
+
+    An expired ``deadline`` (:class:`repro.runtime.Deadline`) — checked at
+    the same cadence as the stall detector — tears the pool down through the
+    hang-teardown path and raises
+    :class:`~repro.exceptions.ComputeTimeoutError`.  Any other interruption
+    (``KeyboardInterrupt`` included) also hard-kills the workers before
+    propagating, so an aborted fan-out never leaves orphan processes behind.
     """
     import concurrent.futures as cf
 
@@ -269,60 +261,75 @@ def _drain(
         _hard_shutdown(executor)
         return reason, completed
 
-    reason = _submit_pending()
-    if reason is not None:
-        return _fail(reason)
-
-    last_progress = time.monotonic()
-    poll = _POLL_SECONDS
-    if policy.chunk_timeout is not None:
-        poll = min(poll, max(0.01, policy.chunk_timeout / 4.0))
-    while futures:
-        done_set, _ = cf.wait(
-            set(futures), timeout=poll, return_when=cf.FIRST_COMPLETED
-        )
-        if not done_set:
-            stalled = (
-                policy.chunk_timeout is not None
-                and time.monotonic() - last_progress > policy.chunk_timeout
-            )
-            if stalled:
-                in_flight = sorted(state.index for state in futures.values())
-                return _fail(
-                    f"chunk timeout: no completion within "
-                    f"{policy.chunk_timeout:g}s (chunks {in_flight} in flight)"
-                )
-            continue
-        last_progress = time.monotonic()
-        # Harvest every finished future before acting on a pool failure so
-        # completed work is never thrown away alongside the broken pool.
-        pool_failure: Optional[str] = None
-        for future in done_set:
-            state = futures.pop(future)
-            try:
-                status, _chunk_index, payload = future.result()
-            except Exception as exc:  # BrokenProcessPool and friends
-                pool_failure = f"worker pool broke: {type(exc).__name__}: {exc}"
-                _charge_failure(state, pool_failure, policy, report)
-                continue
-            if status == "ok":
-                state.done = True
-                completed += 1
-                on_chunk(state.index, payload)
-                continue
-            # In-chunk error, reported as data: retry on the live pool.
-            _charge_failure(state, payload, policy, report)
-            if not state.serial_only:
-                queue.append(state)
-        if pool_failure is not None:
-            for state in futures.values():
-                if not state.done:
-                    _charge_failure(state, pool_failure, policy, report)
-            _hard_shutdown(executor)
-            return pool_failure, completed
+    try:
         reason = _submit_pending()
         if reason is not None:
             return _fail(reason)
+
+        last_progress = time.monotonic()
+        poll = _POLL_SECONDS
+        if policy.chunk_timeout is not None:
+            poll = min(poll, max(0.01, policy.chunk_timeout / 4.0))
+        while futures:
+            done_set, _ = cf.wait(
+                set(futures), timeout=poll, return_when=cf.FIRST_COMPLETED
+            )
+            if deadline is not None and deadline.expired():
+                # Reuse the stall-teardown path: kill the pool, then raise —
+                # the budget is blown, so no rung retry can help.
+                _fail("compute deadline exceeded")
+                raise ComputeTimeoutError(
+                    "compute deadline exceeded during batch execution"
+                )
+            if not done_set:
+                stalled = (
+                    policy.chunk_timeout is not None
+                    and time.monotonic() - last_progress > policy.chunk_timeout
+                )
+                if stalled:
+                    in_flight = sorted(state.index for state in futures.values())
+                    return _fail(
+                        f"chunk timeout: no completion within "
+                        f"{policy.chunk_timeout:g}s (chunks {in_flight} in flight)"
+                    )
+                continue
+            last_progress = time.monotonic()
+            # Harvest every finished future before acting on a pool failure
+            # so completed work is never thrown away with the broken pool.
+            pool_failure: Optional[str] = None
+            for future in done_set:
+                state = futures.pop(future)
+                try:
+                    status, _chunk_index, payload = future.result()
+                except Exception as exc:  # BrokenProcessPool and friends
+                    pool_failure = f"worker pool broke: {type(exc).__name__}: {exc}"
+                    _charge_failure(state, pool_failure, policy, report)
+                    continue
+                if status == "ok":
+                    state.done = True
+                    completed += 1
+                    on_chunk(state.index, payload)
+                    continue
+                # In-chunk error, reported as data: retry on the live pool.
+                _charge_failure(state, payload, policy, report)
+                if not state.serial_only:
+                    queue.append(state)
+            if pool_failure is not None:
+                for state in futures.values():
+                    if not state.done:
+                        _charge_failure(state, pool_failure, policy, report)
+                _hard_shutdown(executor)
+                return pool_failure, completed
+            reason = _submit_pending()
+            if reason is not None:
+                return _fail(reason)
+    except ComputeTimeoutError:
+        raise  # pool already torn down above
+    except BaseException:
+        # KeyboardInterrupt, cancellation, or an unexpected bug: never
+        # leave worker processes running behind an abandoned drain.
+        _hard_shutdown(executor)
+        raise
     executor.shutdown(wait=True)
     return None, completed
 
@@ -336,6 +343,7 @@ def _run_rung(
     on_chunk: Callable[[int, List[Tuple]], None],
     policy: ExecutionPolicy,
     report: ExecutionReport,
+    deadline=None,
 ) -> str:
     """Drive one ladder rung to completion or abandonment.
 
@@ -362,7 +370,8 @@ def _run_rung(
             completed = 0
         else:
             reason, completed = _drain(
-                executor, todo, n_workers, task, on_chunk, policy, report
+                executor, todo, n_workers, task, on_chunk, policy, report,
+                deadline=deadline,
             )
         if reason is None:
             continue  # loop re-checks: remaining chunks are serial_only
@@ -395,6 +404,10 @@ def _run_serial_chunk(
     for i, j in state.pairs:
         try:
             chunk_results.append(serial_pair(i, j))
+        except ComputeTimeoutError:
+            # A blown compute budget is a batch-level event, not a poisoned
+            # pair — let it propagate to the caller.
+            raise
         except Exception as exc:
             report.poisoned_pairs.append(
                 PoisonedPair(int(i), int(j), f"{type(exc).__name__}: {exc}")
@@ -419,6 +432,7 @@ def run_supervised(
     on_chunk: Callable[[int, List[Tuple]], None],
     policy: ExecutionPolicy,
     report: ExecutionReport,
+    deadline=None,
 ) -> None:
     """Execute every chunk exactly once, surviving partial failure.
 
@@ -450,15 +464,21 @@ def run_supervised(
     ------
     BatchExecutionError
         Only in ``policy.strict`` mode, when poisoned pairs remain.
+    ComputeTimeoutError
+        When ``deadline`` (:class:`repro.runtime.Deadline`) expires; the
+        worker pool is hard-killed first, so no orphan processes survive.
     """
     states = [_ChunkState(index, list(chunk)) for index, chunk in enumerate(chunks)]
     mp_rungs = [rung for rung in rungs if rung != RUNG_SERIAL]
     for rung in mp_rungs:
+        if deadline is not None:
+            deadline.check()
         todo = [s for s in states if not s.done and not s.serial_only]
         if not todo:
             break
         outcome = _run_rung(
-            rung, states, workers, executor_factory, task, on_chunk, policy, report
+            rung, states, workers, executor_factory, task, on_chunk, policy,
+            report, deadline=deadline,
         )
         if outcome != "degrade":
             break

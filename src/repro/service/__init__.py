@@ -1,0 +1,9 @@
+"""RTED as a service: the deadline-governed HTTP serving layer.
+
+See :mod:`repro.service.server` for the architecture (admission control,
+per-request deadlines, graceful drain) and ``DESIGN.md`` for the quickstart.
+"""
+
+from .server import RtedService, ServiceConfig, run_server
+
+__all__ = ["RtedService", "ServiceConfig", "run_server"]
