@@ -1,0 +1,197 @@
+#!/usr/bin/env python3
+"""Benchmark: live-corpus mutation — incremental maintenance vs full rebuild.
+
+Two acceptance gates from the live-corpora PR:
+
+* **incremental add ≥ 5x** — appending a small batch to a 10k-tree corpus
+  whose inverted index is already built (``add_trees`` + the epoch-keyed
+  dense view refresh) must be at least 5x faster than rebuilding a fresh
+  :class:`~repro.join.corpus.TreeCorpus` over the same final tree set and
+  re-deriving its index from scratch.  Incremental cost is proportional to
+  the batch, rebuild cost to the corpus — the ratio is what makes a
+  mutation-heavy serving workload viable.
+* **epoch-keyed cache hit < 100 µs** — a hit in the service's per-corpus
+  :class:`~repro.service.server.PairResultCache` (key: epoch × tree ids ×
+  algorithm × cost model × cutoff) must average under 100 µs; the cache
+  only pays if a hit is negligible next to even the smallest TED.
+
+Also reported (not gated): removal + compaction cost, and the epoch-keyed
+``pack()`` cache hit time.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_live_corpus.py          # full, writes BENCH_live_corpus.json
+    PYTHONPATH=src python benchmarks/bench_live_corpus.py --quick  # CI gate (<1 min)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import random
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.datasets import random_tree
+from repro.join import TreeCorpus
+from repro.service.server import PairResultCache
+
+DEFAULT_OUTPUT = Path(__file__).parent / "BENCH_live_corpus.json"
+
+SEED = 20110713
+ADD_BATCH = 100
+
+
+def make_trees(count: int, seed: int = SEED) -> List:
+    rng = random.Random(seed)
+    return [
+        random_tree(rng.randint(6, 12), rng=seed * 10 + i) for i in range(count)
+    ]
+
+
+def bench_incremental_add(corpus_size: int) -> Dict:
+    """Incremental ``add_trees`` vs from-scratch rebuild at one corpus size."""
+    trees = make_trees(corpus_size + ADD_BATCH)
+    base, batch = trees[:corpus_size], trees[corpus_size:]
+
+    corpus = TreeCorpus(base)
+    corpus.branch_index()  # the steady-state serving corpus: index built
+
+    start = time.perf_counter()
+    corpus.add_trees(batch)
+    corpus.branch_index()  # epoch-keyed view refresh, part of the add cost
+    incremental_seconds = time.perf_counter() - start
+    assert len(corpus) == corpus_size + ADD_BATCH
+
+    start = time.perf_counter()
+    rebuilt = TreeCorpus(list(trees))
+    rebuilt.branch_index()
+    rebuild_seconds = time.perf_counter() - start
+    assert rebuilt.branch_index() == corpus.branch_index()
+
+    # Removal is tombstoning plus (past the dead-entry threshold) an in-place
+    # posting compaction — reported so regressions in either show up here.
+    start = time.perf_counter()
+    corpus.remove_trees(list(range(ADD_BATCH)))
+    corpus.branch_index()
+    removal_seconds = time.perf_counter() - start
+
+    return {
+        "corpus_size": corpus_size,
+        "add_batch": ADD_BATCH,
+        "incremental_add_seconds": incremental_seconds,
+        "full_rebuild_seconds": rebuild_seconds,
+        "incremental_speedup": rebuild_seconds / max(incremental_seconds, 1e-9),
+        "removal_seconds": removal_seconds,
+        "compactions": corpus.compactions,
+    }
+
+
+def bench_cache_hit(iterations: int = 2000) -> Dict:
+    """Average latency of an epoch-keyed pair-cache hit (and a pack-cache hit)."""
+    cache = PairResultCache(capacity=1024)
+    keys = [(0, i, i + 1, "rted", "unit", None) for i in range(64)]
+    body = {"algorithm": "rted", "distance": 3.0, "subproblems": 123}
+    for key in keys:
+        cache.put(key, body)
+    start = time.perf_counter()
+    for i in range(iterations):
+        hit = cache.get(keys[i % len(keys)])
+        assert hit is not None
+    pair_hit_seconds = (time.perf_counter() - start) / iterations
+
+    corpus = TreeCorpus(make_trees(200))
+    pack_hit_seconds = None
+    if corpus.pack() is not None:  # numpy present
+        start = time.perf_counter()
+        for _ in range(iterations):
+            corpus.pack()
+        pack_hit_seconds = (time.perf_counter() - start) / iterations
+
+    return {
+        "iterations": iterations,
+        "pair_cache_hit_us": pair_hit_seconds * 1e6,
+        "pack_cache_hit_us": (
+            pack_hit_seconds * 1e6 if pack_hit_seconds is not None else None
+        ),
+        "pair_cache_hits_counted": cache.hits,
+    }
+
+
+def check_gates(entries: List[Dict], cache: Dict) -> List[str]:
+    failures = []
+    gated = [e for e in entries if e["corpus_size"] >= 10_000]
+    for entry in gated:
+        if entry["incremental_speedup"] < 5.0:
+            failures.append(
+                f"incremental add only {entry['incremental_speedup']:.1f}x vs "
+                f"full rebuild at n={entry['corpus_size']} (need >= 5x)"
+            )
+    if cache["pair_cache_hit_us"] >= 100.0:
+        failures.append(
+            f"epoch-keyed pair-cache hit averaged {cache['pair_cache_hit_us']:.1f}us "
+            "(need < 100us)"
+        )
+    return failures
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="CI gate run")
+    parser.add_argument("--output", type=Path, default=None)
+    args = parser.parse_args(argv)
+
+    sizes = [10_000] if args.quick else [1_000, 10_000, 30_000]
+    entries = []
+    for corpus_size in sizes:
+        entry = bench_incremental_add(corpus_size)
+        entries.append(entry)
+        print(
+            f"n={corpus_size:>6} add({ADD_BATCH})={entry['incremental_add_seconds'] * 1000:8.1f}ms "
+            f"rebuild={entry['full_rebuild_seconds'] * 1000:8.1f}ms "
+            f"speedup={entry['incremental_speedup']:6.1f}x "
+            f"remove={entry['removal_seconds'] * 1000:7.1f}ms",
+            flush=True,
+        )
+    cache = bench_cache_hit()
+    pack_hit_us = cache["pack_cache_hit_us"]
+    pack_text = f"{pack_hit_us:.2f}us" if pack_hit_us is not None else "n/a"
+    print(
+        f"pair-cache hit={cache['pair_cache_hit_us']:.2f}us "
+        f"pack-cache hit={pack_text}",
+        flush=True,
+    )
+
+    failures = check_gates(entries, cache)
+    report = {
+        "benchmark": "live corpora: incremental index maintenance and epoch-keyed caching",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "entries": entries,
+        "cache": cache,
+        "gates": {
+            "incremental_add_5x_at_10k": not any("incremental" in f for f in failures),
+            "pair_cache_hit_under_100us": not any("pair-cache" in f for f in failures),
+        },
+    }
+
+    for failure in failures:
+        print(f"GATE FAILED: {failure}", file=sys.stderr)
+
+    if args.quick:
+        if args.output is not None:
+            args.output.write_text(json.dumps(report, indent=2) + "\n")
+        print("quick gates:", "FAIL" if failures else "ok")
+        return 1 if failures else 0
+
+    output = args.output if args.output is not None else DEFAULT_OUTPUT
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {output}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

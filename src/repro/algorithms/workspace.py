@@ -144,6 +144,17 @@ class LabelInterner:
         self._tree_codes[id(tree)] = (tree, codes)
         return codes
 
+    def forget_tree(self, tree: Tree) -> None:
+        """Drop ``tree``'s cached code array (removal hygiene for live corpora).
+
+        The code *dictionary* is untouched — codes stay stable for the
+        interner's lifetime — but keeping the per-tree cache entry would pin
+        a removed tree in memory for as long as the interner lives.  Called
+        by :meth:`~repro.join.corpus.TreeCorpus.remove_trees`; a no-op for
+        trees that were never interned.
+        """
+        self._tree_codes.pop(id(tree), None)
+
 
 class WorkspaceStats:
     """Counters describing how much work the workspace amortized."""

@@ -323,13 +323,19 @@ def similarity_join(
 
 
 def _query_corpus(collection) -> TreeCorpus:
-    """Resolve a collection argument into a (frozen) :class:`TreeCorpus`.
+    """Resolve a collection argument into a :class:`TreeCorpus`.
 
     Passing a prebuilt :class:`TreeCorpus` is the warm path: repeated
     queries against the same corpus object reuse the cached profiles,
     inverted indexes, batch-kernel pack and the lazily built metric index
     (engines are cached per corpus by :func:`repro.join.query.query_engine`).
-    A plain sequence is parsed and wrapped fresh on every call.
+    The corpus may be *live* — mutated via
+    :meth:`~repro.join.corpus.TreeCorpus.add_trees` /
+    :meth:`~repro.join.corpus.TreeCorpus.remove_trees` between calls — and
+    results stay exact: the cached engine pins an epoch snapshot, answers
+    over it plus an exactly-evaluated side list of newer trees, and rebuilds
+    its metric index only past its staleness budget.  A plain sequence is
+    parsed and wrapped fresh on every call.
     """
     if isinstance(collection, TreeCorpus):
         return collection
@@ -357,7 +363,11 @@ def knn(
     exactly the first ``k`` entries of the brute-force ``(distance, index)``
     ranking.  ``corpus`` may be a sequence of trees/parseable descriptions
     or a prebuilt :class:`~repro.join.corpus.TreeCorpus` — pass the corpus
-    object to amortize indexes across a query stream.  Extra keyword
+    object to amortize indexes across a query stream; results reflect the
+    corpus's *current* trees even after ``add_trees``/``remove_trees``
+    mutations (exact, via the engine's snapshot + side-list machinery —
+    ``result.stats.epoch``/``snapshot_epoch`` record what was queried
+    against what).  Extra keyword
     arguments reach the :class:`QueryEngine` (``chunk_size``, ``leaf_size``,
     ``workspace``, ``batch_kernel``, ``policy``, ...).  ``deadline``
     (seconds or a :class:`~repro.runtime.Deadline`) is per *call*, not part

@@ -14,7 +14,9 @@ Installed as the ``rted`` console script.  Sub-commands:
   one-vs-corpus retrieval through the query engine (metric-index search
   when the cost model allows, sound linear scan otherwise);
 * ``rted serve @collection.txt --port 8617`` — HTTP serving layer with
-  per-request deadlines, admission control and SIGTERM graceful drain;
+  per-request deadlines, admission control, SIGTERM graceful drain, live
+  corpus management (``POST /corpora``, ``POST /corpora/NAME/trees``,
+  ``DELETE /corpora/NAME/trees/ID``) and epoch-keyed pair-result caching;
 * ``rted shm-reap`` — remove shared-memory blocks orphaned by killed joins;
 * ``rted experiment fig8|fig9|fig10|table1|table2|ablation`` — run one of the
   paper's experiments and print its table(s).
@@ -330,6 +332,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--drain-grace", type=float, default=5.0,
         help="seconds SIGTERM waits for in-flight work before cancelling it",
     )
+    serve.add_argument(
+        "--pair-cache-size", type=int, default=1024,
+        help="per-corpus epoch-keyed LRU capacity for /distance pair "
+        "results (0 disables caching)",
+    )
 
     shm_reap = subparsers.add_parser(
         "shm-reap",
@@ -522,6 +529,7 @@ def _dispatch(args) -> int:
             default_deadline=args.default_deadline,
             max_deadline=args.max_deadline,
             drain_grace=args.drain_grace,
+            pair_cache_size=args.pair_cache_size,
         )
         return run_server(
             corpora,

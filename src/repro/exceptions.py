@@ -104,6 +104,13 @@ class MetricGateError(CostModelError):
     must fall back to a linear scan."""
 
 
+class CorpusError(ReproError):
+    """Raised on an invalid corpus mutation: removing an out-of-range tree
+    id, adding a non-tree object, or mutating an epoch-pinned
+    :class:`~repro.join.corpus.CorpusSnapshot` (snapshots are immutable —
+    mutate the parent corpus instead)."""
+
+
 class QueryError(ReproError):
     """Raised when a retrieval query is malformed (e.g. ``k < 0``)."""
 

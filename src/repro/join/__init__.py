@@ -53,7 +53,7 @@ from .cascade import (
     default_cascade,
     operations_threshold,
 )
-from .corpus import TreeCorpus, TreeProfile, branch_candidate_pairs
+from .corpus import CorpusSnapshot, TreeCorpus, TreeProfile, branch_candidate_pairs
 from .faults import FaultPlan
 from .shared import (
     SharedPackHandle,
@@ -96,6 +96,7 @@ __all__ = [
     "query_engine",
     # Batch subsystem (v2)
     "TreeCorpus",
+    "CorpusSnapshot",
     "TreeProfile",
     "branch_candidate_pairs",
     "SharedPackHandle",

@@ -461,7 +461,11 @@ def batch_distances(
             from .shared import export_pack
 
             pack_a = corpus_a.pack(probe.small_pair_cutoff)
-            exported = export_pack(pack_a) if pack_a is not None else None
+            exported = (
+                export_pack(pack_a, epoch=getattr(corpus_a, "epoch", 0))
+                if pack_a is not None
+                else None
+            )
             if exported is not None:
                 handle, pack_desc_a = exported
                 shared_handles.append(handle)
@@ -472,7 +476,9 @@ def batch_distances(
                         pack_b = build_corpus_pack(
                             corpus_b.trees, corpus_a.interner(), probe.small_pair_cutoff
                         )
-                    exported_b = export_pack(pack_b)
+                    exported_b = export_pack(
+                        pack_b, epoch=getattr(corpus_b, "epoch", 0)
+                    )
                     if exported_b is None:  # pragma: no cover - shm race
                         pack_desc_a = None
                     else:

@@ -87,8 +87,12 @@ class VPTree:
     Build with :meth:`build`; traverse via ``nodes`` / ``root`` (the search
     loops live in :mod:`repro.join.query`, which owns the stats and the
     shrinking-radius logic).  The index stores only tree *ids* plus split
-    radii — it is valid exactly as long as its corpus, which is frozen at
-    construction.
+    radii — those ids mean the corpus's dense indices **at build time**, so
+    the index is valid exactly for the corpus epoch it was built at
+    (recorded as :attr:`epoch`).  Build over a
+    :class:`~repro.join.corpus.CorpusSnapshot` (the query engine does) to
+    keep the ids meaningful across mutations of a live corpus; an engine
+    given a prebuilt index whose epoch trails the corpus refuses it.
     """
 
     def __init__(
@@ -105,6 +109,8 @@ class VPTree:
         self.cost_model = cost_model
         #: Exact TEDs computed during construction (the amortized index cost).
         self.build_distances = build_distances
+        #: The corpus epoch the node ids refer to (0 for pre-epoch corpora).
+        self.epoch = getattr(corpus, "epoch", 0)
 
     def __len__(self) -> int:
         return self.nodes[self.root].count if self.root >= 0 else 0

@@ -34,6 +34,16 @@ orientation-independent operation-count bounds of the cascade (sound for
 any model with a positive cost floor, including non-symmetric ones).
 Distances are always computed ``query → corpus tree``, so non-symmetric
 models return the correctly oriented result set.
+
+Live corpora: the engine serves a **mutating** corpus exactly.  It pins a
+:class:`~repro.join.corpus.CorpusSnapshot` (and builds its VP-tree over the
+pin); per query it reads the membership drift — parent trees added since
+the pin form a *deferred-insert side list* that is refined exactly and
+merged by ``(distance, index)``, snapshot results whose trees the parent
+removed are dropped during translation to current indices — so kNN/range
+results are bit-identical to a fresh engine over the current trees.  Once
+the drift exceeds ``staleness_budget`` (a fraction of the pinned size) the
+snapshot is refreshed and the index lazily rebuilt.
 """
 
 from __future__ import annotations
@@ -60,11 +70,19 @@ from .cascade import (
     operations_threshold,
     run_cascade,
 )
-from .corpus import TreeCorpus
+from .corpus import CorpusSnapshot, TreeCorpus
 from .metric_index import DEFAULT_LEAF_SIZE, VPTree, metric_eligible
 from .pipeline import BatchRefiner, CandidateSet, Planner, execute_plan
 
 _INF = float("inf")
+
+#: Default staleness budget: a pinned snapshot is refreshed (and the
+#: VP-tree lazily rebuilt) once the membership drift — trees added plus
+#: trees removed since the pin — exceeds this fraction of the pinned
+#: corpus size.  Below the budget, queries stay exact anyway (side-list
+#: evaluation + removed-result filtering); the budget only caps how much
+#: unindexed side work a query tolerates before paying for a rebuild.
+DEFAULT_STALENESS_BUDGET = 0.25
 
 #: Warm-start probe size for best-first kNN: this many size-nearest corpus
 #: trees are verified up front to seed a finite radius, so the traversal's
@@ -128,6 +146,20 @@ class QueryStats(JoinStats):
     results found before the budget ran out, explicitly marked — never a
     silently truncated full answer."""
 
+    epoch: int = 0
+    """The live corpus's epoch when the query ran."""
+
+    snapshot_epoch: int = 0
+    """The epoch of the snapshot the search actually traversed; a gap to
+    ``epoch`` means the engine served within its staleness budget (side
+    list + removed-result filtering kept the answer exact)."""
+
+    side_candidates: int = 0
+    """Deferred-insert side list size (trees added since the pin)."""
+
+    side_evaluated: int = 0
+    """Side-list trees submitted to the exact refiner this query."""
+
     def as_dict(self) -> Dict[str, object]:
         data = super().as_dict()
         data.update(
@@ -137,6 +169,10 @@ class QueryStats(JoinStats):
                 "vp_nodes_visited": self.vp_nodes_visited,
                 "vp_pruned_subtrees": self.vp_pruned_subtrees,
                 "partial": self.partial,
+                "epoch": self.epoch,
+                "snapshot_epoch": self.snapshot_epoch,
+                "side_candidates": self.side_candidates,
+                "side_evaluated": self.side_evaluated,
             }
         )
         return data
@@ -247,7 +283,8 @@ class _MetricRangeSource:
             # d(q, v) ≥ τ + mu proves the whole inside ball non-matching, so
             # the vantage evaluation itself is bounded at τ + mu.
             distance = self.engine._vantage_distance(
-                self.query, node.vantage, tau + node.mu, stats, count_exact=False
+                vp.corpus, self.query, node.vantage, tau + node.mu, stats,
+                count_exact=False,
             )
             if distance is None:
                 pruned += 1 + (vp.nodes[node.inside].count if node.inside >= 0 else 0)
@@ -267,7 +304,7 @@ class _MetricRangeSource:
 
 
 class QueryEngine:
-    """One-vs-corpus retrieval over a (frozen) :class:`TreeCorpus`.
+    """One-vs-corpus retrieval over a (possibly live) :class:`TreeCorpus`.
 
     Construction is cheap; expensive artifacts — corpus profiles, the label
     interner, the batch-kernel pack and the vantage-point tree — are built
@@ -277,7 +314,19 @@ class QueryEngine:
     only when the cost model passes the metric gate
     (:func:`metric_eligible`), falling back to a linear scan (with the
     sound cascade bounds still pruning) otherwise.  Pass a prebuilt
-    ``metric_index`` to share one VP-tree across engines.
+    ``metric_index`` to share one VP-tree across engines (it must match the
+    corpus *and* its current epoch — a stale index is refused outright).
+
+    **Live corpora.**  The engine pins a :class:`CorpusSnapshot` of its
+    corpus and searches the pin; mutations between queries never invalidate
+    results.  Per query the drift since the pin is consulted: trees added
+    after it (the deferred-insert side list) are refined *exactly* and
+    merged into the ranking, and snapshot results whose trees were removed
+    are dropped while translating to current indices — so kNN/range stay
+    bit-identical to a fresh engine over the current trees.  Once the drift
+    exceeds ``staleness_budget`` (a fraction of the pinned size, default
+    :data:`DEFAULT_STALENESS_BUDGET`) the pin is refreshed and the VP-tree
+    lazily rebuilt.
 
     Execution knobs (``algorithm``, ``engine``, ``workers``, ``chunk_size``,
     ``workspace``, ``batch_kernel``, ``policy``) mirror the batch join and
@@ -301,6 +350,7 @@ class QueryEngine:
         workspace=True,
         batch_kernel: bool = True,
         policy=None,
+        staleness_budget: float = DEFAULT_STALENESS_BUDGET,
     ) -> None:
         from .batch import as_corpus
 
@@ -316,6 +366,11 @@ class QueryEngine:
         self.seed = seed
         self.batch_kernel = batch_kernel
         self.policy = policy
+        if not isinstance(staleness_budget, (int, float)) or staleness_budget < 0:
+            raise QueryError(
+                f"staleness_budget must be a non-negative fraction, got {staleness_budget!r}"
+            )
+        self.staleness_budget = float(staleness_budget)
         if workspace is True:
             self._ws: Optional[TedWorkspace] = TedWorkspace(
                 self.cost_model, interner=self.corpus.interner()
@@ -328,27 +383,141 @@ class QueryEngine:
         self._algo = _resolve_algorithm(algorithm, engine, self._ws)
         self._bounded_ok = _supports_cutoff(self._algo)
         self._planner = Planner(self.cost_model)
-        if metric_index is not None and metric_index.corpus is not self.corpus:
-            raise QueryError("metric_index was built over a different corpus")
+        self._snap: Optional[TreeCorpus] = None
+        if metric_index is not None:
+            target = metric_index.corpus
+            pins_corpus = target is self.corpus or (
+                isinstance(target, CorpusSnapshot) and target.parent is self.corpus
+            )
+            if not pins_corpus:
+                raise QueryError("metric_index was built over a different corpus")
+            built_epoch = getattr(target, "epoch", 0)
+            current_epoch = getattr(self.corpus, "epoch", 0)
+            if built_epoch != current_epoch:
+                raise QueryError(
+                    f"metric_index is stale: built at epoch {built_epoch} but the "
+                    f"corpus is at epoch {current_epoch} — rebuild it (or let the "
+                    "engine build its own)"
+                )
+            # Pin the epoch the index was built at, so its bucket/vantage ids
+            # keep meaning the same trees whatever the corpus does next.
+            self._snap = target if isinstance(target, CorpusSnapshot) else (
+                self.corpus.snapshot()
+            )
         self._vp = metric_index
         self._vp_unavailable = False
+
+    # ------------------------------------------------------------------ #
+    # Snapshot pinning
+    # ------------------------------------------------------------------ #
+    def _pinned(self) -> TreeCorpus:
+        """The snapshot this query should search (refreshing past budget).
+
+        Within the staleness budget the old pin (and its VP-tree) keeps
+        serving — exactness is preserved by the caller's side-list merge and
+        removed-result filtering.  Past it, a fresh snapshot replaces the
+        pin and the VP-tree is dropped for lazy rebuild.
+        """
+        corpus = self.corpus
+        if isinstance(corpus, CorpusSnapshot):
+            # The engine's corpus is itself a pin: nothing ever drifts.
+            self._snap = corpus
+            return corpus
+        snap = self._snap
+        if snap is None:
+            snap = corpus.snapshot()
+            self._snap = snap
+            return snap
+        if not snap.is_current():
+            added, removed = snap.delta()
+            budget = max(1, int(self.staleness_budget * max(1, len(snap))))
+            if len(added) + len(removed) > budget:
+                self._snap = corpus.snapshot()
+                self._vp = None
+                self._vp_unavailable = False
+        return self._snap
+
+    @property
+    def snapshot_epoch(self) -> Optional[int]:
+        """The epoch of the currently pinned snapshot (``None`` before the
+        first query); the service surfaces this next to the live epoch so
+        operators can see engine staleness."""
+        snap = self._snap
+        return snap.epoch if snap is not None else None
+
+    def _delta(self, snap: TreeCorpus) -> Tuple[List[int], List[int]]:
+        """Membership drift of ``snap`` vs the live corpus (empty when the
+        engine's corpus *is* the snapshot)."""
+        if snap is self.corpus or not isinstance(snap, CorpusSnapshot):
+            return [], []
+        return snap.delta()
+
+    def _translate(self, items: List[Tuple[int, float]], snap) -> List[Tuple[int, float]]:
+        """Snapshot-dense results → current-dense, dropping removed trees."""
+        if snap is self.corpus:
+            return list(items)
+        out: List[Tuple[int, float]] = []
+        for j, d in items:
+            current = snap.to_parent(j)
+            if current is not None:
+                out.append((current, d))
+        return out
+
+    def _evaluate_side(
+        self,
+        refiner: BatchRefiner,
+        side: List[int],
+        cutoff: Optional[float],
+        stats: QueryStats,
+    ) -> List[Tuple[int, float]]:
+        """Exact distances to the deferred-insert side list.
+
+        ``side`` holds *current* corpus indices (trees added after the
+        pin); ``refiner`` must be bound to the live corpus.  Results at or
+        above ``cutoff`` are proven non-competitive (bounded runs) and
+        dropped; everything returned is an exact ``(index, distance)``.
+        """
+        if cutoff is not None and not math.isfinite(cutoff):
+            cutoff = None
+        results: List[Tuple[int, float]] = []
+
+        def on_chunk(chunk_results: List[Tuple]) -> None:
+            for entry in chunk_results:
+                _, j, value, subproblems = entry[:4]
+                stats.exact_computed += 1
+                stats.total_subproblems += subproblems
+                if len(entry) > 4 and entry[4]:
+                    stats.aborted_early += 1
+                if cutoff is not None and value >= cutoff:
+                    # A bounded result (τ-abort or final check): the true
+                    # distance is proven ≥ cutoff, i.e. non-competitive.
+                    continue
+                results.append((j, value))
+
+        report = refiner.refine([(0, j) for j in side], cutoff, on_chunk)
+        _merge_report(stats, report)
+        stats.side_evaluated += len(side)
+        return results
 
     # ------------------------------------------------------------------ #
     def metric_index(self) -> Optional[VPTree]:
         """The engine's VP-tree, built lazily; ``None`` when ineligible.
 
-        Ineligible means: the index is disabled, the corpus is empty, or
-        the cost model fails the metric gate — in which case every query
-        soundly falls back to a linear scan.
+        Ineligible means: the index is disabled, the pinned snapshot is
+        empty, or the cost model fails the metric gate — in which case
+        every query soundly falls back to a linear scan.  The tree is built
+        over the *pinned snapshot*, so its node ids stay meaningful across
+        corpus mutations; a snapshot refresh drops it for lazy rebuild.
         """
         if not self.use_metric_index:
             return None
+        snap = self._pinned()
         if self._vp is None and not self._vp_unavailable:
-            if len(self.corpus) == 0 or not metric_eligible(self.cost_model):
+            if len(snap) == 0 or not metric_eligible(self.cost_model):
                 self._vp_unavailable = True
             else:
                 self._vp = VPTree.build(
-                    self.corpus,
+                    snap,
                     algorithm=self.algorithm,
                     cost_model=self.cost_model,
                     engine=self.engine,
@@ -367,10 +536,10 @@ class QueryEngine:
         # reuse the big pack instead of rebuilding it per query.
         return TreeCorpus([query], interner=self.corpus.interner())
 
-    def _refiner(self, query_corpus: TreeCorpus) -> BatchRefiner:
+    def _refiner(self, query_corpus: TreeCorpus, corpus: TreeCorpus) -> BatchRefiner:
         return BatchRefiner(
             query_corpus,
-            self.corpus,
+            corpus,
             algorithm=self.algorithm,
             cost_model=self.cost_model,
             engine=self.engine,
@@ -391,6 +560,7 @@ class QueryEngine:
 
     def _vantage_distance(
         self,
+        corpus: TreeCorpus,
         query: Tree,
         index: int,
         cutoff: Optional[float],
@@ -399,11 +569,13 @@ class QueryEngine:
     ) -> Optional[float]:
         """Exact ``d(query, corpus[index])``, or ``None`` if ``≥ cutoff``.
 
+        ``corpus`` is the collection ``index`` refers to — the pinned
+        snapshot a VP-tree was built over, never the drifting live corpus.
         ``count_exact=False`` skips the ``exact_computed`` increment for
         exact results whose consumer counts them itself (the range source
         routes them through the executor as prerefined entries).
         """
-        tree = self.corpus.trees[index]
+        tree = corpus.trees[index]
         if cutoff is None or not math.isfinite(cutoff) or not self._bounded_ok:
             result = self._algo.compute(query, tree, cost_model=self.cost_model)
         else:
@@ -433,39 +605,71 @@ class QueryEngine:
         so far with ``stats.partial = True`` — an explicit marker, never a
         silently truncated exact answer.  An ambient deadline (installed by
         an enclosing service request) applies when the argument is omitted.
+
+        Against a mutated corpus the pinned snapshot is searched for
+        ``k + |removed|`` results (so removals can never push a true
+        answer out of reach), removed trees are filtered during index
+        translation, and the deferred-insert side list is refined exactly
+        with a cutoff one ULP above the provisional k-th best — the merged
+        ranking equals the brute-force ranking over the *current* trees.
         """
         if k < 0:
             raise QueryError(f"k must be non-negative, got {k}")
         started = time.perf_counter()
         stats = QueryStats()
+        snap = self._pinned()
+        added, removed = self._delta(snap)
         stats.corpus_size = stats.pairs_total = len(self.corpus)
+        stats.epoch = getattr(self.corpus, "epoch", 0)
+        stats.snapshot_epoch = snap.epoch
+        stats.side_candidates = len(added)
         dl = as_deadline(deadline)
         if dl is None:
             dl = active_deadline()
-        top = _TopK(k)
-        if k > 0 and len(self.corpus) > 0:
+        top = _TopK(k + len(removed))
+        side: List[Tuple[int, float]] = []
+        if k > 0 and (len(snap) > 0 or added):
             try:
                 with deadline_scope(dl):
                     query_corpus = self._query_corpus(query)
                     profile = query_corpus.profile(0)
-                    refiner = self._refiner(query_corpus)
-                    ctx = CascadeContext(
-                        threshold=_INF, ops_threshold=_INF, cost_model=self.cost_model
-                    )
-                    filters = self._query_filters()
-                    vp = self.metric_index()
-                    if vp is not None:
-                        stats.metric_index_used = True
-                        self._knn_best_first(
-                            vp, query, profile, ctx, filters, refiner, top, stats
+                    if len(snap) > 0:
+                        refiner = self._refiner(query_corpus, snap)
+                        ctx = CascadeContext(
+                            threshold=_INF, ops_threshold=_INF, cost_model=self.cost_model
                         )
-                    else:
-                        self._knn_scan(query, profile, ctx, filters, refiner, top, stats)
+                        filters = self._query_filters()
+                        vp = self.metric_index()
+                        if vp is not None:
+                            stats.metric_index_used = True
+                            self._knn_best_first(
+                                vp, query, profile, ctx, filters, refiner, top, stats, snap
+                            )
+                        else:
+                            self._knn_scan(
+                                query, profile, ctx, filters, refiner, top, stats, snap
+                            )
+                    if added:
+                        # Provisional k-th best among snapshot survivors caps
+                        # the side-list refinement (one ULP above, so ties
+                        # stay exact and win or lose on index order).
+                        base = self._translate(top.items(), snap)
+                        cutoff = (
+                            _just_above(base[k - 1][1]) if len(base) >= k else None
+                        )
+                        side = self._evaluate_side(
+                            self._refiner(query_corpus, self.corpus),
+                            added,
+                            cutoff,
+                            stats,
+                        )
             except ComputeTimeoutError:
                 # The _TopK accumulator already holds every result verified
                 # before the budget ran out — return it, explicitly marked.
                 stats.partial = True
-        matches = top.items()
+        merged = self._translate(top.items(), snap) + side
+        merged.sort(key=lambda entry: (entry[1], entry[0]))
+        matches = merged[:k]
         stats.matches = stats.exact_matched = len(matches)
         stats.total_time = time.perf_counter() - started
         return QueryResult(kind="knn", parameter=float(k), matches=matches, stats=stats)
@@ -487,9 +691,11 @@ class QueryEngine:
         filters: list,
         refiner: BatchRefiner,
         stats: QueryStats,
+        corpus: TreeCorpus,
     ) -> None:
         """Filter a candidate block at the current radius, then refine it.
 
+        ``corpus`` is the pinned snapshot the candidate indices refer to.
         The refiner cutoff sits one ULP above the radius, so candidates tied
         with the k-th best still come back exact (and win or lose on index
         order), while everything strictly farther aborts as a bounded run.
@@ -500,7 +706,7 @@ class QueryEngine:
             survivors = [
                 j
                 for j in candidates
-                if run_cascade(filters, profile, self.corpus.profile(j), ctx, stats)
+                if run_cascade(filters, profile, corpus.profile(j), ctx, stats)
                 != PRUNE
             ]
         else:
@@ -524,15 +730,17 @@ class QueryEngine:
         report = refiner.refine([(0, j) for j in survivors], cutoff, on_chunk)
         _merge_report(stats, report)
 
-    def _size_order(self, query_size: int) -> List[int]:
+    def _size_order(self, corpus: TreeCorpus, query_size: int) -> List[int]:
         """Corpus indices ordered by size distance to the query (ties by index)."""
+        trees = corpus.trees
         return sorted(
-            range(len(self.corpus)),
-            key=lambda j: (abs(self.corpus.trees[j].n - query_size), j),
+            range(len(trees)),
+            key=lambda j: (abs(trees[j].n - query_size), j),
         )
 
     def _knn_best_first(
-        self, vp: VPTree, query, profile, ctx, filters, refiner, top: _TopK, stats
+        self, vp: VPTree, query, profile, ctx, filters, refiner, top: _TopK, stats,
+        corpus: TreeCorpus,
     ) -> None:
         """Best-first VP-tree search with a shrinking radius.
 
@@ -546,8 +754,8 @@ class QueryEngine:
         # Warm start: verify a small block of size-nearest trees to make the
         # radius finite before any vantage evaluation (trees re-encountered
         # by the traversal are no-ops — offers are idempotent per index).
-        probe = self._size_order(profile.size)[:KNN_PROBE]
-        self._refine_candidates(top, probe, profile, ctx, filters, refiner, stats)
+        probe = self._size_order(corpus, profile.size)[:KNN_PROBE]
+        self._refine_candidates(top, probe, profile, ctx, filters, refiner, stats, corpus)
         frontier: List[Tuple[float, int]] = [(0.0, vp.root)]
         while frontier:
             radius, _ = top.worst()
@@ -570,7 +778,7 @@ class QueryEngine:
                     batch.append((bound, node))
             if bucket_members:
                 self._refine_candidates(
-                    top, bucket_members, profile, ctx, filters, refiner, stats
+                    top, bucket_members, profile, ctx, filters, refiner, stats, corpus
                 )
             if not batch:
                 continue
@@ -628,7 +836,10 @@ class QueryEngine:
                         frontier, (max(bound, node.mu - distance), node.outside)
                     )
 
-    def _knn_scan(self, query, profile, ctx, filters, refiner, top: _TopK, stats) -> None:
+    def _knn_scan(
+        self, query, profile, ctx, filters, refiner, top: _TopK, stats,
+        corpus: TreeCorpus,
+    ) -> None:
         """Linear-scan kNN (the sound fallback for non-metric cost models).
 
         Examines near-sized trees first so the radius shrinks early, then
@@ -637,10 +848,12 @@ class QueryEngine:
         only the cascade's orientation-independent operation-count bounds
         prune, never the triangle inequality.
         """
-        order = self._size_order(profile.size)
+        order = self._size_order(corpus, profile.size)
         for start in range(0, len(order), self.chunk_size):
             block = order[start : start + self.chunk_size]
-            self._refine_candidates(top, block, profile, ctx, filters, refiner, stats)
+            self._refine_candidates(
+                top, block, profile, ctx, filters, refiner, stats, corpus
+            )
 
     # ------------------------------------------------------------------ #
     def range_query(self, query: Tree, threshold: float, deadline=None) -> QueryResult:
@@ -655,25 +868,36 @@ class QueryEngine:
         ``stats.partial = True`` (the match list is then a *subset* of the
         full answer, never a wrong superset — refinement only ever appends
         verified matches).
+
+        Against a mutated corpus the plan runs over the pinned snapshot,
+        removed trees are filtered during index translation, and trees
+        added since the pin are refined exactly at τ and merged — the
+        result equals a fresh query over the current trees.
         """
         started = time.perf_counter()
         stats = QueryStats()
+        snap = self._pinned()
+        added, _removed = self._delta(snap)
         stats.corpus_size = stats.pairs_total = len(self.corpus)
+        stats.epoch = getattr(self.corpus, "epoch", 0)
+        stats.snapshot_epoch = snap.epoch
+        stats.side_candidates = len(added)
         dl = as_deadline(deadline)
         if dl is None:
             dl = active_deadline()
         triples: List[Tuple[int, int, float]] = []
+        side: List[Tuple[int, float]] = []
         try:
             with deadline_scope(dl):
                 query_corpus = self._query_corpus(query)
-                refiner = self._refiner(query_corpus)
+                refiner = self._refiner(query_corpus, snap)
                 source = None
                 vp = self.metric_index() if threshold > 0 else None
                 if vp is not None:
                     stats.metric_index_used = True
                     source = _MetricRangeSource(self, vp, query, stats)
                 plan = self._planner.plan_range(
-                    self.corpus,
+                    snap,
                     query_corpus,
                     threshold,
                     refiner,
@@ -683,12 +907,22 @@ class QueryEngine:
                 # The sink keeps already-verified matches reachable if the
                 # deadline aborts the plan mid-refinement.
                 execute_plan(plan, stats, started=started, sink=triples)
+                if added and threshold > 0:
+                    # Strict τ semantics carry over: refine at cutoff=τ and
+                    # keep only exact results below it.
+                    side = self._evaluate_side(
+                        self._refiner(query_corpus, self.corpus),
+                        added,
+                        float(threshold),
+                        stats,
+                    )
         except ComputeTimeoutError:
             stats.partial = True
-        matches = sorted(
-            ((j, distance) for _, j, distance in triples),
-            key=lambda entry: (entry[1], entry[0]),
+        matches = self._translate(
+            [(j, distance) for _, j, distance in triples], snap
         )
+        matches.extend(side)
+        matches.sort(key=lambda entry: (entry[1], entry[0]))
         stats.matches = len(matches)
         stats.total_time = time.perf_counter() - started
         return QueryResult(

@@ -204,7 +204,7 @@ def reap_stale(dry_run: bool = False) -> List[str]:
     return reaped
 
 
-def export_pack(pack: CorpusPack):
+def export_pack(pack: CorpusPack, epoch: int = 0):
     """Serialize ``pack`` into one shared-memory block.
 
     Returns ``(handle, descriptor)`` — the parent keeps ``handle`` alive
@@ -212,6 +212,13 @@ def export_pack(pack: CorpusPack):
     picklable dict for :func:`attach_pack`.  Returns ``None`` when shared
     memory is unavailable or the export fails (callers fall back to
     rebuilding packs per worker).
+
+    ``epoch`` stamps the exporting corpus's version into the descriptor
+    (``descriptor["epoch"]``).  Exports are per-fan-out — the parent builds
+    them from its epoch-keyed pack cache and unlinks them when the fan-out
+    ends — so the stamp is provenance for debugging and tests, not a
+    liveness check; blocks orphaned by killed parents are reclaimed by
+    :func:`reap_stale` regardless of epoch.
     """
     if not shared_available():
         return None
@@ -256,6 +263,7 @@ def export_pack(pack: CorpusPack):
     descriptor: Dict[str, Any] = {
         "shm_name": shm.name,
         "layout": layout,
+        "epoch": int(epoch),
     }
     for field in _SCALAR_FIELDS:
         descriptor[field] = int(getattr(pack, field))

@@ -18,10 +18,28 @@ once, not per request.  :class:`RtedService` registers
     The corpus similarity self/cross join, with the full
     :class:`~repro.join.cascade.JoinStats` (including the PR 7 recovery
     telemetry) in the response.
+``POST /corpora`` / ``POST /corpora/{name}/trees`` / ``DELETE /corpora/{name}/trees/{id}``
+    Corpus management over *live* corpora (PR 10): create a named corpus,
+    append trees, or remove one tree by its current dense id.  Mutations go
+    through :meth:`TreeCorpus.add_trees` / :meth:`TreeCorpus.remove_trees`,
+    so the per-tree profiles and inverted indexes update incrementally and
+    the corpus **epoch** advances; every response reports the new
+    ``size``/``epoch``.  Cached engines notice the drift through their
+    pinned snapshots (see :mod:`repro.join.query`) — no restart needed.
 ``GET /healthz`` / ``GET /readyz`` / ``GET /stats``
     Liveness (always 200 while the process runs), readiness (503 once
     draining), and the service counters plus the last query/join stats as
-    JSON.
+    JSON.  ``/stats`` reports each corpus's size, epoch, the engine's
+    pinned snapshot epoch, the mutation ledger, and the pair-cache
+    hit/miss/eviction counters.
+
+**Epoch-keyed pair caching.**  ``POST /distance`` with ``{"corpus": ...,
+"i": 3, "j": 7}`` computes the distance between two *registered* trees and
+memoizes it in a per-corpus LRU keyed by ``(epoch, i, j, algorithm,
+cost model, cutoff)``.  Because the corpus epoch is part of the key, a
+mutation invalidates every stale entry implicitly — there is no explicit
+flush, and a hit can never serve a distance computed against a superseded
+tree set.
 
 **Deadlines end to end.**  Every compute request runs under a
 :class:`~repro.runtime.Deadline` combining its per-request budget (the
@@ -65,9 +83,10 @@ import signal
 import sys
 import threading
 import time
+from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Tuple, Union
 
 from ..api import compute, parse_tree
 from ..exceptions import ComputeTimeoutError, ReproError
@@ -87,6 +106,7 @@ _REASONS = {
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
+    409: "Conflict",
     413: "Payload Too Large",
     500: "Internal Server Error",
     503: "Service Unavailable",
@@ -130,6 +150,10 @@ class ServiceConfig:
     drain_grace: float = 5.0
     """Seconds drain waits for in-flight work before cancelling it."""
 
+    pair_cache_size: int = 1024
+    """Capacity of each corpus's epoch-keyed pair-distance LRU cache
+    (``0`` disables caching)."""
+
 
 @dataclass
 class ServiceCounters:
@@ -152,6 +176,54 @@ class ServiceCounters:
             "client_errors": self.client_errors,
             "server_errors": self.server_errors,
             "partial_results": self.partial_results,
+        }
+
+
+class PairResultCache:
+    """Per-corpus LRU cache of pair-distance response bodies.
+
+    Keys include the corpus **epoch** (plus tree ids, algorithm, cost
+    model, cutoff), so entries computed against a superseded tree set can
+    never be served after a mutation — the epoch bump orphans them and the
+    LRU sweep evicts them as capacity recycles.  Counters are monotonic
+    and surfaced per corpus by ``GET /stats``.  Access is serialized by
+    the owning corpus's lock, so no internal locking is needed.
+    """
+
+    __slots__ = ("capacity", "_entries", "hits", "misses", "evictions")
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = max(0, int(capacity))
+        self._entries: "OrderedDict[tuple, Dict[str, object]]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: tuple) -> Optional[Dict[str, object]]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: tuple, value: Dict[str, object]) -> None:
+        if self.capacity <= 0:
+            return
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def counters(self) -> Dict[str, int]:
+        return {
+            "pair_cache_hits": self.hits,
+            "pair_cache_misses": self.misses,
+            "pair_cache_evictions": self.evictions,
+            "pair_cache_entries": len(self._entries),
         }
 
 
@@ -189,6 +261,14 @@ class RtedService:
         self._locks: Dict[str, threading.Lock] = {
             name: threading.Lock() for name in self.corpora
         }
+        self._pair_caches: Dict[str, PairResultCache] = {
+            name: PairResultCache(self.config.pair_cache_size)
+            for name in self.corpora
+        }
+        # Guards registry *shape* changes (corpus creation): the per-corpus
+        # locks serialize work on one corpus, this one serializes adding
+        # entries to the four parallel dicts.
+        self._registry_lock = threading.Lock()
         self.counters = ServiceCounters()
         self.last_query_stats: Optional[Dict[str, object]] = None
         self.last_join_stats: Optional[Dict[str, object]] = None
@@ -309,6 +389,27 @@ class RtedService:
             if method != "POST":
                 raise _HttpError(405, f"{path} expects POST")
             return await self._handle_compute(path, reader, headers)
+        if path == "/corpora":
+            if method != "POST":
+                raise _HttpError(405, "/corpora expects POST")
+            return await self._handle_compute(("corpora:create",), reader, headers)
+        if path.startswith("/corpora/"):
+            parts = path[1:].split("/")
+            if len(parts) == 3 and parts[2] == "trees":
+                if method != "POST":
+                    raise _HttpError(405, f"{path} expects POST")
+                return await self._handle_compute(
+                    ("corpora:add", parts[1]), reader, headers
+                )
+            if len(parts) == 4 and parts[2] == "trees":
+                if method != "DELETE":
+                    raise _HttpError(405, f"{path} expects DELETE")
+                return await self._handle_compute(
+                    ("corpora:remove", parts[1], parts[3]),
+                    reader,
+                    headers,
+                    needs_body=False,
+                )
         raise _HttpError(404, f"unknown path {path}")
 
     async def _read_head(self, reader: asyncio.StreamReader):
@@ -371,7 +472,7 @@ class RtedService:
             "inflight": self._inflight,
             "admitted": self._admitted,
             "draining": self._draining,
-            "corpora": {name: len(c) for name, c in self.corpora.items()},
+            "corpora": {name: self._corpus_stats(name) for name in self.corpora},
             "config": {
                 "max_inflight": self.config.max_inflight,
                 "max_queue": self.config.max_queue,
@@ -382,11 +483,28 @@ class RtedService:
             "last_join_stats": self.last_join_stats,
         }
 
+    def _corpus_stats(self, name: str) -> Dict[str, object]:
+        """One corpus's ``/stats`` entry: size, epochs, ledger, cache counters."""
+        corpus = self.corpora[name]
+        engine = self._engines.get(name)
+        info: Dict[str, object] = {
+            "size": len(corpus),
+            "epoch": getattr(corpus, "epoch", 0),
+            "snapshot_epoch": getattr(engine, "snapshot_epoch", None),
+        }
+        ledger = getattr(corpus, "mutation_counters", None)
+        if callable(ledger):
+            info.update(ledger())
+        cache = self._pair_caches.get(name)
+        if cache is not None:
+            info.update(cache.counters())
+        return info
+
     # ------------------------------------------------------------------ #
     # Compute endpoints
     # ------------------------------------------------------------------ #
     async def _handle_compute(
-        self, path: str, reader, headers
+        self, op: Union[str, tuple], reader, headers, needs_body: bool = True
     ) -> Tuple[int, Dict[str, object]]:
         if self._draining:
             self.counters.shed += 1
@@ -405,14 +523,16 @@ class RtedService:
         # connections cannot all pass the check and overrun the bound.
         self._admitted += 1
         try:
-            payload = await self._read_body(reader, headers)
+            payload: Dict[str, object] = {}
+            if needs_body:
+                payload = await self._read_body(reader, headers)
             assert self._semaphore is not None
             async with self._semaphore:
                 self._inflight += 1
                 try:
                     deadline = self._request_deadline(payload)
                     result = await asyncio.get_running_loop().run_in_executor(
-                        self._executor, self._compute, path, payload, deadline
+                        self._executor, self._compute, op, payload, deadline
                     )
                 finally:
                     self._inflight -= 1
@@ -459,17 +579,80 @@ class RtedService:
             raise _HttpError(400, f"field {key!r} must be {desc}")
         return value
 
-    def _compute(self, path: str, payload, deadline: Deadline):
+    def _compute(self, op: Union[str, tuple], payload, deadline: Deadline):
         """One compute request, run inside a worker thread."""
-        if path == "/distance":
+        if isinstance(op, tuple):
+            if op[0] == "corpora:create":
+                return self._do_corpus_create(payload)
+            if op[0] == "corpora:add":
+                return self._do_corpus_add(op[1], payload)
+            return self._do_corpus_remove(op[1], op[2])
+        if op == "/distance":
             return self._do_distance(payload, deadline)
-        if path == "/knn":
+        if op == "/knn":
             return self._do_knn(payload, deadline)
-        if path == "/range":
+        if op == "/range":
             return self._do_range(payload, deadline)
         return self._do_join(payload, deadline)
 
+    # ------------------------------------------------------------------ #
+    # Corpus management (live corpora)
+    # ------------------------------------------------------------------ #
+    def _parse_tree_list(self, payload, key: str):
+        value = payload.get(key)
+        if not isinstance(value, list) or not all(
+            isinstance(item, str) for item in value
+        ):
+            raise _HttpError(400, f"field {key!r} must be a list of tree strings")
+        return [parse_tree(text) for text in value]
+
+    def _do_corpus_create(self, payload):
+        name = self._field(payload, "name", str, "a corpus name string")
+        trees = self._parse_tree_list(payload, "trees") if "trees" in payload else []
+        with self._registry_lock:
+            if name in self.corpora:
+                raise _HttpError(409, f"corpus {name!r} already exists")
+            corpus = TreeCorpus(trees)
+            self.corpora[name] = corpus
+            self._engines[name] = QueryEngine(
+                corpus,
+                algorithm=self.algorithm,
+                engine=self.engine,
+                workers=self.workers,
+            )
+            self._locks[name] = threading.Lock()
+            self._pair_caches[name] = PairResultCache(self.config.pair_cache_size)
+        return {"name": name, "size": len(corpus), "epoch": corpus.epoch}
+
+    def _mutable_corpus(self, name: str) -> TreeCorpus:
+        if name not in self.corpora:
+            raise _HttpError(
+                400, f"unknown corpus {name!r} (registered: {sorted(self.corpora)})"
+            )
+        return self.corpora[name]
+
+    def _do_corpus_add(self, name: str, payload):
+        corpus = self._mutable_corpus(name)
+        trees = self._parse_tree_list(payload, "trees")
+        with self._locks[name]:
+            added = corpus.add_trees(trees)
+            return {"added": added, "size": len(corpus), "epoch": corpus.epoch}
+
+    def _do_corpus_remove(self, name: str, id_text: str):
+        corpus = self._mutable_corpus(name)
+        try:
+            index = int(id_text)
+        except ValueError:
+            raise _HttpError(400, f"tree id must be an integer, got {id_text!r}")
+        with self._locks[name]:
+            # An out-of-range index raises CorpusError, which the compute
+            # wrapper maps to 400 like every other ReproError.
+            corpus.remove_trees([index])
+            return {"removed": index, "size": len(corpus), "epoch": corpus.epoch}
+
     def _do_distance(self, payload, deadline: Deadline):
+        if "i" in payload or "j" in payload:
+            return self._do_corpus_distance(payload, deadline)
         tree_a = parse_tree(self._field(payload, "tree_a", str, "a tree string"))
         tree_b = parse_tree(self._field(payload, "tree_b", str, "a tree string"))
         cutoff = payload.get("cutoff")
@@ -490,6 +673,55 @@ class RtedService:
         else:
             body["distance"] = result.distance
         return body
+
+    def _do_corpus_distance(self, payload, deadline: Deadline):
+        """Distance between two registered trees, memoized per epoch.
+
+        The cache key is ``(epoch, i, j, algorithm, cost model, cutoff)``:
+        the epoch component makes mutation invalidation implicit (a stale
+        entry's key can never be constructed again), and the cost-model
+        component is the literal ``"unit"`` until the endpoint grows a
+        cost-model field — kept in the key now so adding one later cannot
+        silently alias entries.
+        """
+        name, _ = self._corpus_engine(payload)
+        i = self._field(payload, "i", int, "an integer tree id")
+        j = self._field(payload, "j", int, "an integer tree id")
+        algorithm = payload.get("algorithm", self.algorithm)
+        cutoff = payload.get("cutoff")
+        cache = self._pair_caches[name]
+        with self._locks[name]:
+            corpus = self.corpora[name]
+            n = len(corpus)
+            if not (0 <= i < n) or not (0 <= j < n):
+                raise _HttpError(
+                    400, f"tree ids must be in [0, {n}) for corpus {name!r}"
+                )
+            epoch = corpus.epoch
+            key = (epoch, i, j, str(algorithm), "unit", cutoff)
+            cached = cache.get(key)
+            if cached is not None:
+                return {**cached, "cached": True, "epoch": epoch}
+            result = compute(
+                corpus.trees[i],
+                corpus.trees[j],
+                algorithm=algorithm,
+                engine=payload.get("engine", self.engine),
+                cutoff=cutoff,
+                deadline=deadline,
+            )
+            body: Dict[str, object] = {
+                "algorithm": result.algorithm,
+                "subproblems": result.subproblems,
+            }
+            if result.bounded:
+                body.update(
+                    bounded=True, lower_bound=result.lower_bound, cutoff=result.cutoff
+                )
+            else:
+                body["distance"] = result.distance
+            cache.put(key, body)
+            return {**body, "cached": False, "epoch": epoch}
 
     def _do_knn(self, payload, deadline: Deadline):
         name, engine = self._corpus_engine(payload)

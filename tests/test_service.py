@@ -77,7 +77,13 @@ class TestEndpoints:
             assert (status, payload["status"]) == (200, "ready")
             status, _, payload = await asyncio.to_thread(_get, base, "/stats")
             assert status == 200
-            assert payload["corpora"] == {"default": 24}
+            default = payload["corpora"]["default"]
+            assert default["size"] == 24
+            assert default["epoch"] == 0
+            assert default["pair_cache_hits"] == 0
+            assert default["pair_cache_misses"] == 0
+            assert default["pair_cache_evictions"] == 0
+            assert default["adds"] == 0 and default["removals"] == 0
             assert payload["counters"]["served"] == 0
 
         run_service(body)
